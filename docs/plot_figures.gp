@@ -1,0 +1,35 @@
+# Plot the regenerated figures from the bench's CSV export:
+#
+#   dune exec bench/main.exe -- csv out/
+#   gnuplot -e "dir='out'" docs/plot_figures.gp
+#
+# Produces out/fig6_{2,3,4,5}.png, each overlaying the analytic closed
+# forms (lines) with the measured simulator values (points), in the
+# layout of the paper's Figures 6.2-6.5.
+
+if (!exists("dir")) dir = "out"
+
+set datafile separator ","
+set key top left
+set terminal pngcairo size 800,560
+set style line 1 lw 2 lc rgb "#0d3b66"
+set style line 2 lw 2 lc rgb "#f95738"
+set style line 3 lw 2 lc rgb "#3a7d44"
+set style line 4 lw 2 lc rgb "#9c528b"
+
+do for [fig in "fig6_2 fig6_3 fig6_4 fig6_5"] {
+    set output sprintf("%s/%s.png", dir, fig)
+    if (fig eq "fig6_2") { set xlabel "C"; set ylabel "B (bytes)"; set title "Figure 6.2: B versus C" }
+    if (fig eq "fig6_3") { set xlabel "k"; set ylabel "B (bytes)"; set title "Figure 6.3: B versus k"; set logscale y }
+    if (fig eq "fig6_4") { set xlabel "k"; set ylabel "IO"; set title "Figure 6.4: IO versus k, Scenario 1"; unset logscale }
+    if (fig eq "fig6_5") { set xlabel "k"; set ylabel "IO"; set title "Figure 6.5: IO versus k, Scenario 2" }
+    f = sprintf("%s/%s.csv", dir, fig)
+    plot f using 1:2 with lines ls 1 title "RV best (analytic)", \
+         f using 1:3 with lines ls 2 title "RV worst (analytic)", \
+         f using 1:4 with lines ls 3 title "ECA best (analytic)", \
+         f using 1:5 with lines ls 4 title "ECA worst (analytic)", \
+         f using 1:6 with points ls 1 pt 7 title "RV best (measured)", \
+         f using 1:7 with points ls 2 pt 7 title "RV worst (measured)", \
+         f using 1:8 with points ls 3 pt 7 title "ECA best (measured)", \
+         f using 1:9 with points ls 4 pt 7 title "ECA worst (measured)"
+}

@@ -1,0 +1,24 @@
+-- The keyed retail scenario (ECAK-eligible view).
+-- Try:  vmw run examples/scripts/retail.sql -a eca-key -s worst --trace
+TABLE customers (cid INT KEY, region TEXT);
+TABLE orders (oid INT KEY, cid INT, amount INT);
+
+VIEW west_orders AS
+  SELECT orders.oid, customers.cid, orders.amount
+  FROM orders, customers
+  WHERE orders.cid = customers.cid AND customers.region = 'west';
+
+INSERT INTO customers VALUES (1, 'west');
+INSERT INTO customers VALUES (2, 'east');
+INSERT INTO customers VALUES (3, 'west');
+INSERT INTO orders VALUES (100, 1, 250);
+INSERT INTO orders VALUES (101, 2, 120);
+INSERT INTO orders VALUES (102, 3, 999);
+
+UPDATES;
+INSERT INTO orders VALUES (103, 1, 75);
+DELETE FROM orders VALUES (102, 3, 999);
+INSERT INTO customers VALUES (4, 'west');
+INSERT INTO orders VALUES (104, 4, 410);
+DELETE FROM customers VALUES (2, 'east');
+DELETE FROM orders VALUES (101, 2, 120);

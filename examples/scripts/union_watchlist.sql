@@ -1,0 +1,27 @@
+-- A compound (UNION/EXCEPT) view over a transactions feed.
+-- Try:  vmw run examples/scripts/union_watchlist.sql -a eca -s worst
+--       vmw matrix examples/scripts/union_watchlist.sql
+TABLE transfers (tid INT KEY, acct INT, amount INT);
+TABLE flagged (acct INT);
+TABLE cleared (tid INT);
+
+VIEW watchlist AS
+  SELECT tid, transfers.acct, amount FROM transfers WHERE amount > 900
+  UNION
+  SELECT tid, transfers.acct, amount FROM transfers, flagged
+    WHERE transfers.acct = flagged.acct
+  EXCEPT
+  SELECT transfers.tid, acct, amount FROM transfers, cleared
+    WHERE transfers.tid = cleared.tid AND amount > 900;
+
+INSERT INTO transfers VALUES (1, 10, 950);
+INSERT INTO transfers VALUES (2, 11, 120);
+INSERT INTO transfers VALUES (3, 12, 400);
+INSERT INTO flagged VALUES (12);
+
+UPDATES;
+INSERT INTO transfers VALUES (4, 12, 80);
+INSERT INTO flagged VALUES (11);
+INSERT INTO cleared VALUES (1);
+INSERT INTO transfers VALUES (5, 13, 9000);
+DELETE FROM flagged VALUES (12);
