@@ -1,0 +1,658 @@
+(* Regenerates every table and figure of the paper's evaluation
+   (Section 6 / Appendix D), printing the analytic closed forms next to
+   measured values from the full simulator, then runs Bechamel wall-clock
+   comparisons of the algorithms.
+
+   Sections:
+     [Table 1]      parameter defaults
+     [Sec 6.1]      message counts M
+     [Figure 6.2]   B versus C, three updates
+     [Figure 6.3]   B versus k, C = 100
+     [Figure 6.4]   IO versus k, Scenario 1
+     [Figure 6.5]   IO versus k, Scenario 2
+     [Crossovers]   where RV overtakes ECA
+     [Ablation]     compensation cost, ECAK/ECAL/LCA/SC comparisons
+     [Bechamel]     wall-clock per algorithm and per figure regeneration
+
+   `bench/main.exe quick` skips the Bechamel section. *)
+
+module R = Relational
+module CM = Costmodel
+module W = Workload
+
+let params = CM.Params.default
+let s_bytes = params.CM.Params.s
+
+let header title =
+  Printf.printf "\n================ %s ================\n" title
+
+(* ------------------------------------------------------------------ *)
+(* Measured runs                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type measured = {
+  m_messages : int;
+  m_tuples : int;  (* answer tuples, the unit the paper prices at S bytes *)
+  m_bytes : int;  (* tuples * S, comparable to the analytic B *)
+  m_io : int;
+}
+
+let run_example6 ?(scenario = 1) ?(schedule = Core.Scheduler.Best_case)
+    ?rv_period ~algorithm spec =
+  let { W.Scenarios.db; view; updates } = W.Scenarios.example6 spec in
+  let catalog =
+    if scenario = 1 then W.Scenarios.catalog_scenario1 ()
+    else W.Scenarios.catalog_scenario2 ()
+  in
+  let result =
+    Core.Runner.run ~catalog ~schedule ?rv_period
+      ~creator:(Core.Registry.creator_exn algorithm)
+      ~views:[ view ] ~db ~updates ()
+  in
+  let m = result.Core.Runner.metrics in
+  let report = List.assoc "V" result.Core.Runner.reports in
+  if not report.Core.Consistency.convergent then
+    Printf.printf "!! %s did not converge (%s)\n" algorithm
+      (Core.Consistency.strongest_label report);
+  {
+    m_messages = Core.Metrics.messages m;
+    m_tuples = m.Core.Metrics.answer_tuples;
+    m_bytes = Core.Metrics.bytes_for ~s:s_bytes m;
+    m_io = m.Core.Metrics.source_io;
+  }
+
+let spec_for ?(c = 100) ?(k = 3) ?(seed = 42) () =
+  W.Spec.make ~c ~j:4 ~k_updates:k ~seed ()
+
+(* The four corners of every figure: RV recomputing once / every update,
+   ECA under the no-contention / full-contention interleavings. *)
+let corners ?scenario ~c ~k () =
+  let spec = spec_for ~c ~k () in
+  let rv_best = run_example6 ?scenario ~algorithm:"rv" ~rv_period:k spec in
+  let rv_worst = run_example6 ?scenario ~algorithm:"rv" ~rv_period:1 spec in
+  let eca_best =
+    run_example6 ?scenario ~schedule:Core.Scheduler.Best_case ~algorithm:"eca"
+      spec
+  in
+  let eca_worst =
+    run_example6 ?scenario ~schedule:Core.Scheduler.Worst_case ~algorithm:"eca"
+      spec
+  in
+  (rv_best, rv_worst, eca_best, eca_worst)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  header "Table 1: variables and defaults";
+  Format.printf "%a@." CM.Params.rows params;
+  let spec = spec_for () in
+  let { W.Scenarios.db; view; _ } = W.Scenarios.example6 spec in
+  Printf.printf
+    "measured on the generated instance: C=%d J(r2,X)=%.2f J(r3,Y)=%.2f \
+     sigma=%.2f\n"
+    (Storage.Stats.cardinality db "r1")
+    (Storage.Stats.join_factor db "r2" "X")
+    (Storage.Stats.join_factor db "r3" "Y")
+    (Storage.Stats.selectivity db view)
+
+(* ------------------------------------------------------------------ *)
+(* Section 6.1: messages                                               *)
+(* ------------------------------------------------------------------ *)
+
+let messages () =
+  header "Section 6.1: messages M (query + answer; notifications excluded)";
+  Printf.printf "%4s %12s %12s %8s | %10s %10s %10s\n" "k" "RV(s=k)" "RV(s=1)"
+    "ECA" "meas RV_k" "meas RV_1" "meas ECA";
+  List.iter
+    (fun k ->
+      let rv_best, rv_worst, eca_best, _ = corners ~c:50 ~k () in
+      Printf.printf "%4d %12d %12d %8d | %10d %10d %10d\n" k
+        (CM.Messages.rv ~k ~period:k)
+        (CM.Messages.rv ~k ~period:1)
+        (CM.Messages.eca ~k) rv_best.m_messages rv_worst.m_messages
+        eca_best.m_messages)
+    [ 1; 5; 10; 30 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Each figure as (header, rows) so the same sweep renders as an aligned
+   table on stdout or as a CSV artifact for plotting. *)
+let figure_header =
+  [ "x"; "RVBest"; "RVWorst"; "ECABest"; "ECAWorst"; "mRVBest"; "mRVWorst";
+    "mECABest"; "mECAWorst" ]
+
+let fig_6_2_rows () =
+  List.map
+    (fun c ->
+      let p = CM.Params.make ~c () in
+      let rv_b, rv_w, eca_b, eca_w = corners ~c ~k:3 () in
+      [ string_of_int c;
+        Printf.sprintf "%.0f" (CM.Transfer.rv_best p);
+        Printf.sprintf "%.0f" (CM.Transfer.rv_worst p);
+        Printf.sprintf "%.0f" (CM.Transfer.eca_best p);
+        Printf.sprintf "%.0f" (CM.Transfer.eca_worst p);
+        string_of_int rv_b.m_bytes; string_of_int rv_w.m_bytes;
+        string_of_int eca_b.m_bytes; string_of_int eca_w.m_bytes ])
+    [ 1; 2; 5; 8; 10; 12; 15; 20 ]
+
+let fig_6_3_rows () =
+  List.map
+    (fun k ->
+      let rv_b, rv_w, eca_b, eca_w = corners ~c:100 ~k () in
+      [ string_of_int k;
+        Printf.sprintf "%.0f" (CM.Transfer.rv_best_k params ~k);
+        Printf.sprintf "%.0f" (CM.Transfer.rv_worst_k params ~k);
+        Printf.sprintf "%.0f" (CM.Transfer.eca_best_k params ~k);
+        Printf.sprintf "%.0f" (CM.Transfer.eca_worst_k params ~k);
+        string_of_int rv_b.m_bytes; string_of_int rv_w.m_bytes;
+        string_of_int eca_b.m_bytes; string_of_int eca_w.m_bytes ])
+    [ 1; 15; 30; 45; 60; 90; 120 ]
+
+let fig_io_rows ~scenario_id ~scenario () =
+  List.map
+    (fun k ->
+      let rv_b, rv_w, eca_b, eca_w =
+        corners ~scenario:scenario_id ~c:100 ~k ()
+      in
+      [ string_of_int k;
+        Printf.sprintf "%.0f" (CM.Io_model.rv_best_k scenario params ~k);
+        Printf.sprintf "%.0f" (CM.Io_model.rv_worst_k scenario params ~k);
+        Printf.sprintf "%.0f" (CM.Io_model.eca_best_k scenario params ~k);
+        Printf.sprintf "%.0f" (CM.Io_model.eca_worst_k scenario params ~k);
+        string_of_int rv_b.m_io; string_of_int rv_w.m_io;
+        string_of_int eca_b.m_io; string_of_int eca_w.m_io ])
+    [ 1; 3; 5; 7; 9; 11 ]
+
+let print_rows rows =
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i = 0 then Printf.printf "%4s" cell
+          else begin
+            if i = 5 then print_string " |";
+            Printf.printf " %9s" cell
+          end)
+        row;
+      print_newline ())
+    (figure_header :: rows)
+
+let figure_6_2 () =
+  header "Figure 6.2: B versus C (3 updates; bytes, S=4)";
+  print_rows (fig_6_2_rows ())
+
+let figure_6_3 () =
+  header "Figure 6.3: B versus k (C = 100; bytes, S=4)";
+  print_rows (fig_6_3_rows ())
+
+let figure_6_4 () =
+  header "Figure 6.4: IO versus k, Scenario 1 (indexes, ample memory)";
+  print_rows (fig_io_rows ~scenario_id:1 ~scenario:CM.Io_model.Scenario1 ())
+
+let figure_6_5 () =
+  header "Figure 6.5: IO versus k, Scenario 2 (no indexes, 3 blocks)";
+  print_rows (fig_io_rows ~scenario_id:2 ~scenario:CM.Io_model.Scenario2 ())
+
+(* `bench/main.exe csv DIR` writes the four figures' series as CSV files
+   ready for plotting. *)
+let write_csvs dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (name, rows) ->
+      let oc = open_out (Filename.concat dir (name ^ ".csv")) in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          List.iter
+            (fun row -> output_string oc (String.concat "," row ^ "\n"))
+            (figure_header :: rows)))
+    [
+      ("fig6_2", fig_6_2_rows ());
+      ("fig6_3", fig_6_3_rows ());
+      ("fig6_4", fig_io_rows ~scenario_id:1 ~scenario:CM.Io_model.Scenario1 ());
+      ("fig6_5", fig_io_rows ~scenario_id:2 ~scenario:CM.Io_model.Scenario2 ());
+    ];
+  Printf.printf "wrote fig6_{2,3,4,5}.csv to %s\n" dir
+
+(* ------------------------------------------------------------------ *)
+(* Crossovers                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let crossovers () =
+  header "Crossovers (smallest k at which one-shot RV beats ECA)";
+  let show name f g hi =
+    match CM.Crossover.first_at_or_above ~lo:1 ~hi f g with
+    | Some k -> Printf.printf "%-45s k = %d\n" name k
+    | None -> Printf.printf "%-45s none below %d\n" name hi
+  in
+  show "B: ECA best vs RV best (paper: 100)"
+    (fun k -> CM.Transfer.eca_best_k params ~k)
+    (fun k -> CM.Transfer.rv_best_k params ~k)
+    300;
+  show "B: ECA worst vs RV best (paper: ~30)"
+    (fun k -> CM.Transfer.eca_worst_k params ~k)
+    (fun k -> CM.Transfer.rv_best_k params ~k)
+    300;
+  show "IO S1: ECA best vs RV best (paper: 3)"
+    (fun k -> CM.Io_model.eca_best_k CM.Io_model.Scenario1 params ~k)
+    (fun k -> CM.Io_model.rv_best_k CM.Io_model.Scenario1 params ~k)
+    50;
+  show "IO S2: ECA worst vs RV best (paper: 5<k<8)"
+    (fun k -> CM.Io_model.eca_worst_k CM.Io_model.Scenario2 params ~k)
+    (fun k -> CM.Io_model.rv_best_k CM.Io_model.Scenario2 params ~k)
+    50;
+  (* measured: sweep k and find where measured worst-case ECA IO
+     (Scenario 1) passes measured one-shot RV. *)
+  let measured_io k =
+    let rv, _, _, eca = corners ~scenario:1 ~c:100 ~k () in
+    (float_of_int eca.m_io, float_of_int rv.m_io)
+  in
+  let table =
+    List.map (fun k -> (k, measured_io k)) [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  (match List.find_opt (fun (_, (eca, rv)) -> eca >= rv) table with
+   | Some (k, _) ->
+     Printf.printf "%-45s k = %d\n" "IO S1 measured: ECA worst vs RV once" k
+   | None ->
+     Printf.printf "%-45s none in sweep\n" "IO S1 measured: ECA worst vs RV once")
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_compensation () =
+  header "Ablation: compensation cost (ECA worst - ECA best, measured)";
+  Printf.printf "%4s %10s %10s %12s %12s\n" "k" "best B" "worst B" "overhead"
+    "analytic";
+  List.iter
+    (fun k ->
+      let _, _, eca_b, eca_w = corners ~c:100 ~k () in
+      let analytic =
+        CM.Transfer.eca_worst_k params ~k -. CM.Transfer.eca_best_k params ~k
+      in
+      Printf.printf "%4d %10d %10d %12d %12.0f\n" k eca_b.m_bytes
+        eca_w.m_bytes
+        (eca_w.m_bytes - eca_b.m_bytes)
+        analytic)
+    [ 3; 15; 30; 60 ]
+
+let run_keyed ~algorithm ~schedule ?(insert_ratio = 0.5) k =
+  let spec = W.Spec.make ~c:100 ~j:4 ~k_updates:k ~insert_ratio ~seed:7 () in
+  let { W.Scenarios.db; view; updates } = W.Scenarios.keyed spec in
+  let result =
+    Core.Runner.run ~schedule
+      ~creator:(Core.Registry.creator_exn algorithm)
+      ~views:[ view ] ~db ~updates ()
+  in
+  result.Core.Runner.metrics
+
+let ablation_ecak () =
+  header "Ablation: ECAK vs ECA on a keyed view (k=40, half deletes)";
+  Printf.printf "%-10s %10s %10s %10s\n" "algorithm" "messages" "tuples" "IO";
+  List.iter
+    (fun algorithm ->
+      let m = run_keyed ~algorithm ~schedule:Core.Scheduler.Worst_case 40 in
+      Printf.printf "%-10s %10d %10d %10d\n" algorithm
+        (Core.Metrics.messages m)
+        m.Core.Metrics.answer_tuples m.Core.Metrics.source_io)
+    [ "eca"; "eca-key"; "eca-local"; "lca"; "rv" ]
+
+let ablation_local_rate () =
+  header "Ablation: ECAL local handling (best case, keyed workload, k=40)";
+  List.iter
+    (fun insert_ratio ->
+      let m_eca =
+        run_keyed ~algorithm:"eca" ~schedule:Core.Scheduler.Best_case
+          ~insert_ratio 40
+      in
+      let m_ecal =
+        run_keyed ~algorithm:"eca-local" ~schedule:Core.Scheduler.Best_case
+          ~insert_ratio 40
+      in
+      Printf.printf
+        "insert ratio %.1f: ECA sends %d queries, ECAL sends %d (%.0f%% \
+         handled locally)\n"
+        insert_ratio m_eca.Core.Metrics.queries_sent
+        m_ecal.Core.Metrics.queries_sent
+        (100.0
+        *. float_of_int
+             (m_eca.Core.Metrics.queries_sent
+             - m_ecal.Core.Metrics.queries_sent)
+        /. float_of_int (max 1 m_eca.Core.Metrics.queries_sent)))
+    [ 1.0; 0.5; 0.2 ]
+
+let ablation_sc () =
+  header "Ablation: SC (store copies) vs ECA (k=40 keyed workload)";
+  let m_sc = run_keyed ~algorithm:"sc" ~schedule:Core.Scheduler.Worst_case 40 in
+  let m_eca =
+    run_keyed ~algorithm:"eca" ~schedule:Core.Scheduler.Worst_case 40
+  in
+  let spec = W.Spec.make ~c:100 ~j:4 ~k_updates:40 ~insert_ratio:0.5 ~seed:7 () in
+  let { W.Scenarios.db; _ } = W.Scenarios.keyed spec in
+  Printf.printf
+    "SC : %d messages, %d transferred tuples, %d source IO, but stores %d \
+     base tuples at the warehouse\n"
+    (Core.Metrics.messages m_sc)
+    m_sc.Core.Metrics.answer_tuples m_sc.Core.Metrics.source_io
+    (R.Db.total_tuples db);
+  Printf.printf "ECA: %d messages, %d transferred tuples, %d source IO\n"
+    (Core.Metrics.messages m_eca)
+    m_eca.Core.Metrics.answer_tuples m_eca.Core.Metrics.source_io
+
+let ablation_outer_reads () =
+  header "Ablation: Scenario 2 accounting with outer-loop reads charged";
+  let spec = spec_for ~c:100 ~k:3 () in
+  let { W.Scenarios.db; view; _ } = W.Scenarios.example6 spec in
+  let q = R.Query.of_view view in
+  let io count_outer_reads =
+    let catalog =
+      Storage.Catalog.make ~mode:Storage.Catalog.Limited_memory
+        ~count_outer_reads ()
+    in
+    (Storage.Planner.query catalog db q).Storage.Plan.io
+  in
+  Printf.printf
+    "full view recompute: %d IO (paper accounting) vs %d IO (outer reads \
+     charged)\n"
+    (io false) (io true)
+
+let ablation_literal_eval () =
+  header
+    "Ablation: warehouse-local evaluation of literal-only terms (ECA, \
+     worst case)";
+  Printf.printf "%4s %14s %14s\n" "k" "local (tuples)" "shipped (tuples)";
+  List.iter
+    (fun k ->
+      let spec = spec_for ~c:100 ~k () in
+      let { W.Scenarios.db; view; updates } = W.Scenarios.example6 spec in
+      let tuples local_literal_eval =
+        let r =
+          Core.Runner.run ~schedule:Core.Scheduler.Worst_case
+            ~local_literal_eval
+            ~creator:(Core.Registry.creator_exn "eca")
+            ~views:[ view ] ~db ~updates ()
+        in
+        r.Core.Runner.metrics.Core.Metrics.answer_tuples
+      in
+      Printf.printf "%4d %14d %14d\n" k (tuples true) (tuples false))
+    [ 10; 30; 60 ]
+
+let ablation_batching () =
+  header "Ablation: batched notifications (Section 7 extension; ECA, k=30)";
+  Printf.printf "%6s %10s %10s %10s %10s %8s\n" "batch" "messages" "tuples"
+    "IO" "mean lag" "max lag";
+  let spec = spec_for ~c:100 ~k:30 () in
+  let { W.Scenarios.db; view; updates } = W.Scenarios.example6 spec in
+  List.iter
+    (fun batch_size ->
+      let r =
+        Core.Runner.run ~schedule:Core.Scheduler.Best_case ~batch_size
+          ~creator:(Core.Registry.creator_exn "eca")
+          ~views:[ view ] ~db ~updates ()
+      in
+      let m = r.Core.Runner.metrics in
+      let lag = Core.Staleness.of_trace r.Core.Runner.trace "V" in
+      Printf.printf "%6d %10d %10d %10d %10.2f %8d\n" batch_size
+        (Core.Metrics.messages m)
+        m.Core.Metrics.answer_tuples m.Core.Metrics.source_io
+        lag.Core.Staleness.mean_lag lag.Core.Staleness.max_lag)
+    [ 1; 2; 5; 10; 30 ]
+
+let ablation_timing () =
+  header "Ablation: maintenance timing (Section 2; ECA, k=30)";
+  Printf.printf "%-12s %10s %10s %10s %10s %8s\n" "timing" "messages"
+    "tuples" "IO" "mean lag" "max lag";
+  let spec = spec_for ~c:100 ~k:30 () in
+  let { W.Scenarios.db; view; updates } = W.Scenarios.example6 spec in
+  List.iter
+    (fun (label, mode) ->
+      let r =
+        Core.Runner.run ~schedule:Core.Scheduler.Best_case
+          ~creator:
+            (Core.Timing.creator mode (Core.Registry.creator_exn "eca"))
+          ~views:[ view ] ~db ~updates ()
+      in
+      let m = r.Core.Runner.metrics in
+      let lag = Core.Staleness.of_trace r.Core.Runner.trace "V" in
+      Printf.printf "%-12s %10d %10d %10d %10.2f %8d\n" label
+        (Core.Metrics.messages m)
+        m.Core.Metrics.answer_tuples m.Core.Metrics.source_io
+        lag.Core.Staleness.mean_lag lag.Core.Staleness.max_lag)
+    [
+      ("immediate", Core.Timing.Immediate);
+      ("periodic-5", Core.Timing.Periodic 5);
+      ("periodic-10", Core.Timing.Periodic 10);
+      ("deferred", Core.Timing.Deferred);
+    ]
+
+let ablation_scan_sharing () =
+  header "Ablation: multiple-term optimization (paper's conjecture)";
+  (* Sharing only helps queries whose terms scan the same relation more
+     than once. ECA's compensating terms carry literals and are answered
+     by index probes, so single-SPJ ECA queries share almost nothing — a
+     finding in itself. Multi-part (union) views DO repeat scans: their
+     recompute and their per-update deltas read shared relations once per
+     part. *)
+  let spec = spec_for ~c:100 ~k:10 () in
+  let { W.Scenarios.db; view = chain; updates } = W.Scenarios.example6 spec in
+  let wide =
+    R.View.natural_join ~name:"V#1"
+      ~proj:[ R.Attr.qualified "r1" "W"; R.Attr.qualified "r3" "Z" ]
+      [ W.Generator.chain_r1; W.Generator.chain_r2; W.Generator.chain_r3 ]
+  in
+  let vd = R.Viewdef.union ~name:"V" (R.Viewdef.simple chain) (R.Viewdef.simple wide) in
+  Printf.printf "%-26s %14s %14s %8s\n" "workload" "independent IO"
+    "shared-scan IO" "saved";
+  List.iter
+    (fun (label, algorithm, rv_period, schedule, views) ->
+      let io share_scans =
+        let catalog =
+          Storage.Catalog.make ~mode:Storage.Catalog.Indexed_memory
+            ~indexes:Storage.Catalog.example6_indexes ~share_scans ()
+        in
+        let r =
+          Core.Runner.run_defs ~catalog ~schedule ?rv_period
+            ~creator:(Core.Registry.creator_exn algorithm)
+            ~views ~db ~updates ()
+        in
+        r.Core.Runner.metrics.Core.Metrics.source_io
+      in
+      let independent = io false and shared = io true in
+      Printf.printf "%-26s %14d %14d %7.0f%%\n" label independent shared
+        (100.0
+        *. float_of_int (independent - shared)
+        /. float_of_int (max 1 independent)))
+    [
+      ("simple view / ECA worst", "eca", None, Core.Scheduler.Worst_case,
+       [ R.Viewdef.simple chain ]);
+      ("union view / ECA worst", "eca", None, Core.Scheduler.Worst_case, [ vd ]);
+      ("union view / RV once", "rv", Some 10, Core.Scheduler.Best_case, [ vd ]);
+    ]
+
+let ablation_skew () =
+  header "Ablation: join-attribute skew (Zipf; ECA vs one-shot RV, k=30)";
+  Printf.printf "%6s %10s %12s %12s %12s\n" "skew" "J(r2,X)" "ECA tuples"
+    "RV tuples" "ECA/RV";
+  List.iter
+    (fun skew ->
+      let spec =
+        W.Spec.make ~c:100 ~j:4 ~k_updates:30 ~seed:42 ~skew ()
+      in
+      let { W.Scenarios.db; view; updates } = W.Scenarios.example6 spec in
+      let tuples ~rv_period algorithm schedule =
+        let r =
+          Core.Runner.run ~schedule ~rv_period
+            ~creator:(Core.Registry.creator_exn algorithm)
+            ~views:[ view ] ~db ~updates ()
+        in
+        r.Core.Runner.metrics.Core.Metrics.answer_tuples
+      in
+      let eca = tuples ~rv_period:1 "eca" Core.Scheduler.Worst_case in
+      let rv = tuples ~rv_period:30 "rv" Core.Scheduler.Best_case in
+      Printf.printf "%6.1f %10.2f %12d %12d %12.2f\n" skew
+        (Storage.Stats.join_factor db "r2" "X")
+        eca rv
+        (float_of_int eca /. float_of_int (max 1 rv)))
+    [ 0.0; 0.5; 1.0; 1.5 ]
+
+let ablation_compound_views () =
+  header "Extension: union/difference views (Section 7; k=30, worst case)";
+  let spec = spec_for ~c:100 ~k:30 () in
+  let { W.Scenarios.db; view = chain; updates } = W.Scenarios.example6 spec in
+  (* wide = chain ∪ pairs-without-r3; narrow = chain \ high-W chain *)
+  let pairs =
+    R.View.natural_join ~name:"V#1"
+      ~proj:[ R.Attr.qualified "r1" "W"; R.Attr.qualified "r2" "Y" ]
+      [ W.Generator.chain_r1; W.Generator.chain_r2 ]
+  in
+  let chain_wide =
+    R.View.natural_join ~name:"V#1w"
+      ~proj:[ R.Attr.qualified "r1" "W"; R.Attr.qualified "r3" "Z" ]
+      [ W.Generator.chain_r1; W.Generator.chain_r2; W.Generator.chain_r3 ]
+  in
+  ignore pairs;
+  let high =
+    R.View.natural_join ~name:"V#2"
+      ~extra_cond:(R.Parser.parse_predicate "r1.W > 800")
+      ~proj:[ R.Attr.qualified "r1" "W"; R.Attr.qualified "r3" "Z" ]
+      [ W.Generator.chain_r1; W.Generator.chain_r2; W.Generator.chain_r3 ]
+  in
+  let vd_union =
+    R.Viewdef.union ~name:"V" (R.Viewdef.simple chain)
+      (R.Viewdef.simple chain_wide)
+  in
+  let vd_diff =
+    R.Viewdef.diff ~name:"V" (R.Viewdef.simple chain) (R.Viewdef.simple high)
+  in
+  Printf.printf "%-22s %10s %10s %10s %s\n" "view / algorithm" "messages"
+    "tuples" "IO" "verdict";
+  List.iter
+    (fun (label, vd) ->
+      List.iter
+        (fun (algorithm, rv_period) ->
+          let r =
+            Core.Runner.run_defs ~schedule:Core.Scheduler.Worst_case
+              ?rv_period
+              ~creator:(Core.Registry.creator_exn algorithm)
+              ~views:[ vd ] ~db ~updates ()
+          in
+          let m = r.Core.Runner.metrics in
+          Printf.printf "%-22s %10d %10d %10d %s\n"
+            (label ^ "/" ^ algorithm)
+            (Core.Metrics.messages m)
+            m.Core.Metrics.answer_tuples m.Core.Metrics.source_io
+            (Core.Consistency.strongest_label
+               (List.assoc "V" r.Core.Runner.reports)))
+        [ ("eca", None); ("lca", None); ("rv", Some 30) ])
+    [ ("union", vd_union); ("difference", vd_diff) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_section () =
+  let open Bechamel in
+  header "Bechamel: wall-clock of full simulated runs";
+  let spec = spec_for ~c:100 ~k:40 () in
+  let { W.Scenarios.db; view; updates } = W.Scenarios.example6 spec in
+  let run_algo ?rv_period algorithm schedule () =
+    ignore
+      (Core.Runner.run ~schedule ?rv_period
+         ~creator:(Core.Registry.creator_exn algorithm)
+         ~views:[ view ] ~db ~updates ())
+  in
+  let algo_tests =
+    [
+      Test.make ~name:"eca-best"
+        (Staged.stage (run_algo "eca" Core.Scheduler.Best_case));
+      Test.make ~name:"eca-worst"
+        (Staged.stage (run_algo "eca" Core.Scheduler.Worst_case));
+      Test.make ~name:"lca-worst"
+        (Staged.stage (run_algo "lca" Core.Scheduler.Worst_case));
+      Test.make ~name:"rv-every-update"
+        (Staged.stage (run_algo ~rv_period:1 "rv" Core.Scheduler.Best_case));
+      Test.make ~name:"rv-once"
+        (Staged.stage (run_algo ~rv_period:40 "rv" Core.Scheduler.Best_case));
+      Test.make ~name:"sc" (Staged.stage (run_algo "sc" Core.Scheduler.Best_case));
+    ]
+  in
+  (* One Test.make per regenerated artifact: times one representative
+     measured data point of each table/figure. *)
+  let figure_tests =
+    [
+      Test.make ~name:"table1"
+        (Staged.stage (fun () -> ignore (W.Scenarios.example6 (spec_for ()))));
+      Test.make ~name:"sec6.1-messages"
+        (Staged.stage (fun () -> ignore (corners ~c:50 ~k:5 ())));
+      Test.make ~name:"fig6.2-point"
+        (Staged.stage (fun () -> ignore (corners ~c:10 ~k:3 ())));
+      Test.make ~name:"fig6.3-point"
+        (Staged.stage (fun () -> ignore (corners ~c:100 ~k:15 ())));
+      Test.make ~name:"fig6.4-point"
+        (Staged.stage (fun () -> ignore (corners ~scenario:1 ~c:100 ~k:5 ())));
+      Test.make ~name:"fig6.5-point"
+        (Staged.stage (fun () -> ignore (corners ~scenario:2 ~c:100 ~k:5 ())));
+    ]
+  in
+  let groups =
+    [
+      Test.make_grouped ~name:"algorithms" algo_tests;
+      Test.make_grouped ~name:"figures" figure_tests;
+    ]
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  List.iter
+    (fun group ->
+      let raw = Benchmark.all cfg [ instance ] group in
+      let results = Analyze.all ols instance raw in
+      let rows =
+        Hashtbl.fold (fun name r acc -> (name, r) :: acc) results []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (name, r) ->
+          match Analyze.OLS.estimates r with
+          | Some (est :: _) -> Printf.printf "%-40s %14.0f ns/run\n" name est
+          | Some [] | None -> Printf.printf "%-40s (no estimate)\n" name)
+        rows)
+    groups
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  (match Array.to_list Sys.argv with
+   | _ :: "csv" :: dir :: _ ->
+     write_csvs dir;
+     exit 0
+   | _ -> ());
+  let quick = Array.exists (String.equal "quick") Sys.argv in
+  table1 ();
+  messages ();
+  figure_6_2 ();
+  figure_6_3 ();
+  figure_6_4 ();
+  figure_6_5 ();
+  crossovers ();
+  ablation_compensation ();
+  ablation_ecak ();
+  ablation_local_rate ();
+  ablation_sc ();
+  ablation_outer_reads ();
+  ablation_batching ();
+  ablation_timing ();
+  ablation_literal_eval ();
+  ablation_scan_sharing ();
+  ablation_skew ();
+  ablation_compound_views ();
+  if not quick then bechamel_section ();
+  print_newline ()

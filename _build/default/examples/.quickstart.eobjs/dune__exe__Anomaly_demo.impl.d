@@ -1,0 +1,1 @@
+examples/anomaly_demo.ml: Core Format List Relational

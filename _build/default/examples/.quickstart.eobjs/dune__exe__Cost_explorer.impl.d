@@ -1,0 +1,1 @@
+examples/cost_explorer.ml: Array Costmodel Format List Printf String Sys

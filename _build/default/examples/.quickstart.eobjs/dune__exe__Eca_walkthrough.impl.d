@@ -1,0 +1,1 @@
+examples/eca_walkthrough.ml: Core Format List Printf Relational String

@@ -1,0 +1,1 @@
+examples/eca_walkthrough.mli:

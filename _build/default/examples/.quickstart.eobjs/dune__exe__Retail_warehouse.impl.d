@@ -1,0 +1,1 @@
+examples/retail_warehouse.ml: Core Format List Relational

@@ -1,0 +1,1 @@
+examples/timing_tradeoff.ml: Core List Printf Workload

@@ -1,0 +1,1 @@
+examples/union_views.ml: Core Format List Relational

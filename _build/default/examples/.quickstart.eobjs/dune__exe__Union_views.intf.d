@@ -1,0 +1,1 @@
+examples/union_views.mli:

@@ -1,0 +1,87 @@
+(* Explore the Appendix-D cost model interactively-ish: sweep a parameter
+   and render ASCII curves of the four cost corners, the way Figures
+   6.2-6.5 are read. Optionally pass C, J, K on the command line:
+
+   dune exec examples/cost_explorer.exe -- 200 6 25 *)
+
+module CM = Costmodel
+
+let bar ~scale v =
+  let n = int_of_float (v /. scale) in
+  String.make (min n 60) '#'
+
+let sweep_k params ~title ~curves ~ks =
+  Printf.printf "\n--- %s ---\n" title;
+  let all_values =
+    List.concat_map (fun k -> List.map (fun (_, f) -> f ~k) curves) ks
+  in
+  let max_v = List.fold_left max 1.0 all_values in
+  let scale = max_v /. 58.0 in
+  List.iter
+    (fun k ->
+      Printf.printf "k=%-4d\n" k;
+      List.iter
+        (fun (name, f) ->
+          let v = f ~k in
+          Printf.printf "  %-10s %10.0f %s\n" name v (bar ~scale v))
+        curves)
+    ks;
+  ignore params
+
+let () =
+  let arg n default =
+    if Array.length Sys.argv > n then int_of_string Sys.argv.(n) else default
+  in
+  let c = arg 1 100 and j = arg 2 4 and k_per_block = arg 3 20 in
+  let params = CM.Params.make ~c ~j:(float_of_int j) ~k_per_block () in
+  Format.printf "parameters: %a@." CM.Params.pp params;
+
+  sweep_k params ~title:"B: bytes transferred (Figure 6.3 axis)"
+    ~curves:
+      [
+        ("RV once", fun ~k -> CM.Transfer.rv_best_k params ~k);
+        ("RV every", fun ~k -> CM.Transfer.rv_worst_k params ~k);
+        ("ECA best", fun ~k -> CM.Transfer.eca_best_k params ~k);
+        ("ECA worst", fun ~k -> CM.Transfer.eca_worst_k params ~k);
+      ]
+    ~ks:[ 1; 10; 30; 60; 100 ];
+
+  sweep_k params ~title:"IO, Scenario 1 (Figure 6.4 axis)"
+    ~curves:
+      [
+        ("RV once", fun ~k -> CM.Io_model.rv_best_k CM.Io_model.Scenario1 params ~k);
+        ("RV every", fun ~k -> CM.Io_model.rv_worst_k CM.Io_model.Scenario1 params ~k);
+        ("ECA best", fun ~k -> CM.Io_model.eca_best_k CM.Io_model.Scenario1 params ~k);
+        ("ECA worst", fun ~k -> CM.Io_model.eca_worst_k CM.Io_model.Scenario1 params ~k);
+      ]
+    ~ks:[ 1; 3; 5; 8; 11 ];
+
+  sweep_k params ~title:"IO, Scenario 2 (Figure 6.5 axis)"
+    ~curves:
+      [
+        ("RV once", fun ~k -> CM.Io_model.rv_best_k CM.Io_model.Scenario2 params ~k);
+        ("RV every", fun ~k -> CM.Io_model.rv_worst_k CM.Io_model.Scenario2 params ~k);
+        ("ECA best", fun ~k -> CM.Io_model.eca_best_k CM.Io_model.Scenario2 params ~k);
+        ("ECA worst", fun ~k -> CM.Io_model.eca_worst_k CM.Io_model.Scenario2 params ~k);
+      ]
+    ~ks:[ 1; 3; 5; 8; 11 ];
+
+  let show_crossover name f g =
+    match
+      CM.Crossover.first_at_or_above ~lo:1 ~hi:1000
+        (fun k -> f ~k)
+        (fun k -> g ~k)
+    with
+    | Some k -> Printf.printf "%-40s k = %d\n" name k
+    | None -> Printf.printf "%-40s beyond 1000\n" name
+  in
+  Printf.printf "\n--- crossovers for these parameters ---\n";
+  show_crossover "ECA best passes one-shot RV (B)"
+    (fun ~k -> CM.Transfer.eca_best_k params ~k)
+    (fun ~k -> CM.Transfer.rv_best_k params ~k);
+  show_crossover "ECA worst passes one-shot RV (B)"
+    (fun ~k -> CM.Transfer.eca_worst_k params ~k)
+    (fun ~k -> CM.Transfer.rv_best_k params ~k);
+  show_crossover "ECA best passes one-shot RV (IO S1)"
+    (fun ~k -> CM.Io_model.eca_best_k CM.Io_model.Scenario1 params ~k)
+    (fun ~k -> CM.Io_model.rv_best_k CM.Io_model.Scenario1 params ~k)

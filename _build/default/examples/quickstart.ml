@@ -1,0 +1,59 @@
+(* Quickstart: define a warehouse view over a decoupled source, stream
+   updates through the FIFO network under an adversarial interleaving, and
+   watch ECA keep the materialized view strongly consistent.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module R = Relational
+
+let () =
+  (* 1. Describe the source: two base relations. *)
+  let r1 = R.Schema.of_names "r1" [ "W"; "X" ] in
+  let r2 = R.Schema.of_names "r2" [ "X"; "Y" ] in
+  let db =
+    R.Db.of_list
+      [
+        (r1, R.Bag.of_list [ R.Tuple.ints [ 1; 2 ] ]);
+        (r2, R.Bag.empty);
+      ]
+  in
+
+  (* 2. Define the warehouse view V = π_W (r1 ⋈ r2). *)
+  let view =
+    R.View.natural_join ~name:"V" ~proj:[ R.Attr.unqualified "W" ] [ r1; r2 ]
+  in
+
+  (* 3. The update stream the source will execute — Example 2 of the
+     paper, the one that breaks conventional incremental maintenance. *)
+  let updates =
+    [
+      R.Update.insert "r2" (R.Tuple.ints [ 2; 3 ]);
+      R.Update.insert "r1" (R.Tuple.ints [ 4; 2 ]);
+    ]
+  in
+
+  (* 4. Run it under the worst-case interleaving (both updates hit the
+     source before any query is answered), once with the conventional
+     algorithm and once with ECA. *)
+  let simulate algorithm =
+    Core.Runner.run ~schedule:Core.Scheduler.Worst_case
+      ~creator:(Core.Registry.creator_exn algorithm)
+      ~views:[ view ] ~db ~updates ()
+  in
+  let show algorithm =
+    let result = simulate algorithm in
+    let mv = List.assoc "V" result.Core.Runner.final_mvs in
+    let truth = List.assoc "V" result.Core.Runner.final_source_views in
+    let report = List.assoc "V" result.Core.Runner.reports in
+    Format.printf "%-6s final MV = %a  (truth: %a)  -> %s@." algorithm
+      R.Bag.pp mv R.Bag.pp truth
+      (Core.Consistency.strongest_label report)
+  in
+  Format.printf "view: %a@.@." R.View.pp view;
+  show "basic";
+  show "eca";
+  Format.printf
+    "@.The conventional algorithm double-counts [4]: its query for the \
+     first insert@.was answered after the second insert had already \
+     happened at the source.@.ECA's compensating query cancels exactly \
+     that overlap.@."

@@ -1,0 +1,46 @@
+(* The freshness/cost frontier: Section 2's maintenance-timing choices and
+   Section 7's batching, measured on both axes at once — messages paid vs
+   staleness suffered. This is the decision a warehouse operator actually
+   faces; the paper discusses the timing policies qualitatively and this
+   example quantifies them on the Example-6 workload.
+
+   Run with: dune exec examples/timing_tradeoff.exe *)
+
+module W = Workload
+
+let () =
+  let spec = W.Spec.make ~c:60 ~j:4 ~k_updates:24 ~seed:19 () in
+  let { W.Scenarios.db; view; updates } = W.Scenarios.example6 spec in
+  let measure ?(batch_size = 1) ~timing label =
+    let result =
+      Core.Runner.run ~schedule:Core.Scheduler.Best_case ~batch_size
+        ~creator:(Core.Timing.creator timing (Core.Registry.creator_exn "eca"))
+        ~views:[ view ] ~db ~updates ()
+    in
+    let m = result.Core.Runner.metrics in
+    let lag = Core.Staleness.of_trace result.Core.Runner.trace "V" in
+    let report = List.assoc "V" result.Core.Runner.reports in
+    Printf.printf "%-22s %9d %9d %10.2f %8d   %s\n" label
+      (Core.Metrics.messages m)
+      m.Core.Metrics.source_io lag.Core.Staleness.mean_lag
+      lag.Core.Staleness.max_lag
+      (Core.Consistency.strongest_label report)
+  in
+  Printf.printf "%-22s %9s %9s %10s %8s   %s\n" "policy" "messages" "IO"
+    "mean lag" "max lag" "verdict";
+  measure ~timing:Core.Timing.Immediate "immediate";
+  measure ~timing:(Core.Timing.Periodic 3) "periodic(3)";
+  measure ~timing:(Core.Timing.Periodic 8) "periodic(8)";
+  measure ~timing:Core.Timing.Deferred "deferred";
+  measure ~batch_size:4 ~timing:Core.Timing.Immediate "source batch(4)";
+  measure ~batch_size:8 ~timing:Core.Timing.Immediate "source batch(8)";
+  print_newline ();
+  print_endline
+    "Warehouse-side buffering (periodic/deferred) trades staleness for";
+  print_endline
+    "messages; source-side batching gets the same message savings almost";
+  print_endline
+    "for free, because the batch leaves the source already folded into one";
+  print_endline
+    "atomic event - the view is never behind by more than the in-flight";
+  print_endline "notification. Every policy stays strongly consistent."

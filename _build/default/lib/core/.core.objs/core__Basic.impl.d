@@ -1,0 +1,1 @@
+lib/core/basic.ml: Algorithm Mview Relational

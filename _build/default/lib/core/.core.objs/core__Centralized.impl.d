@@ -1,0 +1,1 @@
+lib/core/centralized.ml: List Mview Relational

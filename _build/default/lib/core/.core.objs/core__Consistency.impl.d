@@ -1,0 +1,1 @@
+lib/core/consistency.ml: Array Format List Relational

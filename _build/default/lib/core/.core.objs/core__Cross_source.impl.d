@@ -1,0 +1,1 @@
+lib/core/cross_source.ml: Algorithm Hashtbl List Mview Relational String

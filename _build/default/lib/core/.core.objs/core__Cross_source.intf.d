@@ -1,0 +1,1 @@
+lib/core/cross_source.mli: Algorithm Relational

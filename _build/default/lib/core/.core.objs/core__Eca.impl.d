@@ -1,0 +1,1 @@
+lib/core/eca.ml: Algorithm List Mview Relational

@@ -1,0 +1,1 @@
+lib/core/eca.mli: Algorithm Relational

@@ -1,0 +1,1 @@
+lib/core/eca_key.ml: Algorithm List Mview Printf Relational

@@ -1,0 +1,1 @@
+lib/core/eca_key.mli: Algorithm Relational

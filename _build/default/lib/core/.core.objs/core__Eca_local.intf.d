@@ -1,0 +1,1 @@
+lib/core/eca_local.mli: Algorithm Relational

@@ -1,0 +1,1 @@
+lib/core/federation.ml: Algorithm Array Consistency Format Hashtbl Int List Messaging Metrics Option Random Relational Source_site Storage Warehouse

@@ -1,0 +1,1 @@
+lib/core/federation.mli: Algorithm Consistency Metrics Relational Storage

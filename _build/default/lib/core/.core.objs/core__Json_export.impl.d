@@ -1,0 +1,1 @@
+lib/core/json_export.ml: Buffer Char Consistency List Metrics Printf Relational Runner Storage String Trace

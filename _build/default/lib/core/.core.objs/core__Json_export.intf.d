@@ -1,0 +1,1 @@
+lib/core/json_export.mli: Consistency Metrics Relational Runner Trace

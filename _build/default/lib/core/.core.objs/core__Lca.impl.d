@@ -1,0 +1,1 @@
+lib/core/lca.ml: Algorithm Hashtbl List Mview Option Relational

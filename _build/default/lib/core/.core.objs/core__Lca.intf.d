@@ -1,0 +1,1 @@
+lib/core/lca.mli: Algorithm Relational

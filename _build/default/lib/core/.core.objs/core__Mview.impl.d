@@ -1,0 +1,1 @@
+lib/core/mview.ml: Format List Option Relational

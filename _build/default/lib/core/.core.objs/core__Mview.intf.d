@@ -1,0 +1,1 @@
+lib/core/mview.mli: Relational

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Algorithm Basic Cross_source Eca Eca_key Eca_local Lca List Printf Rv Sc String

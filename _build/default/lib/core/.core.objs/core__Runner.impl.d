@@ -1,0 +1,1 @@
+lib/core/runner.ml: Algorithm Consistency List Logs Messaging Metrics Relational Scheduler Source_site Storage String Trace Warehouse

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Algorithm Consistency Metrics Relational Scheduler Source_site Storage Trace

@@ -1,0 +1,1 @@
+lib/core/rv.ml: Algorithm List Relational

@@ -1,0 +1,1 @@
+lib/core/rv.mli: Algorithm Relational

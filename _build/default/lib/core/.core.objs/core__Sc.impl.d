@@ -1,0 +1,1 @@
+lib/core/sc.ml: Algorithm Centralized Mview Relational

@@ -1,0 +1,1 @@
+lib/core/staleness.ml: Format List Relational Trace

@@ -1,0 +1,1 @@
+lib/core/staleness.mli: Format Trace

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Format List Printf Relational Storage String

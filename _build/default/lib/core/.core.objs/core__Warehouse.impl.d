@@ -1,0 +1,1 @@
+lib/core/warehouse.ml: Algorithm Array Hashtbl List Messaging Relational String

@@ -1,0 +1,1 @@
+lib/core/warehouse.mli: Algorithm Messaging Relational

@@ -1,0 +1,23 @@
+(** Algorithm 5.1 — the conventional incremental view-maintenance
+    algorithm of [BLT86], transplanted unchanged into the warehousing
+    environment.
+
+    On update [U] it sends [V⟨U⟩]; on answer [A] it immediately applies
+    [MV ← MV + A]. Correct in a centralized system, but in the decoupled
+    setting its queries are evaluated against {e later} source states, so
+    it is neither convergent nor weakly consistent — it reproduces the
+    anomalies of Examples 2 and 3. Kept as the baseline the paper's
+    examples are built on, and as the negative control for the
+    consistency test-suite. *)
+
+module R := Relational
+
+type t
+
+val create : Algorithm.Config.t -> t
+val mv : t -> R.Bag.t
+val quiescent : t -> bool
+val on_update : t -> R.Update.t -> Algorithm.outcome
+val on_answer : t -> id:int -> R.Bag.t -> Algorithm.outcome
+
+val instance : Algorithm.creator

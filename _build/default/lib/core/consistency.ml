@@ -1,0 +1,76 @@
+module R = Relational
+
+type report = {
+  convergent : bool;
+  weakly_consistent : bool;
+  consistent : bool;
+  strongly_consistent : bool;
+  complete : bool;
+}
+
+let last = function
+  | [] -> None
+  | l -> Some (List.nth l (List.length l - 1))
+
+let convergent ~source_states ~warehouse_states =
+  match last source_states, last warehouse_states with
+  | Some s, Some w -> R.Bag.equal s w
+  | _ -> false
+
+let weakly_consistent ~source_states ~warehouse_states =
+  List.for_all
+    (fun w -> List.exists (fun s -> R.Bag.equal s w) source_states)
+    warehouse_states
+
+(* Consistency: an order-preserving (non-decreasing) mapping from warehouse
+   states to value-equal source states. Greedy earliest-match is complete
+   for this "subsequence with repeats" problem: if any non-decreasing
+   assignment exists, mapping each warehouse state to the earliest source
+   state at or after the previous match also succeeds. *)
+let consistent ~source_states ~warehouse_states =
+  let src = Array.of_list source_states in
+  let n = Array.length src in
+  let rec go from = function
+    | [] -> true
+    | w :: rest ->
+      let rec find j =
+        if j >= n then None
+        else if R.Bag.equal src.(j) w then Some j
+        else find (j + 1)
+      in
+      (match find from with
+       | None -> false
+       | Some j -> go j rest)
+  in
+  go 0 warehouse_states
+
+let covers_all_source_states ~source_states ~warehouse_states =
+  List.for_all
+    (fun s -> List.exists (fun w -> R.Bag.equal w s) warehouse_states)
+    source_states
+
+let check ~source_states ~warehouse_states =
+  let convergent = convergent ~source_states ~warehouse_states in
+  let weakly_consistent = weakly_consistent ~source_states ~warehouse_states in
+  let consistent = consistent ~source_states ~warehouse_states in
+  let strongly_consistent = consistent && convergent in
+  let complete =
+    strongly_consistent
+    && covers_all_source_states ~source_states ~warehouse_states
+  in
+  { convergent; weakly_consistent; consistent; strongly_consistent; complete }
+
+let strongest_label r =
+  if r.complete then "complete"
+  else if r.strongly_consistent then "strongly consistent"
+  else if r.consistent then "consistent"
+  else if r.weakly_consistent && r.convergent then "weakly consistent + convergent"
+  else if r.weakly_consistent then "weakly consistent"
+  else if r.convergent then "convergent only"
+  else "inconsistent"
+
+let pp ppf r =
+  Format.fprintf ppf
+    "convergent=%b weak=%b consistent=%b strong=%b complete=%b (%s)"
+    r.convergent r.weakly_consistent r.consistent r.strongly_consistent
+    r.complete (strongest_label r)

@@ -1,0 +1,115 @@
+module R = Relational
+
+type t = {
+  view : R.Viewdef.t;
+  mutable mv : R.Bag.t;
+  mutable collect : R.Bag.t;
+  mutable uqs : (int * R.Query.t) list;  (* oldest first *)
+  mutable next_id : int;
+  local_literal_eval : bool;
+}
+
+let create (cfg : Algorithm.Config.t) =
+  {
+    view = cfg.view;
+    mv = cfg.init_mv;
+    collect = R.Bag.empty;
+    uqs = [];
+    next_id = 0;
+    local_literal_eval = cfg.Algorithm.Config.local_literal_eval;
+  }
+
+(* Split off the literal-only terms when local evaluation is enabled;
+   otherwise ship the whole query, as a literal reading of Algorithm 5.2
+   would. *)
+let split t q =
+  if t.local_literal_eval then R.Query.split_local (R.Query.simplify q)
+  else (R.Query.empty, R.Query.simplify q)
+
+let mv t = t.mv
+
+let uqs t = t.uqs
+
+let quiescent t = t.uqs = [] && R.Bag.is_empty t.collect
+
+let replace_mv t mv =
+  if not (quiescent t) then
+    invalid_arg "Eca.replace_mv: instance has pending work";
+  t.mv <- mv
+
+(* Install COLLECT into the view once no query is pending — installing
+   earlier could expose an invalid intermediate state (the algorithm would
+   still converge, but stop being consistent; see Section 5.2). *)
+let maybe_install t =
+  if t.uqs = [] && not (R.Bag.is_empty t.collect) then begin
+    t.mv <- Mview.apply_delta t.mv t.collect;
+    t.collect <- R.Bag.empty;
+    Algorithm.install t.mv
+  end
+  else Algorithm.nothing
+
+let on_update t (u : R.Update.t) =
+  (* Q_i = V⟨U_i⟩ − Σ_{Q_j ∈ UQS} Q_j⟨U_i⟩ *)
+  let q =
+    List.fold_left
+      (fun acc (_, qj) -> R.Query.minus acc (R.Query.subst qj u))
+      (R.Viewdef.delta t.view u)
+      t.uqs
+  in
+  (* Terms whose slots are all substituted tuples need no base data: they
+     are evaluated here and never shipped (Appendix D's "no compensating
+     query needs to be sent since all data needed is already at the
+     warehouse"); exact T/-T pairs cancel outright. *)
+  let local, remote = split t q in
+  t.collect <- R.Bag.plus t.collect (R.Eval.literal_query local);
+  if R.Query.is_empty remote then maybe_install t
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    t.uqs <- t.uqs @ [ (id, remote) ];
+    Algorithm.send_one id remote
+  end
+
+let on_answer t ~id answer =
+  t.uqs <- List.filter (fun (i, _) -> i <> id) t.uqs;
+  t.collect <- R.Bag.plus t.collect answer;
+  maybe_install t
+
+(* Batched updates (Section 7): the whole batch becomes one query under
+   one id. Each update's delta compensates both the pending queries and
+   the remote terms already accumulated for this batch — all of which the
+   source will evaluate after the entire batch has been applied. *)
+let on_batch t us =
+  let batch_remote = ref R.Query.empty in
+  List.iter
+    (fun u ->
+      let q =
+        List.fold_left
+          (fun acc (_, qj) -> R.Query.minus acc (R.Query.subst qj u))
+          (R.Viewdef.delta t.view u)
+          t.uqs
+      in
+      let q = R.Query.minus q (R.Query.subst !batch_remote u) in
+      let local, remote = split t q in
+      t.collect <- R.Bag.plus t.collect (R.Eval.literal_query local);
+      batch_remote := R.Query.plus !batch_remote remote)
+    us;
+  if R.Query.is_empty !batch_remote then maybe_install t
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    t.uqs <- t.uqs @ [ (id, !batch_remote) ];
+    Algorithm.send_one id !batch_remote
+  end
+
+let instance cfg =
+  let t = create cfg in
+  {
+    Algorithm.name = "eca";
+    on_update = on_update t;
+    on_batch = on_batch t;
+    on_answer = (fun ~id a -> on_answer t ~id a);
+    on_quiesce = (fun () -> Algorithm.nothing);
+    mv = (fun () -> mv t);
+    quiescent = (fun () -> quiescent t);
+  }

@@ -1,0 +1,46 @@
+(** The Eager Compensating Algorithm (Algorithm 5.2) — the paper's central
+    contribution.
+
+    When an update [U_i] arrives while queries are pending, those queries
+    will be evaluated at the source {e after} [U_i] and therefore see its
+    effect. ECA anticipates this: the query for [U_i] is
+
+    {v Q_i = V⟨U_i⟩ − Σ_{Q_j ∈ UQS} Q_j⟨U_i⟩ v}
+
+    — the incremental-maintenance query minus one compensating query per
+    pending query, offsetting exactly what those queries will wrongly see.
+    Answers accumulate in [COLLECT] and install into the view only at
+    quiescence ([UQS = ∅]); installing earlier would expose invalid
+    intermediate states (convergent but not consistent).
+
+    Terms whose relation slots are all substituted tuples are evaluated
+    locally and not shipped, as Appendix D prescribes. When updates are
+    spaced widely enough that no query is pending, ECA degenerates to
+    Algorithm 5.1 — compensation costs arise only under contention.
+
+    ECA is strongly consistent (Theorem B.1); the property-based test
+    suite re-validates this over randomized update streams and schedules. *)
+
+module R := Relational
+
+type t
+
+val create : Algorithm.Config.t -> t
+val mv : t -> R.Bag.t
+
+val uqs : t -> (int * R.Query.t) list
+(** The unanswered query set, oldest first (exposed for tests and for the
+    walkthrough example). *)
+
+val quiescent : t -> bool
+(** No pending query and no uninstalled [COLLECT] delta. *)
+
+val replace_mv : t -> R.Bag.t -> unit
+(** Overwrite the view of a quiescent instance — used by ECAL to apply
+    locally handled updates.
+    @raise Invalid_argument when work is pending. *)
+
+val on_update : t -> R.Update.t -> Algorithm.outcome
+val on_answer : t -> id:int -> R.Bag.t -> Algorithm.outcome
+
+val instance : Algorithm.creator

@@ -1,0 +1,64 @@
+module R = Relational
+
+type t = {
+  eca : Eca.t;
+  view : R.View.t option;  (* Some: simple view, local deletes possible *)
+}
+
+(* An update is autonomously computable at the warehouse when it is a
+   deletion whose relation has its declared key projected by the view
+   ([TB88]-style self-maintainability; single-relation views are already
+   handled without base data by ECA's literal-term evaluation). *)
+let is_local (view : R.View.t) (u : R.Update.t) =
+  match u.R.Update.kind with
+  | R.Update.Insert -> false
+  | R.Update.Delete -> Mview.covers_key view u.R.Update.rel
+
+let create (cfg : Algorithm.Config.t) =
+  (* the compensating fallback works on any viewdef; local key-deletes
+     need a simple SPJ view, so compound views simply never go local *)
+  {
+    eca = Eca.create cfg;
+    view = R.Viewdef.as_simple cfg.view;
+  }
+
+let mv t = Eca.mv t.eca
+
+let quiescent t = Eca.quiescent t.eca
+
+let on_update t (u : R.Update.t) =
+  match t.view with
+  | None -> Eca.on_update t.eca u
+  | Some view ->
+  if not (R.View.mentions view u.R.Update.rel) then Algorithm.nothing
+  else if is_local view u && Eca.quiescent t.eca then begin
+    (* The conservative ordering protocol: local processing is safe only
+       when no query is pending — otherwise pending answers and future
+       compensations would have to be split around it (the bookkeeping the
+       paper leaves as future work). With pending work the update falls
+       back to the compensating path below. *)
+    let mv' =
+      Mview.key_delete ~view ~rel:u.R.Update.rel u.R.Update.tuple
+        (Eca.mv t.eca)
+    in
+    if R.Bag.equal mv' (Eca.mv t.eca) then Algorithm.nothing
+    else begin
+      Eca.replace_mv t.eca mv';
+      Algorithm.install mv'
+    end
+  end
+  else Eca.on_update t.eca u
+
+let on_answer t ~id answer = Eca.on_answer t.eca ~id answer
+
+let instance cfg =
+  let t = create cfg in
+  {
+    Algorithm.name = "eca-local";
+    on_update = on_update t;
+    on_batch = (fun us -> Algorithm.sequential_batch (on_update t) us);
+    on_answer = (fun ~id a -> on_answer t ~id a);
+    on_quiesce = (fun () -> Algorithm.nothing);
+    mv = (fun () -> mv t);
+    quiescent = (fun () -> quiescent t);
+  }

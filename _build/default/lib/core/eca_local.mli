@@ -1,0 +1,34 @@
+(** The ECA-Local algorithm (Section 5.5): ECA's compensating machinery
+    combined with local handling of autonomously computable updates.
+
+    Classification: a deletion whose relation has its declared key fully
+    projected by the view is autonomously computable — the projected key
+    pins down exactly the view tuples derived from the deleted base tuple.
+    (Insertions into single-relation views are already local under ECA,
+    because [V⟨U⟩] has no base-relation slot left.)
+
+    Ordering protocol: the paper observes that interleaving local updates
+    with in-flight compensated queries requires buffering and splitting
+    query results, and leaves the details as future work. We implement the
+    conservative, provably safe variant: a local update is applied
+    directly to the view {e only when the instance is quiescent}
+    (UQS = ∅ and COLLECT empty); under contention it falls back to the
+    full ECA path. This preserves ECA's strong consistency while still
+    eliminating the source round-trip in the common low-contention regime
+    — the regime where, per Section 5.6, compensation never arises
+    anyway. *)
+
+module R := Relational
+
+type t
+
+val is_local : R.View.t -> R.Update.t -> bool
+(** The autonomously-computable classification described above. *)
+
+val create : Algorithm.Config.t -> t
+val mv : t -> R.Bag.t
+val quiescent : t -> bool
+val on_update : t -> R.Update.t -> Algorithm.outcome
+val on_answer : t -> id:int -> R.Bag.t -> Algorithm.outcome
+
+val instance : Algorithm.creator

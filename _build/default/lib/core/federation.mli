@@ -1,0 +1,55 @@
+(** A warehouse over {e several} autonomous sources — the first adaptation
+    discussed in Section 7: when every materialized view ranges over the
+    relations of a single source, "ECA is simply applied to each view
+    separately", and that is exactly what this module demonstrates.
+
+    Each source owns a disjoint set of relations, executes its own update
+    stream, and is reached over its own pair of FIFO channels. Views are
+    bound at creation time to the unique source owning all their
+    relations; views spanning several sources are rejected — coordinating
+    fragmented queries and their compensations across sources is the open
+    problem the paper defers (it became the Strobe family of algorithms),
+    and we keep the same boundary — unless the caller opts into the
+    naive {!Cross_source} fetch-join strategy with
+    [~allow_cross_source:true], whose whole purpose is to demonstrate the
+    anomalies that make the problem hard (cross-source views are judged
+    against the merged global state).
+
+    Consistency is judged per view against its owning source's state
+    sequence; interleavings across sources are controlled by the policy. *)
+
+module R := Relational
+
+exception Federation_error of string
+
+type policy =
+  | Drain_first
+      (** deliver and answer everything in flight before the next update *)
+  | Updates_first
+      (** push every update into the system before answering queries —
+          maximal cross-update contention at every site *)
+  | Random of int  (** uniform among enabled events, seeded *)
+
+type result = {
+  reports : (string * Consistency.report) list;
+  final_mvs : (string * R.Bag.t) list;
+  final_source_views : (string * R.Bag.t) list;
+  metrics : Metrics.t;
+}
+
+val run :
+  ?policy:policy ->
+  ?allow_cross_source:bool ->
+  ?max_steps:int ->
+  creator:Algorithm.creator ->
+  sources:(string * Storage.Catalog.t option * R.Db.t) list ->
+  views:R.View.t list ->
+  updates:R.Update.t list ->
+  unit ->
+  result
+(** [run ~creator ~sources ~views ~updates ()] replays the update stream,
+    routing each update to the source owning its relation, and returns
+    per-view consistency verdicts.
+    @raise Federation_error when a relation is owned by two sources, a
+    view spans several sources, or an update targets an unowned
+    relation. *)

@@ -1,0 +1,131 @@
+module R = Relational
+
+(* Minimal JSON emission — just enough to ship run results to external
+   tooling without new dependencies. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+
+let obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+
+let arr items = "[" ^ String.concat "," items ^ "]"
+
+let value = function
+  | R.Value.Int n -> string_of_int n
+  | R.Value.Float f -> Printf.sprintf "%.17g" f
+  | R.Value.Bool b -> string_of_bool b
+  | R.Value.Str s -> str s
+
+let tuple t = arr (List.map value (R.Tuple.to_list t))
+
+let bag b =
+  arr
+    (List.map
+       (fun (t, n) -> obj [ ("tuple", tuple t); ("count", string_of_int n) ])
+       (R.Bag.to_counted_list b))
+
+let update (u : R.Update.t) =
+  obj
+    [
+      ("seq", string_of_int u.R.Update.seq);
+      ( "kind",
+        str (match u.R.Update.kind with
+             | R.Update.Insert -> "insert"
+             | R.Update.Delete -> "delete") );
+      ("relation", str u.R.Update.rel);
+      ("tuple", tuple u.R.Update.tuple);
+    ]
+
+let metrics (m : Metrics.t) =
+  obj
+    [
+      ("updates", string_of_int m.Metrics.updates);
+      ("messages", string_of_int (Metrics.messages m));
+      ("queries_sent", string_of_int m.Metrics.queries_sent);
+      ("answers_received", string_of_int m.Metrics.answers_received);
+      ("answer_tuples", string_of_int m.Metrics.answer_tuples);
+      ("answer_bytes", string_of_int m.Metrics.answer_bytes);
+      ("query_bytes", string_of_int m.Metrics.query_bytes);
+      ("source_io", string_of_int m.Metrics.source_io);
+      ("steps", string_of_int m.Metrics.steps);
+    ]
+
+let report (r : Consistency.report) =
+  obj
+    [
+      ("convergent", string_of_bool r.Consistency.convergent);
+      ("weakly_consistent", string_of_bool r.Consistency.weakly_consistent);
+      ("consistent", string_of_bool r.Consistency.consistent);
+      ("strongly_consistent", string_of_bool r.Consistency.strongly_consistent);
+      ("complete", string_of_bool r.Consistency.complete);
+      ("strongest", str (Consistency.strongest_label r));
+    ]
+
+let trace_entry = function
+  | Trace.Source_update { updates; _ } ->
+    obj [ ("event", str "source_update"); ("updates", arr (List.map update updates)) ]
+  | Trace.Source_answer { gid; answer; cost } ->
+    obj
+      [
+        ("event", str "source_answer");
+        ("query", string_of_int gid);
+        ("tuples", string_of_int (R.Bag.cardinality answer));
+        ("io", string_of_int cost.Storage.Cost.io);
+      ]
+  | Trace.Warehouse_note { updates; queries; installs } ->
+    obj
+      [
+        ("event", str "warehouse_update");
+        ("updates", arr (List.map update updates));
+        ("queries_sent", arr (List.map (fun (gid, _) -> string_of_int gid) queries));
+        ("installs", string_of_int (List.length installs));
+      ]
+  | Trace.Warehouse_answer { gid; installs } ->
+    obj
+      [
+        ("event", str "warehouse_answer");
+        ("query", string_of_int gid);
+        ("installs", string_of_int (List.length installs));
+      ]
+  | Trace.Quiesce_probe { queries; _ } ->
+    obj
+      [
+        ("event", str "quiesce");
+        ("queries_sent", arr (List.map (fun (gid, _) -> string_of_int gid) queries));
+      ]
+
+let result (r : Runner.result) =
+  obj
+    [
+      ("metrics", metrics r.Runner.metrics);
+      ( "views",
+        obj
+          (List.map
+             (fun (name, mv) ->
+               ( name,
+                 obj
+                   [
+                     ("final", bag mv);
+                     ( "source_truth",
+                       bag (List.assoc name r.Runner.final_source_views) );
+                     ("report", report (List.assoc name r.Runner.reports));
+                   ] ))
+             r.Runner.final_mvs) );
+      ("trace", arr (List.map trace_entry (Trace.entries r.Runner.trace)));
+    ]

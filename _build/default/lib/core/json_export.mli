@@ -1,0 +1,23 @@
+(** JSON serialization of run results (metrics, per-view verdicts, event
+    traces) for external analysis tools — hand-rolled, no dependencies.
+    The [vmw run --json] flag emits {!result}. *)
+
+module R := Relational
+
+val str : string -> string
+(** A JSON string literal with full escaping. *)
+
+val obj : (string * string) list -> string
+val arr : string list -> string
+
+val value : R.Value.t -> string
+val tuple : R.Tuple.t -> string
+val bag : R.Bag.t -> string
+val update : R.Update.t -> string
+val metrics : Metrics.t -> string
+val report : Consistency.report -> string
+val trace_entry : Trace.entry -> string
+
+val result : Runner.result -> string
+(** The whole run as one JSON object:
+    [{"metrics": …, "views": {…}, "trace": […]}]. *)

@@ -1,0 +1,39 @@
+(** The Lazy Compensating Algorithm (sketched in Section 5.3): like ECA,
+    but changes are applied to the view {e per update, in update order},
+    which makes every source state visible at the warehouse —
+    completeness, the strongest level of Section 3.1.
+
+    Where ECA folds compensations into a single query and pools all
+    answers in one [COLLECT], LCA keeps the pieces separate:
+
+    - on update [U_i] it sends the base query [V⟨U_i⟩] tagged with [i],
+      plus, for every piece [p] still pending, a compensation [−p⟨U_i⟩]
+      tagged with {e p's own target} (the update whose delta [p] feeds);
+    - a delta closes when no piece tagged with it remains unanswered — by
+      FIFO delivery, later updates can only add compensations to a delta
+      while one of its pieces is pending, so closure is stable;
+    - closed deltas install strictly in update order; an answer that
+      unblocks several buffered deltas installs them as successive view
+      states within one atomic event.
+
+    LCA trades messages for completeness (each compensation is a separate
+    round-trip); the paper expects ECA to be preferable in practice, and
+    the benches quantify that gap. *)
+
+module R := Relational
+
+type t
+
+val create : Algorithm.Config.t -> t
+val mv : t -> R.Bag.t
+val quiescent : t -> bool
+val on_update : t -> R.Update.t -> Algorithm.outcome
+
+val on_batch : t -> R.Update.t list -> Algorithm.outcome
+(** One delta slot for the whole batch; in-batch queries are merged per
+    target delta, so completeness is with respect to the observable
+    batch-boundary source states. *)
+
+val on_answer : t -> id:int -> R.Bag.t -> Algorithm.outcome
+
+val instance : Algorithm.creator

@@ -1,0 +1,39 @@
+type t = {
+  updates : int;
+  queries_sent : int;
+  answers_received : int;
+  answer_tuples : int;
+  answer_bytes : int;
+  query_bytes : int;
+  source_io : int;
+  steps : int;
+}
+
+let zero =
+  {
+    updates = 0;
+    queries_sent = 0;
+    answers_received = 0;
+    answer_tuples = 0;
+    answer_bytes = 0;
+    query_bytes = 0;
+    source_io = 0;
+    steps = 0;
+  }
+
+(* The paper's M metric: query and answer messages only — update
+   notifications are identical across algorithms and excluded. *)
+let messages t = t.queries_sent + t.answers_received
+
+(* The paper's B metric expressed in tuples: Section 6.2 charges S bytes
+   per answer tuple, so B = S * answer_tuples for a given parameter S. *)
+let transfer_tuples t = t.answer_tuples
+
+let bytes_for ~s t = s * t.answer_tuples
+
+let pp ppf t =
+  Format.fprintf ppf
+    "updates=%d M=%d (q=%d a=%d) answer_tuples=%d answer_bytes=%d \
+     query_bytes=%d IO=%d steps=%d"
+    t.updates (messages t) t.queries_sent t.answers_received t.answer_tuples
+    t.answer_bytes t.query_bytes t.source_io t.steps

@@ -1,0 +1,28 @@
+(** Run-level counters for the three cost factors of Section 6: messages
+    (M), data transferred (B) and source I/O (IO). *)
+
+type t = {
+  updates : int;  (** source updates executed *)
+  queries_sent : int;  (** query messages, warehouse → source *)
+  answers_received : int;  (** answer messages, source → warehouse *)
+  answer_tuples : int;
+      (** signed tuple copies across all answers, counted per term before
+          cross-term cancellation — the unit the paper prices at S bytes *)
+  answer_bytes : int;  (** actual value bytes of the answers *)
+  query_bytes : int;  (** wire size of query messages *)
+  source_io : int;  (** I/Os charged by the source's planner *)
+  steps : int;  (** simulation events executed *)
+}
+
+val zero : t
+
+val messages : t -> int
+(** The paper's M: queries + answers (notifications excluded, as in
+    Section 6.1). *)
+
+val transfer_tuples : t -> int
+
+val bytes_for : s:int -> t -> int
+(** The paper's B for a given per-tuple size [S]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+module R = Relational
+
+exception Mview_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Mview_error s)) fmt
+
+let apply_delta mv delta = R.Bag.plus mv delta
+
+(* Output positions of [rel]'s declared key attributes within the view's
+   projection, when all of them are projected. *)
+let key_output_positions (view : R.View.t) rel =
+  match R.View.source_schema view rel with
+  | None -> None
+  | Some schema ->
+    if schema.R.Schema.key = [] then None
+    else
+      let positions =
+        List.map
+          (fun k -> R.View.proj_position view (R.Attr.qualified rel k))
+          schema.R.Schema.key
+      in
+      if List.for_all Option.is_some positions then
+        Some (schema, List.map Option.get positions)
+      else None
+
+let covers_key view rel = Option.is_some (key_output_positions view rel)
+
+(* key-delete(MV, r, t) (Section 5.4): remove from the view every tuple
+   whose columns at r's projected key positions equal the key values of
+   the deleted base tuple t. The key uniquely identifies t within r, so
+   exactly t's derivations are removed — full key coverage of the other
+   relations is not needed for this operation, only for ECAK's insert
+   handling. *)
+let key_delete ~(view : R.View.t) ~rel (t : R.Tuple.t) mv =
+  match key_output_positions view rel with
+  | None ->
+    error "key_delete: view %s does not project the key of %s"
+      view.R.View.name rel
+  | Some (schema, out_positions) ->
+    let key_positions = R.Schema.key_positions schema in
+    let key_values = List.map (R.Tuple.get t) key_positions in
+    let matches vt =
+      List.for_all2
+        (fun out_pos kv -> R.Value.equal (R.Tuple.get vt out_pos) kv)
+        out_positions key_values
+    in
+    R.Bag.filter (fun vt -> not (matches vt)) mv
+
+(* Add an answer's tuples to a working copy with ECAK's duplicate
+   elimination: a view that projects all keys is a set, so a tuple already
+   present must stem from an anomaly and is dropped. *)
+let add_dedup collect answer =
+  R.Bag.fold
+    (fun t n acc ->
+      if n > 0 && not (R.Bag.mem t acc) then R.Bag.add t acc else acc)
+    answer collect
+
+let check_no_negative ~context mv =
+  if R.Bag.has_negative mv then
+    error "%s: materialized view holds negatively counted tuples (%s)"
+      context (R.Bag.to_string mv)

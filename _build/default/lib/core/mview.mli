@@ -1,0 +1,31 @@
+(** Materialized-view state operations shared by the algorithms.
+
+    A materialized view is a non-negative {!Relational.Bag.t} (duplicates
+    retained, as the paper requires for incremental deletions). *)
+
+module R := Relational
+
+exception Mview_error of string
+
+val apply_delta : R.Bag.t -> R.Bag.t -> R.Bag.t
+(** [MV + Δ] — signed addition; deletions arrive as negative counts. *)
+
+val covers_key : R.View.t -> string -> bool
+(** Whether the view projects every declared key attribute of [rel] — the
+    per-relation condition under which deletions on [rel] are autonomously
+    computable (used by ECAL; ECAK requires it for every relation). *)
+
+val key_delete : view:R.View.t -> rel:string -> R.Tuple.t -> R.Bag.t -> R.Bag.t
+(** The ECAK [key-delete] operation (Section 5.4): drop every view tuple
+    whose projected key of [rel] equals the deleted tuple's key. Sound
+    whenever [covers_key view rel]: the key identifies the deleted base
+    tuple uniquely, so exactly its derivations are removed.
+    @raise Mview_error if the view does not project [rel]'s declared key. *)
+
+val add_dedup : R.Bag.t -> R.Bag.t -> R.Bag.t
+(** ECAK's answer accumulation: add each positively signed answer tuple
+    unless already present (duplicates witness anomalies and are dropped). *)
+
+val check_no_negative : context:string -> R.Bag.t -> unit
+(** @raise Mview_error when a view state carries negative counts — an
+    over-deletion anomaly that correct algorithms never produce. *)

@@ -1,0 +1,15 @@
+(** Registry of the view-maintenance algorithms, keyed by the names the
+    CLI, the benches and the test harness use. *)
+
+type entry = {
+  key : string;
+  description : string;
+  creator : Algorithm.creator;
+}
+
+val entries : entry list
+val names : string list
+val find : string -> entry option
+
+val creator_exn : string -> Algorithm.creator
+(** @raise Invalid_argument for unknown names. *)

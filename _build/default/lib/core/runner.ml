@@ -1,0 +1,267 @@
+module R = Relational
+
+exception Run_error of string
+
+type result = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+  reports : (string * Consistency.report) list;
+  final_mvs : (string * R.Bag.t) list;
+  final_source_views : (string * R.Bag.t) list;
+  negative_installs : (string * R.Bag.t) list;
+  source : Source_site.Source.t;
+}
+
+let src = Logs.Src.create "vmw.runner" ~doc:"warehouse simulation runner"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let snapshot_defs views db =
+  List.map
+    (fun (v : R.Viewdef.t) -> (v.R.Viewdef.name, R.Viewdef.eval db v))
+    views
+
+let snapshot_views views db =
+  snapshot_defs (List.map R.Viewdef.simple views) db
+
+let run_defs ?(catalog = Storage.Catalog.make ())
+    ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
+    ?local_literal_eval ?unordered_delivery ?(max_steps = 2_000_000) ~creator
+    ~views ~db ~updates () =
+  if batch_size < 1 then raise (Run_error "batch_size must be at least 1");
+  let configs =
+    List.map
+      (fun view ->
+        Algorithm.Config.of_db ~rv_period ?local_literal_eval view db)
+      views
+  in
+  let warehouse = Warehouse.of_creator ~creator ~configs in
+  let source = Source_site.Source.create ~catalog db in
+  let net = Messaging.Network.create ?unordered_seed:unordered_delivery () in
+  let sched = Scheduler.create schedule in
+  let initial_views = snapshot_defs views db in
+  let trace = Trace.create ~initial_views in
+  let pending_updates = ref updates in
+  let next_seq = ref 0 in
+  let m = ref Metrics.zero in
+  let bump f = m := f !m in
+  (* An installed view state with net-negative counts witnesses an
+     over-deletion anomaly; correct algorithms never produce one. *)
+  let negative_installs = ref [] in
+  let watch_installs installs =
+    List.iter
+      (fun (name, states) ->
+        List.iter
+          (fun mv ->
+            if R.Bag.has_negative mv then begin
+              Log.warn (fun f ->
+                  f "view %s installed a negative state: %s" name
+                    (R.Bag.to_string mv));
+              negative_installs := (name, mv) :: !negative_installs
+            end)
+          states)
+      installs
+  in
+  let ship_queries queries =
+    List.iter
+      (fun (gid, q) ->
+        let msg = Messaging.Message.Query { id = gid; query = q } in
+        Log.debug (fun f -> f "ship %a" Messaging.Message.pp msg);
+        bump (fun m ->
+            {
+              m with
+              Metrics.queries_sent = m.Metrics.queries_sent + 1;
+              query_bytes = m.Metrics.query_bytes + Messaging.Message.byte_size msg;
+            });
+        Messaging.Network.send net Messaging.Network.To_source msg)
+      queries
+  in
+  let apply_update () =
+    (* One atomic source event: execute up to [batch_size] updates, then
+       notify the warehouse once. *)
+    let rec take n acc =
+      if n = 0 then List.rev acc
+      else
+        match !pending_updates with
+        | [] -> List.rev acc
+        | u :: rest ->
+          pending_updates := rest;
+          incr next_seq;
+          let u =
+            if u.R.Update.seq = 0 then R.Update.with_seq !next_seq u else u
+          in
+          take (n - 1) (u :: acc)
+    in
+    match take batch_size [] with
+    | [] -> raise (Run_error "apply_update with empty workload")
+    | batch ->
+      List.iter (Source_site.Source.execute_update source) batch;
+      let note =
+        match batch with
+        | [ u ] -> Messaging.Message.Update_note u
+        | us -> Messaging.Message.Batch_note us
+      in
+      Messaging.Network.send net Messaging.Network.To_warehouse note;
+      bump (fun m ->
+          { m with Metrics.updates = m.Metrics.updates + List.length batch });
+      Trace.record trace
+        (Trace.Source_update
+           {
+             updates = batch;
+             source_views = snapshot_defs views (Source_site.Source.db source);
+           })
+  in
+  let source_receive () =
+    match Messaging.Network.receive net Messaging.Network.To_source with
+    | None -> raise (Run_error "source_receive on empty channel")
+    | Some (Messaging.Message.Query { id; query }) ->
+      let answer, cost = Source_site.Source.answer_query source ~id query in
+      bump (fun m ->
+          {
+            m with
+            Metrics.source_io = m.Metrics.source_io + cost.Storage.Cost.io;
+          });
+      Messaging.Network.send net Messaging.Network.To_warehouse
+        (Messaging.Message.Answer { id; answer; cost });
+      Trace.record trace (Trace.Source_answer { gid = id; answer; cost })
+    | Some
+        ( Messaging.Message.Update_note _ | Messaging.Message.Batch_note _
+        | Messaging.Message.Answer _ ) ->
+      raise (Run_error "source received a non-query message")
+  in
+  let warehouse_receive () =
+    match Messaging.Network.receive net Messaging.Network.To_warehouse with
+    | None -> raise (Run_error "warehouse_receive on empty channel")
+    | Some (Messaging.Message.Update_note u as msg) ->
+      let reaction = Warehouse.handle_message warehouse msg in
+      ship_queries reaction.Warehouse.queries;
+      watch_installs reaction.Warehouse.installs;
+      Trace.record trace
+        (Trace.Warehouse_note
+           {
+             updates = [ u ];
+             queries = reaction.Warehouse.queries;
+             installs = reaction.Warehouse.installs;
+           })
+    | Some (Messaging.Message.Batch_note us as msg) ->
+      let reaction = Warehouse.handle_message warehouse msg in
+      ship_queries reaction.Warehouse.queries;
+      watch_installs reaction.Warehouse.installs;
+      Trace.record trace
+        (Trace.Warehouse_note
+           {
+             updates = us;
+             queries = reaction.Warehouse.queries;
+             installs = reaction.Warehouse.installs;
+           })
+    | Some (Messaging.Message.Answer { id; answer; cost } as msg) ->
+      bump (fun m ->
+          {
+            m with
+            Metrics.answers_received = m.Metrics.answers_received + 1;
+            answer_tuples =
+              m.Metrics.answer_tuples + cost.Storage.Cost.answer_tuples;
+            answer_bytes =
+              m.Metrics.answer_bytes + cost.Storage.Cost.answer_bytes;
+          });
+      ignore answer;
+      let reaction = Warehouse.handle_message warehouse msg in
+      ship_queries reaction.Warehouse.queries;
+      watch_installs reaction.Warehouse.installs;
+      Trace.record trace
+        (Trace.Warehouse_answer
+           { gid = id; installs = reaction.Warehouse.installs })
+    | Some (Messaging.Message.Query _) ->
+      raise (Run_error "warehouse received a query message")
+  in
+  let enabled () =
+    {
+      Scheduler.can_update = !pending_updates <> [];
+      can_source =
+        not
+          (Messaging.Channel.is_empty
+             (Messaging.Network.channel net Messaging.Network.To_source));
+      can_warehouse =
+        not
+          (Messaging.Channel.is_empty
+             (Messaging.Network.channel net Messaging.Network.To_warehouse));
+    }
+  in
+  let rec loop () =
+    bump (fun m -> { m with Metrics.steps = m.Metrics.steps + 1 });
+    if (!m).Metrics.steps > max_steps then
+      raise (Run_error "simulation exceeded max_steps");
+    match Scheduler.pick sched (enabled ()) with
+    | Some Scheduler.Apply_update ->
+      apply_update ();
+      loop ()
+    | Some Scheduler.Source_receive ->
+      source_receive ();
+      loop ()
+    | Some Scheduler.Warehouse_receive ->
+      warehouse_receive ();
+      loop ()
+    | None ->
+      let reaction = Warehouse.quiesce warehouse in
+      ship_queries reaction.Warehouse.queries;
+      watch_installs reaction.Warehouse.installs;
+      if
+        reaction.Warehouse.queries <> []
+        || reaction.Warehouse.installs <> []
+      then begin
+        Trace.record trace
+          (Trace.Quiesce_probe
+             {
+               queries = reaction.Warehouse.queries;
+               installs = reaction.Warehouse.installs;
+             });
+        loop ()
+      end
+  in
+  loop ();
+  let reports =
+    List.map
+      (fun (v : R.Viewdef.t) ->
+        let name = v.R.Viewdef.name in
+        ( name,
+          Consistency.check
+            ~source_states:(Trace.source_states trace name)
+            ~warehouse_states:(Trace.warehouse_states trace name) ))
+      views
+  in
+  {
+    trace;
+    metrics = !m;
+    reports;
+    final_mvs = Warehouse.mvs warehouse;
+    final_source_views = snapshot_defs views (Source_site.Source.db source);
+    negative_installs = List.rev !negative_installs;
+    source;
+  }
+
+let run ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
+    ?unordered_delivery ?max_steps ~creator ~views ~db ~updates () =
+  run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
+    ?unordered_delivery ?max_steps ~creator
+    ~views:(List.map R.Viewdef.simple views)
+    ~db ~updates ()
+
+(* Mixed warehouses: one algorithm per view. Implemented by dispatching in
+   the creator on the view's name — creators receive the full config, so
+   the per-view choice is total and checked up front. *)
+let run_mixed ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
+    ?unordered_delivery ?max_steps ~assignments ~db ~updates () =
+  let creator (cfg : Algorithm.Config.t) =
+    let name = cfg.Algorithm.Config.view.R.Viewdef.name in
+    match
+      List.find_opt
+        (fun (v, _) -> String.equal v.R.Viewdef.name name)
+        assignments
+    with
+    | Some (_, c) -> c cfg
+    | None -> raise (Run_error ("no algorithm assigned to view " ^ name))
+  in
+  run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
+    ?unordered_delivery ?max_steps ~creator
+    ~views:(List.map fst assignments)
+    ~db ~updates ()

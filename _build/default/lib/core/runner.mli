@@ -1,0 +1,91 @@
+(** The simulation driver: wires one source, the FIFO network and a
+    warehouse together, replays an update stream under a chosen
+    interleaving policy, and returns the trace, the Section-6 metrics and
+    the Section-3 consistency verdicts.
+
+    Every iteration executes exactly one atomic event — a source update
+    (plus its notification), a query answered at the source, or one
+    message processed at the warehouse — so the recorded state sequences
+    are exactly the paper's event semantics. When nothing is enabled the
+    warehouse gets a quiescence probe (this is where RV issues its final
+    recompute); the run ends when the probe produces no new work. *)
+
+module R := Relational
+
+exception Run_error of string
+
+type result = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+  reports : (string * Consistency.report) list;  (** per view *)
+  final_mvs : (string * R.Bag.t) list;
+  final_source_views : (string * R.Bag.t) list;
+  negative_installs : (string * R.Bag.t) list;
+      (** installed view states carrying net-negative counts — witnesses
+          of over-deletion anomalies; always empty for the correct
+          algorithms *)
+  source : Source_site.Source.t;
+}
+
+val run :
+  ?catalog:Storage.Catalog.t ->
+  ?schedule:Scheduler.policy ->
+  ?rv_period:int ->
+  ?batch_size:int ->
+  ?local_literal_eval:bool ->
+  ?unordered_delivery:int ->
+  ?max_steps:int ->
+  creator:Algorithm.creator ->
+  views:R.View.t list ->
+  db:R.Db.t ->
+  updates:R.Update.t list ->
+  unit ->
+  result
+
+val run_defs :
+  ?catalog:Storage.Catalog.t ->
+  ?schedule:Scheduler.policy ->
+  ?rv_period:int ->
+  ?batch_size:int ->
+  ?local_literal_eval:bool ->
+  ?unordered_delivery:int ->
+  ?max_steps:int ->
+  creator:Algorithm.creator ->
+  views:R.Viewdef.t list ->
+  db:R.Db.t ->
+  updates:R.Update.t list ->
+  unit ->
+  result
+(** Initial materialized views are computed from [db] (the paper's
+    "initially correct" assumption). Updates with [seq = 0] are numbered
+    in stream order.
+
+    With [unordered_delivery] set, the network violates the paper's
+    in-order delivery assumption on purpose (seeded) — the fault-injection
+    mode the assumption-necessity tests use.
+
+    With [batch_size > 1] (the batched-update extension of Section 7),
+    each source event atomically executes up to that many updates and
+    sends a single batched notification; consistency is then judged
+    against the observable batch-boundary source states.
+    @raise Run_error on protocol violations or when [max_steps] is
+    exceeded. *)
+
+val run_mixed :
+  ?catalog:Storage.Catalog.t ->
+  ?schedule:Scheduler.policy ->
+  ?rv_period:int ->
+  ?batch_size:int ->
+  ?local_literal_eval:bool ->
+  ?unordered_delivery:int ->
+  ?max_steps:int ->
+  assignments:(R.Viewdef.t * Algorithm.creator) list ->
+  db:R.Db.t ->
+  updates:R.Update.t list ->
+  unit ->
+  result
+(** A warehouse hosting several views, each maintained by its own
+    algorithm (e.g. ECAK where keys are covered, ECA elsewhere). *)
+
+val snapshot_views : R.View.t list -> R.Db.t -> (string * R.Bag.t) list
+val snapshot_defs : R.Viewdef.t list -> R.Db.t -> (string * R.Bag.t) list

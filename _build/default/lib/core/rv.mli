@@ -1,0 +1,26 @@
+(** RV — recompute the view (Algorithm D.1), the baseline of the
+    performance study.
+
+    Every [s]-th relevant update ([rv_period]) triggers a full recompute
+    query [V] at the source; the answer {e replaces} the materialized
+    view. If the update stream ends mid-period, a final recompute is
+    issued at quiescence so that finite executions converge. RV is
+    strongly consistent (each installed state is the view at the source
+    state the recompute observed, in order) but expensive: its transfer
+    and I/O costs are what ECA is measured against in Section 6. *)
+
+module R := Relational
+
+type t
+
+val create : Algorithm.Config.t -> t
+(** Reads [rv_period] from the configuration (s = 1 recomputes after every
+    update; s = k only once). *)
+
+val mv : t -> R.Bag.t
+val quiescent : t -> bool
+val on_update : t -> R.Update.t -> Algorithm.outcome
+val on_answer : t -> id:int -> R.Bag.t -> Algorithm.outcome
+val on_quiesce : t -> Algorithm.outcome
+
+val instance : Algorithm.creator

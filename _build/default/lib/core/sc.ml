@@ -1,0 +1,49 @@
+module R = Relational
+
+exception Not_applicable of string
+
+type t = {
+  view : R.Viewdef.t;
+  mutable replica : R.Db.t;
+  mutable mv : R.Bag.t;
+}
+
+let create (cfg : Algorithm.Config.t) =
+  match cfg.init_db with
+  | None ->
+    raise
+      (Not_applicable
+         "SC needs the initial base relations (Config.init_db) to seed its \
+          replica")
+  | Some db -> { view = cfg.view; replica = db; mv = cfg.init_mv }
+
+let mv t = t.mv
+
+let replica t = t.replica
+
+let quiescent _ = true
+
+(* Centralized immediate maintenance on the local replica — no source
+   round-trip, no anomaly window. *)
+let on_update t (u : R.Update.t) =
+  let replica', delta = Centralized.step t.view t.replica u in
+  t.replica <- replica';
+  if R.Bag.is_empty delta then Algorithm.nothing
+  else begin
+    t.mv <- Mview.apply_delta t.mv delta;
+    Algorithm.install t.mv
+  end
+
+let on_answer _ ~id:_ _ = Algorithm.nothing
+
+let instance cfg =
+  let t = create cfg in
+  {
+    Algorithm.name = "sc";
+    on_update = on_update t;
+    on_batch = (fun us -> Algorithm.sequential_batch (on_update t) us);
+    on_answer = (fun ~id a -> on_answer t ~id a);
+    on_quiesce = (fun () -> Algorithm.nothing);
+    mv = (fun () -> mv t);
+    quiescent = (fun () -> quiescent t);
+  }

@@ -1,0 +1,29 @@
+(** SC — store copies of all base relations at the warehouse
+    (Section 1.2's second strawman).
+
+    The warehouse holds an up-to-date replica of every base relation used
+    by the view; update notifications are applied to the replica and the
+    view is maintained with the centralized incremental algorithm, locally
+    and immediately. No queries ever go to the source, so no anomaly can
+    arise: SC is complete. Its price is storage (full copies) and the
+    widened update messages — the trade-off the ablation bench
+    quantifies. *)
+
+module R := Relational
+
+exception Not_applicable of string
+(** [create] needs [Config.init_db] to seed the replica. *)
+
+type t
+
+val create : Algorithm.Config.t -> t
+val mv : t -> R.Bag.t
+
+val replica : t -> R.Db.t
+(** The warehouse-side copy of the base relations. *)
+
+val quiescent : t -> bool
+val on_update : t -> R.Update.t -> Algorithm.outcome
+val on_answer : t -> id:int -> R.Bag.t -> Algorithm.outcome
+
+val instance : Algorithm.creator

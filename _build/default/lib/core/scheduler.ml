@@ -1,0 +1,88 @@
+type action =
+  | Apply_update
+  | Source_receive
+  | Warehouse_receive
+
+type enabled = {
+  can_update : bool;
+  can_source : bool;
+  can_warehouse : bool;
+}
+
+exception Schedule_error of string
+
+type policy =
+  | Best_case
+  | Worst_case
+  | Round_robin
+  | Random of int
+  | Explicit of action list
+
+type t = {
+  policy : policy;
+  mutable script : action list;  (* for Explicit *)
+  mutable rotation : int;  (* for Round_robin *)
+  rng : Random.State.t;  (* for Random *)
+}
+
+let create policy =
+  let seed = match policy with Random s -> s | _ -> 0 in
+  let script = match policy with Explicit l -> l | _ -> [] in
+  { policy; script; rotation = 0; rng = Random.State.make [| seed |] }
+
+let enabled_list e =
+  List.filter_map
+    (fun (b, a) -> if b then Some a else None)
+    [
+      (e.can_update, Apply_update);
+      (e.can_source, Source_receive);
+      (e.can_warehouse, Warehouse_receive);
+    ]
+
+let action_enabled e = function
+  | Apply_update -> e.can_update
+  | Source_receive -> e.can_source
+  | Warehouse_receive -> e.can_warehouse
+
+let action_name = function
+  | Apply_update -> "apply-update"
+  | Source_receive -> "source-receive"
+  | Warehouse_receive -> "warehouse-receive"
+
+(* Best case: drain every message before touching the next update — each
+   query is answered before the next update occurs, so no compensation is
+   ever needed. Worst case: push every update into the system before any
+   query is answered — every query compensates every preceding update. *)
+let pick t e =
+  match enabled_list e with
+  | [] -> None
+  | choices ->
+    let by_priority order =
+      List.find_opt (fun a -> action_enabled e a) order
+    in
+    (match t.policy with
+     | Best_case ->
+       by_priority [ Source_receive; Warehouse_receive; Apply_update ]
+     | Worst_case ->
+       by_priority [ Apply_update; Warehouse_receive; Source_receive ]
+     | Round_robin ->
+       let n = List.length choices in
+       let a = List.nth choices (t.rotation mod n) in
+       t.rotation <- t.rotation + 1;
+       Some a
+     | Random _ ->
+       let n = List.length choices in
+       Some (List.nth choices (Random.State.int t.rng n))
+     | Explicit _ -> (
+       match t.script with
+       | [] ->
+         (* Script exhausted: finish the run deterministically. *)
+         by_priority [ Source_receive; Warehouse_receive; Apply_update ]
+       | a :: rest ->
+         if not (action_enabled e a) then
+           raise
+             (Schedule_error
+                (Printf.sprintf "scripted action %s is not enabled"
+                   (action_name a)));
+         t.script <- rest;
+         Some a))

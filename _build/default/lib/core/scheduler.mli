@@ -1,0 +1,53 @@
+(** Interleaving control for the simulation.
+
+    The anomaly phenomenon — and the best/worst cases of the performance
+    study — are entirely determined by how source updates interleave with
+    query answering. The scheduler picks the next atomic event among the
+    currently enabled ones:
+
+    - [Apply_update]: the source executes the next workload update and
+      sends the notification (an [S_up] event);
+    - [Source_receive]: the source takes the next query off its channel
+      and answers it (an [S_qu] event);
+    - [Warehouse_receive]: the warehouse processes the next incoming
+      message (a [W_up] or [W_ans] event).
+
+    FIFO channel order is preserved regardless of the policy, matching the
+    paper's delivery assumptions. *)
+
+type action =
+  | Apply_update
+  | Source_receive
+  | Warehouse_receive
+
+type enabled = {
+  can_update : bool;
+  can_source : bool;
+  can_warehouse : bool;
+}
+
+exception Schedule_error of string
+
+type policy =
+  | Best_case
+      (** drain all messages between updates: queries never overlap
+          updates; ECA behaves exactly like Algorithm 5.1 *)
+  | Worst_case
+      (** all updates enter the system before any query is answered:
+          every query compensates every preceding update *)
+  | Round_robin  (** rotate among the enabled actions *)
+  | Random of int  (** uniform among enabled actions, seeded *)
+  | Explicit of action list
+      (** play exactly this action sequence (used by the paper-example
+          tests); raises {!Schedule_error} on a disabled action, and
+          falls back to [Best_case] when exhausted *)
+
+type t
+
+val create : policy -> t
+
+val pick : t -> enabled -> action option
+(** The next action, or [None] when nothing is enabled. *)
+
+val action_name : action -> string
+val enabled_list : enabled -> action list

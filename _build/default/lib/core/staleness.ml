@@ -1,0 +1,80 @@
+module R = Relational
+
+type t = {
+  samples : int;  (* events at which the lag was sampled *)
+  max_lag : int;
+  mean_lag : float;
+  final_lag : int;  (* lag at the end of the run *)
+  unmatched : int;  (* samples where the view matched no source state *)
+}
+
+let zero = { samples = 0; max_lag = 0; mean_lag = 0.0; final_lag = 0; unmatched = 0 }
+
+(* Walk the trace in event order, tracking the current materialized view
+   (updated by installations) and the history of source states. After
+   every source event, the view's lag is the number of source events since
+   the newest source state equal to the current view; the statistics are
+   the time average over those samples. A view state that matches no
+   source state at all (an anomaly) contributes to [unmatched] and counts
+   with the maximal possible lag. *)
+let of_trace trace name =
+  let initial =
+    match List.assoc_opt name (Trace.initial_views trace) with
+    | Some v -> v
+    | None -> R.Bag.empty
+  in
+  let source_states = ref [ (0, initial) ] in  (* newest first *)
+  let current = ref 0 in
+  let mv = ref initial in
+  let lags = ref [] in
+  let unmatched = ref 0 in
+  let lag_now () =
+    let rec find = function
+      | [] -> None
+      | (idx, state) :: rest ->
+        if R.Bag.equal state !mv then Some (!current - idx) else find rest
+    in
+    match find !source_states with
+    | Some lag -> lag
+    | None ->
+      incr unmatched;
+      !current
+  in
+  List.iter
+    (fun entry ->
+      (match entry with
+       | Trace.Source_update { source_views; _ } -> (
+         incr current;
+         match List.assoc_opt name source_views with
+         | Some v -> source_states := (!current, v) :: !source_states
+         | None -> ())
+       | Trace.Warehouse_note { installs; _ }
+       | Trace.Warehouse_answer { installs; _ }
+       | Trace.Quiesce_probe { installs; _ } -> (
+         match List.assoc_opt name installs with
+         | Some states -> (
+           match List.rev states with
+           | last :: _ -> mv := last
+           | [] -> ())
+         | None -> ())
+       | Trace.Source_answer _ -> ());
+      (* sample after every atomic event, giving a time-weighted lag *)
+      lags := lag_now () :: !lags)
+    (Trace.entries trace);
+  let final_lag = lag_now () in
+  match !lags with
+  | [] -> { zero with final_lag; unmatched = !unmatched }
+  | lags ->
+    let n = List.length lags in
+    {
+      samples = n;
+      max_lag = List.fold_left max 0 lags;
+      mean_lag = float_of_int (List.fold_left ( + ) 0 lags) /. float_of_int n;
+      final_lag;
+      unmatched = !unmatched;
+    }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "lag: mean %.2f, max %d, final %d (%d samples, %d unmatched)" t.mean_lag
+    t.max_lag t.final_lag t.samples t.unmatched

@@ -1,0 +1,64 @@
+type mode =
+  | Immediate
+  | Periodic of int
+  | Deferred
+
+exception Timing_error of string
+
+let wrap mode (inner : Algorithm.instance) =
+  match mode with
+  | Immediate -> inner
+  | Periodic n when n < 1 -> raise (Timing_error "Periodic period must be >= 1")
+  | Periodic n ->
+    let buffer = ref [] in
+    let buffered = ref 0 in
+    let flush () =
+      match List.rev !buffer with
+      | [] -> Algorithm.nothing
+      | us ->
+        buffer := [];
+        buffered := 0;
+        inner.Algorithm.on_batch us
+    in
+    let push us =
+      buffer := List.rev_append us !buffer;
+      buffered := !buffered + List.length us;
+      if !buffered >= n then flush () else Algorithm.nothing
+    in
+    {
+      inner with
+      Algorithm.name = Printf.sprintf "%s@every-%d" inner.Algorithm.name n;
+      on_update = (fun u -> push [ u ]);
+      on_batch = push;
+      on_quiesce =
+        (fun () ->
+          Algorithm.combine (flush ()) (inner.Algorithm.on_quiesce ()));
+      quiescent = (fun () -> !buffer = [] && inner.Algorithm.quiescent ());
+    }
+  | Deferred ->
+    let buffer = ref [] in
+    let flush () =
+      match List.rev !buffer with
+      | [] -> Algorithm.nothing
+      | us ->
+        buffer := [];
+        inner.Algorithm.on_batch us
+    in
+    {
+      inner with
+      Algorithm.name = inner.Algorithm.name ^ "@deferred";
+      on_update =
+        (fun u ->
+          buffer := u :: !buffer;
+          Algorithm.nothing);
+      on_batch =
+        (fun us ->
+          buffer := List.rev_append us !buffer;
+          Algorithm.nothing);
+      on_quiesce =
+        (fun () ->
+          Algorithm.combine (flush ()) (inner.Algorithm.on_quiesce ()));
+      quiescent = (fun () -> !buffer = [] && inner.Algorithm.quiescent ());
+    }
+
+let creator mode inner_creator cfg = wrap mode (inner_creator cfg)

@@ -1,0 +1,25 @@
+(** Maintenance timing (Section 2): the paper assumes {e immediate}
+    update but observes that "with little or no modification our
+    algorithms can be applied to deferred and periodic update as well".
+    This wrapper is that modification.
+
+    Buffered notifications are flushed into the wrapped algorithm's
+    [on_batch] — as one atomic warehouse step — either every [n]
+    notifications ([Periodic n]) or only at quiescence ([Deferred], the
+    refresh-on-demand pattern of [RK86]). Because the flushed batch is
+    processed by the underlying algorithm with its usual compensation
+    machinery, a strongly consistent algorithm stays strongly consistent:
+    the warehouse simply visits a {e subsequence} of the source states. *)
+
+exception Timing_error of string
+
+type mode =
+  | Immediate  (** the paper's default: process every notification *)
+  | Periodic of int  (** flush the buffer every [n] source updates *)
+  | Deferred  (** flush only when the view is demanded (at quiescence) *)
+
+val wrap : mode -> Algorithm.instance -> Algorithm.instance
+(** @raise Timing_error on a non-positive period. *)
+
+val creator : mode -> Algorithm.creator -> Algorithm.creator
+(** [creator mode c] wraps every instance [c] builds. *)

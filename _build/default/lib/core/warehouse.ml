@@ -1,0 +1,114 @@
+module R = Relational
+
+type hosted = {
+  view : R.Viewdef.t;
+  inst : Algorithm.instance;
+}
+
+type t = {
+  hosted : hosted array;
+  routes : (int, int * int) Hashtbl.t;  (* gid -> (instance idx, local id) *)
+  mutable next_gid : int;
+  mutable installs_log : (string * R.Bag.t) list;  (* newest first *)
+}
+
+type reaction = {
+  queries : (int * R.Query.t) list;  (* (global id, query) to send *)
+  installs : (string * R.Bag.t list) list;  (* per view, oldest first *)
+}
+
+let no_reaction = { queries = []; installs = [] }
+
+let create pairs =
+  {
+    hosted =
+      Array.of_list (List.map (fun (view, inst) -> { view; inst }) pairs);
+    routes = Hashtbl.create 64;
+    next_gid = 0;
+    installs_log = [];
+  }
+
+let of_creator ~creator ~configs =
+  create (List.map (fun cfg -> (cfg.Algorithm.Config.view, creator cfg)) configs)
+
+let views t =
+  Array.to_list (Array.map (fun h -> h.view) t.hosted)
+
+let mv t name =
+  let rec find i =
+    if i >= Array.length t.hosted then None
+    else if String.equal t.hosted.(i).view.R.Viewdef.name name then
+      Some (t.hosted.(i).inst.Algorithm.mv ())
+    else find (i + 1)
+  in
+  find 0
+
+let mvs t =
+  Array.to_list
+    (Array.map
+       (fun h -> (h.view.R.Viewdef.name, h.inst.Algorithm.mv ()))
+       t.hosted)
+
+let quiescent t =
+  Array.for_all (fun h -> h.inst.Algorithm.quiescent ()) t.hosted
+
+let lift t idx (o : Algorithm.outcome) =
+  let queries =
+    List.map
+      (fun (lid, q) ->
+        let gid = t.next_gid in
+        t.next_gid <- gid + 1;
+        Hashtbl.replace t.routes gid (idx, lid);
+        (gid, q))
+      o.Algorithm.send
+  in
+  let name = t.hosted.(idx).view.R.Viewdef.name in
+  List.iter
+    (fun mv -> t.installs_log <- (name, mv) :: t.installs_log)
+    o.Algorithm.installs;
+  {
+    queries;
+    installs =
+      (if o.Algorithm.installs = [] then []
+       else [ (name, o.Algorithm.installs) ]);
+  }
+
+let merge a b = { queries = a.queries @ b.queries; installs = a.installs @ b.installs }
+
+let handle_update t u =
+  let r = ref no_reaction in
+  Array.iteri
+    (fun idx h -> r := merge !r (lift t idx (h.inst.Algorithm.on_update u)))
+    t.hosted;
+  !r
+
+let handle_batch t us =
+  let r = ref no_reaction in
+  Array.iteri
+    (fun idx h -> r := merge !r (lift t idx (h.inst.Algorithm.on_batch us)))
+    t.hosted;
+  !r
+
+let handle_answer t ~gid answer =
+  match Hashtbl.find_opt t.routes gid with
+  | None -> no_reaction
+  | Some (idx, lid) ->
+    Hashtbl.remove t.routes gid;
+    lift t idx (t.hosted.(idx).inst.Algorithm.on_answer ~id:lid answer)
+
+let handle_message t = function
+  | Messaging.Message.Update_note u -> handle_update t u
+  | Messaging.Message.Batch_note us -> handle_batch t us
+  | Messaging.Message.Answer { id; answer; cost = _ } ->
+    handle_answer t ~gid:id answer
+  | Messaging.Message.Query _ ->
+    invalid_arg "Warehouse.handle_message: warehouses do not receive queries"
+
+let quiesce t =
+  let r = ref no_reaction in
+  Array.iteri
+    (fun idx h -> r := merge !r (lift t idx (h.inst.Algorithm.on_quiesce ())))
+    t.hosted;
+  !r
+
+let install_history t = List.rev t.installs_log

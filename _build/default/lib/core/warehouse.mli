@@ -1,0 +1,54 @@
+(** The warehouse site: hosts one algorithm instance per materialized
+    view over a single source (Section 7's multi-view adaptation — "ECA is
+    simply applied to each view separately").
+
+    The warehouse routes messages: an update notification fans out to all
+    hosted instances; instance-local query ids are mapped to globally
+    unique ids so that answers find their way back. Events are atomic, as
+    Section 3 assumes. *)
+
+module R := Relational
+
+type t
+
+(** What the warehouse decided after processing one message. *)
+type reaction = {
+  queries : (int * R.Query.t) list;  (** to ship, with global ids *)
+  installs : (string * R.Bag.t list) list;
+      (** per view name, successive new MV states *)
+}
+
+val no_reaction : reaction
+
+val create : (R.Viewdef.t * Algorithm.instance) list -> t
+
+val of_creator :
+  creator:Algorithm.creator -> configs:Algorithm.Config.t list -> t
+(** Same algorithm for every view. *)
+
+val views : t -> R.Viewdef.t list
+val mv : t -> string -> R.Bag.t option
+val mvs : t -> (string * R.Bag.t) list
+
+val quiescent : t -> bool
+(** All hosted instances are quiescent. *)
+
+val handle_update : t -> R.Update.t -> reaction
+(** A [W_up] event, fanned out to every hosted view. *)
+
+val handle_batch : t -> R.Update.t list -> reaction
+(** A batched notification, fanned out to every hosted view's
+    [on_batch]. *)
+
+val handle_answer : t -> gid:int -> R.Bag.t -> reaction
+(** A [W_ans] event, routed to the owning instance. *)
+
+val handle_message : t -> Messaging.Message.t -> reaction
+(** Dispatch on the message kind.
+    @raise Invalid_argument on [Query] messages. *)
+
+val quiesce : t -> reaction
+(** Forward [on_quiesce] to all instances (RV's final recompute). *)
+
+val install_history : t -> (string * R.Bag.t) list
+(** Every installed view state in order, tagged with its view name. *)

@@ -1,0 +1,1 @@
+lib/costmodel/io_model.mli: Params

@@ -1,0 +1,18 @@
+(* Smallest k in [lo, hi] from which [f] stays at or above [g]; None when
+   no such point exists. Used to locate the figures' crossovers, e.g. the
+   k beyond which even best-case ECA transfers more than one-shot RV. *)
+let first_dominating ~lo ~hi f g =
+  if lo > hi then invalid_arg "Crossover.first_dominating: empty range";
+  let holds_from k0 =
+    let rec all k = k > hi || (f k >= g k && all (k + 1)) in
+    all k0
+  in
+  let rec scan k = if k > hi then None else if holds_from k then Some k else scan (k + 1) in
+  scan lo
+
+let first_at_or_above ~lo ~hi f g =
+  let rec scan k =
+    if k > hi then None else if f k >= g k then Some k else scan (k + 1)
+  in
+  if lo > hi then invalid_arg "Crossover.first_at_or_above: empty range";
+  scan lo

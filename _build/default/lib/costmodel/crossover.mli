@@ -1,0 +1,12 @@
+(** Crossover location for the cost curves: the update-sequence lengths at
+    which recomputation starts beating incremental maintenance — the
+    quantities the paper reads off Figures 6.3–6.5. *)
+
+val first_dominating :
+  lo:int -> hi:int -> (int -> float) -> (int -> float) -> int option
+(** [first_dominating ~lo ~hi f g] is the smallest [k] such that
+    [f k' >= g k'] for every [k'] in [[k, hi]] (a stable crossover). *)
+
+val first_at_or_above :
+  lo:int -> hi:int -> (int -> float) -> (int -> float) -> int option
+(** The first [k] with [f k >= g k]. *)

@@ -1,0 +1,73 @@
+type scenario =
+  | Scenario1
+  | Scenario2
+
+let fi = float_of_int
+
+let i_of p = Params.blocks p
+let i'_of p = Params.half_blocks p
+
+(* --- Scenario 1 (indexes + ample memory), three updates --- *)
+
+let s1_rv_best p = 3 * i_of p
+let s1_rv_worst p = 9 * i_of p
+
+(* 3 min(I, J) + 3: each V<U_i> costs between (J+1)-ish and (I+1)-ish;
+   summed over the three updates the paper derives 3 min(I,J) + 3. *)
+let s1_eca_best p =
+  (3 * min (i_of p) (int_of_float (Float.ceil p.Params.j))) + 3
+
+let s1_eca_worst p = s1_eca_best p + 3
+
+(* --- Scenario 2 (no indexes, 3 blocks), three updates --- *)
+
+let s2_rv_best p = i_of p * i_of p * i_of p
+let s2_rv_worst p = 3 * s2_rv_best p
+let s2_eca_best p = 3 * i_of p * i'_of p
+let s2_eca_worst p = 3 * i_of p * (i'_of p + 1)
+
+(* --- k-update generalizations (Appendix D.3.3; assumes J < I) --- *)
+
+let s1_rv_best_k p ~k:_ = fi (3 * i_of p)
+let s1_rv_worst_k p ~k = fi (3 * k * i_of p)
+
+let s1_eca_best_k (p : Params.t) ~k = fi k *. (p.Params.j +. 1.0)
+
+let s1_eca_worst_k (p : Params.t) ~k =
+  s1_eca_best_k p ~k +. (fi k *. fi (k - 1) /. 3.0)
+
+let s2_rv_best_k p ~k:_ = fi (s2_rv_best p)
+let s2_rv_worst_k p ~k = fi k *. fi (s2_rv_best p)
+
+let s2_eca_best_k p ~k = fi k *. fi (i_of p) *. fi (i'_of p)
+
+let s2_eca_worst_k p ~k =
+  s2_eca_best_k p ~k +. (fi (i_of p) *. fi k *. fi (k - 1) /. 3.0)
+
+(* RV recomputing every [period] updates. *)
+let rv_period_k scenario p ~k ~period =
+  if period <= 0 then invalid_arg "Io_model.rv_period_k: period must be > 0";
+  let recomputes = (k + period - 1) / period in
+  match scenario with
+  | Scenario1 -> fi (recomputes * 3 * i_of p)
+  | Scenario2 -> fi (recomputes * s2_rv_best p)
+
+let rv_best_k scenario =
+  match scenario with
+  | Scenario1 -> s1_rv_best_k
+  | Scenario2 -> s2_rv_best_k
+
+let rv_worst_k scenario =
+  match scenario with
+  | Scenario1 -> s1_rv_worst_k
+  | Scenario2 -> s2_rv_worst_k
+
+let eca_best_k scenario =
+  match scenario with
+  | Scenario1 -> s1_eca_best_k
+  | Scenario2 -> s2_eca_best_k
+
+let eca_worst_k scenario =
+  match scenario with
+  | Scenario1 -> s1_eca_worst_k
+  | Scenario2 -> s2_eca_worst_k

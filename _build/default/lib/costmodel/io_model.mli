@@ -1,0 +1,42 @@
+(** Closed forms for the IO metric — I/Os performed at the source — from
+    Section 6.3 and Appendix D.3, over the Example-6 scenario.
+
+    Scenario 1 (clustering/non-clustering indexes, ample memory),
+    three-update forms with [I = ⌈C/K⌉]:
+    - RV best [3I], worst [9I];
+    - ECA best [3·min(I,J) + 3], worst [3·min(I,J) + 6].
+
+    Scenario 2 (no indexes, three memory blocks), with [I' = ⌈C/(2K)⌉]:
+    - RV best [I³], worst [3I³];
+    - ECA best [3II'], worst [3I(I'+1)].
+
+    k-update generalizations (the paper assumes [J < I] here):
+    - Scenario 1: RV [3I] / [3kI]; ECA [k(J+1)] / [k(J+1) + k(k−1)/3];
+    - Scenario 2: RV [I³] / [kI³]; ECA [kII'] / [kII' + Ik(k−1)/3].
+
+    Expected crossovers at the defaults (I = 5, J = 4): ECA loses to
+    one-shot RV at k ≈ 3 in Scenario 1 and between k = 5 and 8 in
+    Scenario 2 — far earlier than the transfer-cost crossovers, i.e. ECA
+    is less effective at saving I/O than at saving bandwidth. *)
+
+type scenario =
+  | Scenario1
+  | Scenario2
+
+val s1_rv_best : Params.t -> int
+val s1_rv_worst : Params.t -> int
+val s1_eca_best : Params.t -> int
+val s1_eca_worst : Params.t -> int
+
+val s2_rv_best : Params.t -> int
+val s2_rv_worst : Params.t -> int
+val s2_eca_best : Params.t -> int
+val s2_eca_worst : Params.t -> int
+
+val rv_best_k : scenario -> Params.t -> k:int -> float
+val rv_worst_k : scenario -> Params.t -> k:int -> float
+val eca_best_k : scenario -> Params.t -> k:int -> float
+val eca_worst_k : scenario -> Params.t -> k:int -> float
+
+val rv_period_k : scenario -> Params.t -> k:int -> period:int -> float
+(** RV recomputing every [period] updates. *)

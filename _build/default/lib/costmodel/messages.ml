@@ -1,0 +1,16 @@
+(* Section 6.1: update notifications are identical for every algorithm and
+   excluded; M counts query and answer messages. *)
+
+let rv ~k ~period =
+  if period <= 0 then invalid_arg "Messages.rv: period must be > 0";
+  2 * ((k + period - 1) / period)
+
+let eca ~k = 2 * k
+
+(* LCA additionally ships each compensation as its own round-trip: under a
+   worst-case interleaving update j compensates up to j-1 pending pieces.
+   Bounds, not closed forms from the paper (LCA's cost is only discussed
+   qualitatively there). *)
+let lca_upper ~k = k * (k + 1)
+
+let sc ~k:_ = 0

@@ -1,0 +1,17 @@
+(** Message-count analysis of Section 6.1. Update notification messages
+    are identical across algorithms and excluded, as in the paper. *)
+
+val rv : k:int -> period:int -> int
+(** [2⌈k/s⌉]: one query + one answer per recompute. Ranges from 2
+    ([period = k]) to [2k] ([period = 1]). *)
+
+val eca : k:int -> int
+(** [2k]: every update costs one query and one answer. *)
+
+val lca_upper : k:int -> int
+(** Upper bound [k(k+1)] when every compensation is its own round-trip
+    under maximal contention (the paper discusses LCA only qualitatively;
+    the benches report measured counts). *)
+
+val sc : k:int -> int
+(** 0 — store-copies never queries the source. *)

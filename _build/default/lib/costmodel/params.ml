@@ -1,0 +1,40 @@
+type t = {
+  c : int;
+  s : int;
+  sigma : float;
+  j : float;
+  k_per_block : int;
+}
+
+let default = { c = 100; s = 4; sigma = 0.5; j = 4.0; k_per_block = 20 }
+
+let make ?(c = default.c) ?(s = default.s) ?(sigma = default.sigma)
+    ?(j = default.j) ?(k_per_block = default.k_per_block) () =
+  if c < 0 then invalid_arg "Params.make: C must be non-negative";
+  if s <= 0 then invalid_arg "Params.make: S must be positive";
+  if sigma < 0.0 || sigma > 1.0 then
+    invalid_arg "Params.make: sigma must lie in [0, 1]";
+  if j <= 0.0 then invalid_arg "Params.make: J must be positive";
+  if k_per_block <= 0 then invalid_arg "Params.make: K must be positive";
+  { c; s; sigma; j; k_per_block }
+
+let ceil_div a b = (a + b - 1) / b
+
+(* I = ⌈C/K⌉: blocks needed to read one base relation. *)
+let blocks t = ceil_div t.c t.k_per_block
+
+(* I' = ⌈C/(2K)⌉: double-block buffer loads (Scenario 2, two relations). *)
+let half_blocks t = ceil_div t.c (2 * t.k_per_block)
+
+let pp ppf t =
+  Format.fprintf ppf "C=%d S=%d sigma=%.2f J=%.1f K=%d (I=%d, I'=%d)" t.c t.s
+    t.sigma t.j t.k_per_block (blocks t) (half_blocks t)
+
+let rows ppf t =
+  Format.fprintf ppf
+    "C  cardinality of a relation        %d@\n\
+     S  size of projected attributes     %d bytes@\n\
+     sigma  selection factor             %.2f@\n\
+     J  join factor                      %.1f@\n\
+     K  tuples per physical block        %d"
+    t.c t.s t.sigma t.j t.k_per_block

@@ -1,0 +1,27 @@
+(** The analysis variables of Table 1, with the paper's default values
+    (C = 100, S = 4 bytes, σ = 1/2, J = 4, K = 20). *)
+
+type t = private {
+  c : int;  (** cardinality of a relation *)
+  s : int;  (** size of the projected attributes, bytes *)
+  sigma : float;  (** selection factor σ *)
+  j : float;  (** join factor J *)
+  k_per_block : int;  (** tuples per physical block K *)
+}
+
+val default : t
+
+val make :
+  ?c:int -> ?s:int -> ?sigma:float -> ?j:float -> ?k_per_block:int -> unit -> t
+(** @raise Invalid_argument on out-of-range values. *)
+
+val blocks : t -> int
+(** [I = ⌈C/K⌉] — I/Os to read one base relation. *)
+
+val half_blocks : t -> int
+(** [I' = ⌈C/(2K)⌉] — double-block buffer loads for Scenario 2. *)
+
+val pp : Format.formatter -> t -> unit
+
+val rows : Format.formatter -> t -> unit
+(** Table 1, row per variable. *)

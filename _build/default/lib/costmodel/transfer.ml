@@ -1,0 +1,38 @@
+let fi = float_of_int
+
+(* --- The three-update scenario of Section 6.2 / Appendix D.2 --- *)
+
+(* RV recomputing once: the whole view is shipped, S * sigma * C * J^2. *)
+let rv_best (p : Params.t) = fi p.Params.s *. p.Params.sigma *. fi p.Params.c *. (p.Params.j ** 2.0)
+
+(* RV recomputing after each of the three updates. *)
+let rv_worst p = 3.0 *. rv_best p
+
+(* ECA with no compensation: each V<U> ships sigma * J^2 tuples. *)
+let eca_best (p : Params.t) = 3.0 *. fi p.Params.s *. p.Params.sigma *. (p.Params.j ** 2.0)
+
+(* ECA with all updates before any answer: each of the three single-tuple
+   compensating terms adds S * sigma * J. *)
+let eca_worst (p : Params.t) =
+  3.0 *. fi p.Params.s *. p.Params.sigma *. p.Params.j *. (p.Params.j +. 1.0)
+
+(* --- The k-update generalization --- *)
+
+let rv_best_k p ~k:_ = rv_best p
+
+let rv_worst_k p ~k = fi k *. rv_best p
+
+(* RV recomputing every s updates: ⌈k/s⌉ recomputes. *)
+let rv_period_k p ~k ~period =
+  if period <= 0 then invalid_arg "Transfer.rv_period_k: period must be > 0";
+  fi ((k + period - 1) / period) *. rv_best p
+
+let eca_best_k (p : Params.t) ~k =
+  fi k *. fi p.Params.s *. p.Params.sigma *. (p.Params.j ** 2.0)
+
+(* Update U_j compensates, on average, 2(j-1)/3 prior updates on other
+   relations, each costing S*sigma*J; summing j = 1..k yields the
+   quadratic k(k-1)SsigmaJ/3 compensation overhead. *)
+let eca_worst_k (p : Params.t) ~k =
+  eca_best_k p ~k
+  +. fi k *. fi (k - 1) *. fi p.Params.s *. p.Params.sigma *. p.Params.j /. 3.0

@@ -1,0 +1,34 @@
+(** Closed forms for B — bytes transferred from source to warehouse —
+    from Section 6.2 and Appendix D.2, over the Example-6 scenario
+    (V = π_{W,Z} σ_cond (r1 ⋈ r2 ⋈ r3), single-tuple inserts spread
+    uniformly over the three relations).
+
+    Three-update forms:
+    - [rv_best]  [= SσCJ²]      (recompute once)
+    - [rv_worst] [= 3SσCJ²]     (recompute after every update)
+    - [eca_best] [= 3SσJ²]      (no compensation needed)
+    - [eca_worst][= 3SσJ(J+1)]  (all updates precede all answers)
+
+    k-update forms:
+    - [rv_best_k]  [= SσCJ²]
+    - [rv_worst_k] [= kSσCJ²]
+    - [eca_best_k] [= kSσJ²]
+    - [eca_worst_k][= kSσJ² + k(k−1)SσJ/3]
+
+    The expected crossovers these imply (defaults, C = 100): ECA-best
+    meets RV-best at k = C = 100; ECA-worst crosses RV-best around k ≈ 30
+    (Figure 6.3). *)
+
+val rv_best : Params.t -> float
+val rv_worst : Params.t -> float
+val eca_best : Params.t -> float
+val eca_worst : Params.t -> float
+
+val rv_best_k : Params.t -> k:int -> float
+val rv_worst_k : Params.t -> k:int -> float
+
+val rv_period_k : Params.t -> k:int -> period:int -> float
+(** RV recomputing every [period] updates: [⌈k/period⌉ · SσCJ²]. *)
+
+val eca_best_k : Params.t -> k:int -> float
+val eca_worst_k : Params.t -> k:int -> float

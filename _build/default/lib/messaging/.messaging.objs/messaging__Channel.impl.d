@@ -1,0 +1,1 @@
+lib/messaging/channel.ml: Format List Message Random

@@ -1,0 +1,1 @@
+lib/messaging/channel.mli: Format Message

@@ -1,0 +1,1 @@
+lib/messaging/message.ml: Format List Relational Storage String

@@ -1,0 +1,1 @@
+lib/messaging/message.mli: Format Relational Storage

@@ -1,0 +1,1 @@
+lib/messaging/network.ml: Channel Format Option

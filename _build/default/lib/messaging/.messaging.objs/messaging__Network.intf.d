@@ -1,0 +1,1 @@
+lib/messaging/network.mli: Channel Format Message

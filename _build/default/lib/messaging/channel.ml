@@ -1,0 +1,64 @@
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+type discipline =
+  | Fifo
+  | Unordered of Random.State.t
+
+type t = {
+  name : string;
+  mutable pending_msgs : Message.t list;  (* oldest first *)
+  discipline : discipline;
+  stats : stats;
+}
+
+let create ?unordered_seed name =
+  let discipline =
+    match unordered_seed with
+    | None -> Fifo
+    | Some seed -> Unordered (Random.State.make [| seed |])
+  in
+  { name; pending_msgs = []; discipline; stats = { messages = 0; bytes = 0 } }
+
+let send t msg =
+  t.pending_msgs <- t.pending_msgs @ [ msg ];
+  t.stats.messages <- t.stats.messages + 1;
+  t.stats.bytes <- t.stats.bytes + Message.byte_size msg
+
+let take_nth n l =
+  let rec go i acc = function
+    | [] -> invalid_arg "take_nth"
+    | x :: rest ->
+      if i = n then (x, List.rev_append acc rest) else go (i + 1) (x :: acc) rest
+  in
+  go 0 [] l
+
+let receive t =
+  match t.pending_msgs with
+  | [] -> None
+  | msgs -> (
+    match t.discipline with
+    | Fifo ->
+      let msg = List.hd msgs in
+      t.pending_msgs <- List.tl msgs;
+      Some msg
+    | Unordered rng ->
+      let msg, rest = take_nth (Random.State.int rng (List.length msgs)) msgs in
+      t.pending_msgs <- rest;
+      Some msg)
+
+let peek t = match t.pending_msgs with [] -> None | m :: _ -> Some m
+
+let is_empty t = t.pending_msgs = []
+
+let pending t = List.length t.pending_msgs
+
+let messages_sent t = t.stats.messages
+
+let bytes_sent t = t.stats.bytes
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d pending, %d sent (%d bytes)" t.name (pending t)
+    t.stats.messages t.stats.bytes

@@ -1,0 +1,36 @@
+(** A loss-free message channel. By default delivery is FIFO — the model
+    the paper assumes ("messages are delivered in order and are processed
+    in order").
+
+    A channel can instead be created with {e unordered} delivery
+    ([?unordered_seed]), which violates that assumption on purpose: the
+    fault-injection tests use it to demonstrate that ECA's correctness
+    really does depend on in-order delivery, not just on compensation.
+
+    Channels also meter traffic: message and byte counters feed the M and
+    B metrics of the performance study. *)
+
+type t
+
+val create : ?unordered_seed:int -> string -> t
+(** FIFO by default; with [unordered_seed], each receive picks a
+    uniformly random pending message (seeded, reproducible). *)
+
+val send : t -> Message.t -> unit
+(** Enqueue and account for the message's size. *)
+
+val receive : t -> Message.t option
+(** Dequeue per the channel's delivery discipline. *)
+
+val peek : t -> Message.t option
+(** The message FIFO delivery would return next. *)
+
+val is_empty : t -> bool
+val pending : t -> int
+
+val messages_sent : t -> int
+(** Total messages ever sent (including already delivered ones). *)
+
+val bytes_sent : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+module R = Relational
+
+type t =
+  | Update_note of R.Update.t
+  | Batch_note of R.Update.t list
+  | Query of {
+      id : int;
+      query : R.Query.t;
+    }
+  | Answer of {
+      id : int;
+      answer : R.Bag.t;
+      cost : Storage.Cost.t;
+    }
+
+let byte_size = function
+  | Update_note u -> R.Update.byte_size u
+  | Batch_note us ->
+    8 + List.fold_left (fun acc u -> acc + R.Update.byte_size u) 0 us
+  | Query { query; _ } -> 8 + R.Query.byte_size query
+  | Answer { answer; _ } -> 8 + R.Bag.byte_size answer
+
+let kind_name = function
+  | Update_note _ -> "update"
+  | Batch_note _ -> "batch"
+  | Query _ -> "query"
+  | Answer _ -> "answer"
+
+let pp ppf = function
+  | Update_note u -> Format.fprintf ppf "Update %a" R.Update.pp u
+  | Batch_note us ->
+    Format.fprintf ppf "Batch [%s]"
+      (String.concat "; " (List.map R.Update.to_string us))
+  | Query { id; query } -> Format.fprintf ppf "Query Q%d = %a" id R.Query.pp query
+  | Answer { id; answer; _ } ->
+    Format.fprintf ppf "Answer A%d = %a" id R.Bag.pp answer

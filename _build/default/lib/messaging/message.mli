@@ -1,0 +1,26 @@
+(** Messages exchanged between source and warehouse.
+
+    Three kinds, mirroring Figure 1.1 of the paper: update notifications
+    (source → warehouse), queries (warehouse → source) and answers
+    (source → warehouse). Query ids are assigned by the warehouse and echo
+    back in answers; with FIFO channels this realizes the paper's trigger
+    correspondence between [W_up]/[S_qu]/[W_ans] events. *)
+
+type t =
+  | Update_note of Relational.Update.t
+  | Batch_note of Relational.Update.t list
+      (** several source updates executed atomically and notified in one
+          message — the batched-update extension of Section 7 *)
+  | Query of {
+      id : int;
+      query : Relational.Query.t;
+    }
+  | Answer of {
+      id : int;
+      answer : Relational.Bag.t;
+      cost : Storage.Cost.t;  (** what the source spent producing it *)
+    }
+
+val byte_size : t -> int
+val kind_name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+type t = {
+  to_warehouse : Channel.t;
+  to_source : Channel.t;
+}
+
+let create ?unordered_seed () =
+  {
+    to_warehouse = Channel.create ?unordered_seed "source->warehouse";
+    to_source =
+      Channel.create
+        ?unordered_seed:(Option.map (fun s -> s + 1) unordered_seed)
+        "warehouse->source";
+  }
+
+type direction =
+  | To_warehouse
+  | To_source
+
+let channel t = function
+  | To_warehouse -> t.to_warehouse
+  | To_source -> t.to_source
+
+let send t dir msg = Channel.send (channel t dir) msg
+
+let receive t dir = Channel.receive (channel t dir)
+
+let quiescent t =
+  Channel.is_empty t.to_warehouse && Channel.is_empty t.to_source
+
+let total_messages t =
+  Channel.messages_sent t.to_warehouse + Channel.messages_sent t.to_source
+
+let total_bytes t =
+  Channel.bytes_sent t.to_warehouse + Channel.bytes_sent t.to_source
+
+let pp ppf t =
+  Format.fprintf ppf "%a@.%a" Channel.pp t.to_warehouse Channel.pp t.to_source

@@ -1,0 +1,25 @@
+(** The two unidirectional FIFO channels connecting one source and the
+    warehouse. Delivery order within a direction is preserved, which —
+    together with atomic event processing at both sites — is all the paper
+    requires of the transport. *)
+
+type t
+
+type direction =
+  | To_warehouse
+  | To_source
+
+(** [create ()] builds FIFO channels; with [unordered_seed], both
+    directions deliver in random (seeded) order — the fault-injection
+    mode. *)
+val create : ?unordered_seed:int -> unit -> t
+val channel : t -> direction -> Channel.t
+val send : t -> direction -> Message.t -> unit
+val receive : t -> direction -> Message.t option
+
+val quiescent : t -> bool
+(** No message in flight in either direction. *)
+
+val total_messages : t -> int
+val total_bytes : t -> int
+val pp : Format.formatter -> t -> unit

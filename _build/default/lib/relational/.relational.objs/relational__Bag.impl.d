@@ -1,0 +1,1 @@
+lib/relational/bag.ml: Format Int List Map Option Sign Tuple

@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Bag Buffer Format List Printf Schema String Tuple Value

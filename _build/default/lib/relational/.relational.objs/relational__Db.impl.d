@@ -1,0 +1,1 @@
+lib/relational/db.ml: Bag Format Hashtbl List Map Option Schema String Tuple Update Value

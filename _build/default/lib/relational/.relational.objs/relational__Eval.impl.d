@@ -1,0 +1,1 @@
+lib/relational/eval.ml: Array Attr Bag Db Format Hashtbl List Option Predicate Query Schema Sign Term Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/eval.mli: Bag Db Query Term View

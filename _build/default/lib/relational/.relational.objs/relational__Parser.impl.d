@@ -1,0 +1,1 @@
+lib/relational/parser.ml: Attr Buffer Format List Predicate Printf Schema Script Sign String Tuple Update Value View Viewdef

@@ -1,0 +1,1 @@
+lib/relational/predicate.ml: Attr Format List Printf Value

@@ -1,0 +1,1 @@
+lib/relational/query.ml: Format List Option Sign String Term Update

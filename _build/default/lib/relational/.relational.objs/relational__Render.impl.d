@@ -1,0 +1,1 @@
+lib/relational/render.ml: Array Bag Buffer List Printf Schema String Tuple Value View

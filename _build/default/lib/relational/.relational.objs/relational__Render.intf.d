@@ -1,0 +1,1 @@
+lib/relational/render.mli: Bag Schema View

@@ -1,0 +1,1 @@
+lib/relational/script.ml: Db Format List Schema String Update Viewdef

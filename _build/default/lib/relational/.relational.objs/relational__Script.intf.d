@@ -1,0 +1,1 @@
+lib/relational/script.mli: Db Format Schema Update Viewdef

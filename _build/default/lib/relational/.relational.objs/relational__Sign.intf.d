@@ -1,0 +1,1 @@
+lib/relational/sign.mli: Format

@@ -1,0 +1,1 @@
+lib/relational/term.mli: Attr Format Predicate Schema Sign Tuple Update View

@@ -1,0 +1,1 @@
+lib/relational/update.ml: Format Printf Sign String Tuple

@@ -1,0 +1,1 @@
+lib/relational/view.ml: Attr Format List Option Predicate Schema String

@@ -1,0 +1,1 @@
+lib/relational/view.mli: Attr Format Predicate Schema

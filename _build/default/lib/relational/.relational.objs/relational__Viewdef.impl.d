@@ -1,0 +1,1 @@
+lib/relational/viewdef.ml: Attr Bag Eval Format Int List Option Predicate Query Sign String View

@@ -1,0 +1,1 @@
+lib/relational/viewdef.mli: Bag Db Format Query Sign Update View

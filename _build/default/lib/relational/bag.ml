@@ -1,0 +1,113 @@
+module Tmap = Map.Make (Tuple)
+
+type t = int Tmap.t
+
+let empty = Tmap.empty
+
+let is_empty b = Tmap.is_empty b
+
+let count b t = match Tmap.find_opt t b with Some n -> n | None -> 0
+
+let add ?(count = 1) t b =
+  if count = 0 then b
+  else
+    Tmap.update t
+      (fun prev ->
+        let n = Option.value prev ~default:0 + count in
+        if n = 0 then None else Some n)
+      b
+
+let remove ?(count = 1) t b = add ~count:(-count) t b
+
+let singleton ?count t = add ?count t empty
+
+let of_list ts = List.fold_left (fun b t -> add t b) empty ts
+
+let of_signed_list sts =
+  List.fold_left
+    (fun b (s, t) -> add ~count:(Sign.to_int s) t b)
+    empty sts
+
+let plus a b = Tmap.fold (fun t n acc -> add ~count:n t acc) b a
+
+let negate b = Tmap.map (fun n -> -n) b
+
+let minus a b = plus a (negate b)
+
+let scale k b = if k = 0 then empty else Tmap.map (fun n -> n * k) b
+
+let apply_sign s b =
+  match s with
+  | Sign.Pos -> b
+  | Sign.Neg -> negate b
+
+let pos_part b = Tmap.filter (fun _ n -> n > 0) b
+
+let neg_part b = Tmap.filter_map (fun _ n -> if n < 0 then Some (-n) else None) b
+
+(* Plain (unsigned) bag union: only meaningful on non-negative bags. *)
+let union a b = plus (pos_part a) (pos_part b)
+
+(* Truncating bag difference on non-negative bags: copies below zero vanish.
+   This is classic multiset difference, provided for comparison with the
+   paper's (pos ∪ pos) − (neg ∪ neg) formulation; the signed [minus] above
+   is the operator the algorithms use. *)
+let diff_truncated a b =
+  Tmap.merge
+    (fun _ na nb ->
+      let n = Option.value na ~default:0 - Option.value nb ~default:0 in
+      if n > 0 then Some n else None)
+    (pos_part a) (pos_part b)
+
+let cardinality b = Tmap.fold (fun _ n acc -> acc + abs n) b 0
+
+let net_cardinality b = Tmap.fold (fun _ n acc -> acc + n) b 0
+
+let distinct_cardinality b = Tmap.cardinal b
+
+let has_negative b = Tmap.exists (fun _ n -> n < 0) b
+
+let is_set b = Tmap.for_all (fun _ n -> n = 1) b
+
+let equal a b = Tmap.equal Int.equal a b
+
+let compare a b = Tmap.compare Int.compare a b
+
+let mem t b = count b t <> 0
+
+let fold f b acc = Tmap.fold f b acc
+
+let iter f b = Tmap.iter f b
+
+let filter f b = Tmap.filter (fun t _ -> f t) b
+
+let map_tuples f b =
+  Tmap.fold (fun t n acc -> add ~count:n (f t) acc) b empty
+
+let to_list b =
+  Tmap.fold
+    (fun t n acc ->
+      let s = Sign.of_int n in
+      let rec push k acc = if k = 0 then acc else push (k - 1) ((s, t) :: acc) in
+      push (abs n) acc)
+    b []
+  |> List.rev
+
+let to_counted_list b = Tmap.bindings b
+
+let byte_size b =
+  Tmap.fold (fun t n acc -> acc + (abs n * Tuple.byte_size t)) b 0
+
+let dedup_to_set b = Tmap.filter_map (fun _ n -> if n > 0 then Some 1 else None) b
+
+let pp ppf b =
+  let pp_entry ppf (t, n) =
+    if n = 1 then Tuple.pp ppf t
+    else if n = -1 then Format.fprintf ppf "-%a" Tuple.pp t
+    else Format.fprintf ppf "%+d*%a" n Tuple.pp t
+  in
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_entry)
+    (Tmap.bindings b)
+
+let to_string b = Format.asprintf "%a" pp b

@@ -1,0 +1,122 @@
+exception Csv_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Csv_error s)) fmt
+
+(* Split one CSV record. Double quotes delimit fields that contain commas
+   or quotes; "" inside a quoted field is an escaped quote. *)
+let split_record line =
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let push () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let rec plain i =
+    if i >= n then push ()
+    else
+      match line.[i] with
+      | ',' ->
+        push ();
+        plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then error "unterminated quoted field in %S" line
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> after_quote (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  and after_quote i =
+    if i >= n then push ()
+    else
+      match line.[i] with
+      | ',' ->
+        push ();
+        plain (i + 1)
+      | c -> error "unexpected %C after closing quote in %S" c line
+  in
+  plain 0;
+  List.rev !fields
+
+let parse_field (col : Schema.column) text =
+  let fail () =
+    error "cannot parse %S as %s for column %s" text
+      (Value.ty_to_string col.Schema.col_type)
+      col.Schema.col_name
+  in
+  match col.Schema.col_type with
+  | Value.Tint -> (
+    match int_of_string_opt (String.trim text) with
+    | Some n -> Value.Int n
+    | None -> fail ())
+  | Value.Tfloat -> (
+    match float_of_string_opt (String.trim text) with
+    | Some f -> Value.Float f
+    | None -> fail ())
+  | Value.Tbool -> (
+    match String.lowercase_ascii (String.trim text) with
+    | "true" | "1" | "t" -> Value.Bool true
+    | "false" | "0" | "f" -> Value.Bool false
+    | _ -> fail ())
+  | Value.Tstr -> Value.Str text
+
+let lines_of text =
+  String.split_on_char '\n' text
+  |> List.map (fun l ->
+         if String.length l > 0 && l.[String.length l - 1] = '\r' then
+           String.sub l 0 (String.length l - 1)
+         else l)
+  |> List.filter (fun l -> String.trim l <> "")
+
+let parse ?(header = false) schema text =
+  let rows = lines_of text in
+  let rows = if header && rows <> [] then List.tl rows else rows in
+  List.fold_left
+    (fun bag line ->
+      let fields = split_record line in
+      if List.length fields <> Schema.arity schema then
+        error "row %S has %d fields but %s has arity %d" line
+          (List.length fields) schema.Schema.name (Schema.arity schema);
+      let tuple =
+        Tuple.of_list (List.map2 parse_field schema.Schema.columns fields)
+      in
+      Bag.add tuple bag)
+    Bag.empty rows
+
+let escape_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let field_to_string = function
+  | Value.Int n -> string_of_int n
+  | Value.Float f -> Printf.sprintf "%g" f
+  | Value.Bool b -> string_of_bool b
+  | Value.Str s -> escape_field s
+
+let to_string ?(header = false) schema bag =
+  let buf = Buffer.create 256 in
+  if header then begin
+    Buffer.add_string buf (String.concat "," (Schema.attr_names schema));
+    Buffer.add_char buf '\n'
+  end;
+  Bag.iter
+    (fun t n ->
+      if n < 0 then
+        error "cannot serialize a relation with negative counts";
+      for _ = 1 to n do
+        Buffer.add_string buf
+          (String.concat ","
+             (List.map field_to_string (Tuple.to_list t)));
+        Buffer.add_char buf '\n'
+      done)
+    bag;
+  Buffer.contents buf

@@ -1,0 +1,114 @@
+module Smap = Map.Make (String)
+
+type t = {
+  relations : (Schema.t * Bag.t) Smap.t;
+}
+
+exception Db_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Db_error s)) fmt
+
+let empty = { relations = Smap.empty }
+
+(* Declared keys are enforced: a base relation may not hold two tuples
+   agreeing on all key attributes. ECAK's correctness depends on declared
+   keys being real, so lying declarations are rejected at the door. *)
+let key_violation schema bag tuple =
+  match Schema.key_positions schema with
+  | [] -> false
+  | positions ->
+    let key t = List.map (Tuple.get t) positions in
+    let target = key tuple in
+    Bag.fold
+      (fun t n acc ->
+        acc || (n > 0 && List.equal Value.equal (key t) target))
+      bag false
+
+let check_keys schema bag =
+  match Schema.key_positions schema with
+  | [] -> ()
+  | positions ->
+    let seen = Hashtbl.create 16 in
+    Bag.iter
+      (fun t n ->
+        let key = List.map (Tuple.get t) positions in
+        if n > 1 || Hashtbl.mem seen key then
+          error "relation %s: tuple %s violates the declared key"
+            schema.Schema.name (Tuple.to_string t);
+        Hashtbl.replace seen key ())
+      bag
+
+let add_relation ?(contents = Bag.empty) db schema =
+  if Smap.mem schema.Schema.name db.relations then
+    error "relation %s already exists" schema.Schema.name;
+  Bag.iter (fun t _ -> Schema.check_tuple schema t) contents;
+  if Bag.has_negative contents then
+    error "base relation %s cannot hold negative counts" schema.Schema.name;
+  check_keys schema contents;
+  { relations = Smap.add schema.Schema.name (schema, contents) db.relations }
+
+let of_list l =
+  List.fold_left
+    (fun db (schema, contents) -> add_relation ~contents db schema)
+    empty l
+
+let schema db name =
+  match Smap.find_opt name db.relations with
+  | Some (s, _) -> s
+  | None -> error "unknown relation %s" name
+
+let schema_opt db name = Option.map fst (Smap.find_opt name db.relations)
+
+let contents db name =
+  match Smap.find_opt name db.relations with
+  | Some (_, b) -> b
+  | None -> error "unknown relation %s" name
+
+let mem db name = Smap.mem name db.relations
+
+let relation_names db = List.map fst (Smap.bindings db.relations)
+
+let schemas db = List.map (fun (_, (s, _)) -> s) (Smap.bindings db.relations)
+
+let set_contents db name bag =
+  match Smap.find_opt name db.relations with
+  | None -> error "unknown relation %s" name
+  | Some (s, _) ->
+    Bag.iter (fun t _ -> Schema.check_tuple s t) bag;
+    { relations = Smap.add name (s, bag) db.relations }
+
+let apply ?(strict = true) db (u : Update.t) =
+  match Smap.find_opt u.rel db.relations with
+  | None -> error "update %s targets unknown relation" (Update.to_string u)
+  | Some (s, b) ->
+    Schema.check_tuple s u.tuple;
+    let b' =
+      match u.kind with
+      | Update.Insert ->
+        if key_violation s b u.tuple then
+          error "insert violates the declared key of %s: %s" u.rel
+            (Update.to_string u)
+        else Bag.add u.tuple b
+      | Update.Delete ->
+        if Bag.count b u.tuple <= 0 then
+          if strict then
+            error "delete of absent tuple: %s" (Update.to_string u)
+          else b (* non-strict: deleting an absent tuple is a no-op *)
+        else Bag.remove u.tuple b
+    in
+    { relations = Smap.add u.rel (s, b') db.relations }
+
+let apply_all ?strict db us = List.fold_left (fun db u -> apply ?strict db u) db us
+
+let total_tuples db =
+  Smap.fold (fun _ (_, b) acc -> acc + Bag.net_cardinality b) db.relations 0
+
+let equal a b =
+  Smap.equal
+    (fun (s1, b1) (s2, b2) -> Schema.equal s1 s2 && Bag.equal b1 b2)
+    a.relations b.relations
+
+let pp ppf db =
+  Smap.iter
+    (fun _ (s, b) -> Format.fprintf ppf "%a = %a@." Schema.pp s Bag.pp b)
+    db.relations

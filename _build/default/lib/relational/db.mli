@@ -1,0 +1,42 @@
+(** A database instance: named base relations with their schemas and
+    current (non-negative) bag contents.
+
+    The source site owns one of these; the SC (store copies) algorithm
+    keeps a replica at the warehouse. Values are immutable — applying an
+    update returns a new instance, which is what lets the simulation runner
+    snapshot source states for the Section-3 consistency checkers at zero
+    bookkeeping cost. *)
+
+type t
+
+exception Db_error of string
+
+val empty : t
+
+val add_relation : ?contents:Bag.t -> t -> Schema.t -> t
+(** @raise Db_error on duplicate names, arity mismatches, negative counts
+    in [contents], or contents violating the schema's declared key. *)
+
+val of_list : (Schema.t * Bag.t) list -> t
+
+val schema : t -> string -> Schema.t
+val schema_opt : t -> string -> Schema.t option
+val contents : t -> string -> Bag.t
+val mem : t -> string -> bool
+val relation_names : t -> string list
+val schemas : t -> Schema.t list
+val set_contents : t -> string -> Bag.t -> t
+
+val apply : ?strict:bool -> t -> Update.t -> t
+(** Executes one update atomically. With [strict] (default), deleting a
+    tuple that is not present raises [Db_error]; with [~strict:false] the
+    delete is a no-op on absent tuples. Inserts that would put two tuples
+    with equal declared-key values into a relation raise [Db_error]
+    regardless of strictness — ECAK's correctness depends on declared keys
+    being real. *)
+
+val apply_all : ?strict:bool -> t -> Update.t list -> t
+
+val total_tuples : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,185 @@
+exception Eval_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+(* Column layout of a term: the concatenation of its slots' columns, each
+   tagged with its relation. Slot [i] occupies positions
+   [offsets.(i) .. offsets.(i) + arity_i - 1]. *)
+type layout = {
+  cols : (string * string) array;  (* (relation, column) per position *)
+  offsets : int array;             (* first position of each slot *)
+}
+
+let layout_of_slots slots =
+  let cols = ref [] and offsets = ref [] and off = ref 0 in
+  List.iter
+    (fun slot ->
+      let s = Term.slot_schema slot in
+      offsets := !off :: !offsets;
+      List.iter
+        (fun c ->
+          cols := (s.Schema.name, c) :: !cols;
+          incr off)
+        (Schema.attr_names s))
+    slots;
+  { cols = Array.of_list (List.rev !cols); offsets = Array.of_list (List.rev !offsets) }
+
+let resolve layout (a : Attr.t) =
+  let hits = ref [] in
+  Array.iteri
+    (fun i (rel, name) -> if Attr.matches ~rel ~name a then hits := i :: !hits)
+    layout.cols;
+  match !hits with
+  | [ i ] -> i
+  | [] -> error "unresolved attribute %s" (Attr.to_string a)
+  | _ -> error "ambiguous attribute %s" (Attr.to_string a)
+
+(* Highest column position referenced by a predicate; -1 when it has no
+   attribute references (constant-only conjuncts). *)
+let max_position layout p =
+  List.fold_left
+    (fun acc a -> max acc (resolve layout a))
+    (-1) (Predicate.attrs p)
+
+let slot_of_position layout pos =
+  let n = Array.length layout.offsets in
+  let rec loop i = if i + 1 < n && layout.offsets.(i + 1) <= pos then loop (i + 1) else i in
+  loop 0
+
+(* A conjunct [colA = colB] whose two sides land in different slots and
+   whose later slot is [slot] becomes a hash-join key for that slot. *)
+type join_key = {
+  probe_pos : int;  (* position among already-joined columns *)
+  build_pos : int;  (* position within the new slot's own columns *)
+}
+
+let classify_conjuncts layout slots cond =
+  let nslots = List.length slots in
+  let joins = Array.make nslots [] in      (* per-slot hash-join keys *)
+  let filters = Array.make nslots [] in    (* per-slot residual conjuncts *)
+  let pre = ref [] in                      (* constant-only conjuncts *)
+  let assign p =
+    match p with
+    | Predicate.Cmp (Predicate.Eq, Predicate.Col a, Predicate.Col b) -> (
+      let pa = resolve layout a and pb = resolve layout b in
+      let sa = slot_of_position layout pa and sb = slot_of_position layout pb in
+      if sa = sb then
+        filters.(sa) <- p :: filters.(sa)
+      else
+        let later, (probe_pos, build_pos) =
+          if sa < sb then sb, (pa, pb - layout.offsets.(sb))
+          else sa, (pb, pa - layout.offsets.(sa))
+        in
+        joins.(later) <- { probe_pos; build_pos } :: joins.(later))
+    | _ -> (
+      match max_position layout p with
+      | -1 -> pre := p :: !pre
+      | pos -> (
+        let s = slot_of_position layout pos in
+        filters.(s) <- p :: filters.(s)))
+  in
+  List.iter assign (Predicate.conjuncts cond);
+  (!pre, joins, filters)
+
+(* Compile a residual conjunct once per term: attribute positions are
+   resolved ahead of the row loop, so applying the filter is a small
+   association lookup instead of a scan over the whole column layout. All
+   attributes are bound by the time the filter is applied. *)
+let compile_filter layout p =
+  let resolved =
+    List.map (fun a -> (a, resolve layout a)) (Predicate.attrs p)
+  in
+  let position a =
+    let rec find = function
+      | [] -> resolve layout a
+      | (a', i) :: rest -> if Attr.equal a a' then i else find rest
+    in
+    find resolved
+  in
+  fun (row : Value.t array) -> Predicate.eval (fun a -> row.(position a)) p
+
+let slot_contents db = function
+  | Term.Base s -> Db.contents db s.Schema.name
+  | Term.Lit (s, g, tup) ->
+    Schema.check_tuple s tup;
+    Bag.singleton ~count:(Sign.to_int g) tup
+
+(* Core term evaluation: left-to-right join of the slots with per-slot hash
+   joins on equality conjuncts, residual filters applied as soon as their
+   last column is bound, and final projection into a signed bag. Replication
+   counts multiply across slots, which is exactly the sign-product rule of
+   Section 4.1 read through ℤ counts. *)
+let term db (t : Term.t) =
+  let layout = layout_of_slots t.Term.slots in
+  let pre, joins, filters = classify_conjuncts layout t.Term.slots t.Term.cond in
+  let statically_false =
+    List.exists (fun p -> not (Predicate.eval (fun _ -> assert false) p)) pre
+  in
+  if statically_false then Bag.empty
+  else begin
+    let proj_positions =
+      Array.of_list (List.map (resolve layout) t.Term.proj)
+    in
+    let rows = ref [ (([||] : Value.t array), 1) ] in
+    List.iteri
+      (fun i slot ->
+        let contents = slot_contents db slot in
+        let fs = List.map (compile_filter layout) filters.(i) in
+        let apply_filters row = List.for_all (fun f -> f row) fs in
+        let next =
+          match joins.(i) with
+          | [] ->
+            (* Nested-loop extension. *)
+            List.concat_map
+              (fun (row, cnt) ->
+                Bag.fold
+                  (fun tup n acc ->
+                    let row' = Tuple.concat row tup in
+                    if apply_filters row' then (row', cnt * n) :: acc else acc)
+                  contents [])
+              !rows
+          | keys ->
+            (* Hash join: build on the new slot, probe with partial rows. *)
+            let tbl : (Value.t list, (Tuple.t * int) list) Hashtbl.t =
+              Hashtbl.create 64
+            in
+            Bag.iter
+              (fun tup n ->
+                let key = List.map (fun k -> Tuple.get tup k.build_pos) keys in
+                let prev = Option.value (Hashtbl.find_opt tbl key) ~default:[] in
+                Hashtbl.replace tbl key ((tup, n) :: prev))
+              contents;
+            List.concat_map
+              (fun (row, cnt) ->
+                let key = List.map (fun k -> row.(k.probe_pos)) keys in
+                match Hashtbl.find_opt tbl key with
+                | None -> []
+                | Some matches ->
+                  List.filter_map
+                    (fun (tup, n) ->
+                      let row' = Tuple.concat row tup in
+                      if apply_filters row' then Some (row', cnt * n) else None)
+                    matches)
+              !rows
+        in
+        rows := next)
+      t.Term.slots;
+    let sign_factor = Sign.to_int t.Term.sign in
+    List.fold_left
+      (fun acc (row, cnt) ->
+        Bag.add ~count:(cnt * sign_factor) (Tuple.project proj_positions row) acc)
+      Bag.empty !rows
+  end
+
+let query db q =
+  List.fold_left (fun acc t -> Bag.plus acc (term db t)) Bag.empty q
+
+let view db v = query db (Query.of_view v)
+
+let literal_term (t : Term.t) =
+  if not (Term.is_all_literals t) then
+    error "literal_term: term still references base relations";
+  term Db.empty t
+
+let literal_query q =
+  List.fold_left (fun acc t -> Bag.plus acc (literal_term t)) Bag.empty q

@@ -1,0 +1,33 @@
+(** Logical evaluation of terms, queries and views against a database
+    instance.
+
+    Terms are executed as left-to-right joins: top-level equality conjuncts
+    between attributes of different slots run as hash joins, residual
+    conjuncts are applied as soon as their columns are bound, and
+    replication counts multiply across slots — which realizes the paper's
+    sign-product rule through ℤ-counted bags. The result of evaluating a
+    query is the signed sum of its terms' results.
+
+    This evaluator defines {e what} an answer is; the physical layer in
+    [lib/storage] independently accounts for {e how many I/Os} the source
+    spends producing it. *)
+
+exception Eval_error of string
+
+val term : Db.t -> Term.t -> Bag.t
+(** Evaluate one signed term. Literal (substituted-tuple) slots contribute
+    their single signed tuple regardless of the database contents. *)
+
+val query : Db.t -> Query.t -> Bag.t
+(** [Q[ss]]: the signed sum of the term results. *)
+
+val view : Db.t -> View.t -> Bag.t
+(** [V[ss]]: the full view contents at a source state — what the
+    consistency checkers compare against, and what RV's recompute query
+    returns. *)
+
+val literal_term : Term.t -> Bag.t
+(** Evaluate a term with no base-relation slots; needs no database.
+    @raise Eval_error if the term still references a base relation. *)
+
+val literal_query : Query.t -> Bag.t

@@ -1,0 +1,69 @@
+type t = Term.t list
+
+let empty = []
+
+let is_empty q = q = []
+
+let of_view v = [ Term.of_view v ]
+
+let of_terms ts = ts
+
+let terms q = q
+
+let negate q = List.map Term.negate q
+
+let plus a b = a @ b
+
+let minus a b = a @ negate b
+
+let subst q (u : Update.t) = List.filter_map (fun t -> Term.subst t u) q
+
+let subst_all q us = List.fold_left subst q us
+
+let view_delta v u = subst (of_view v) u
+
+let split_local q =
+  List.partition Term.is_all_literals q
+
+(* Cancel T / -T pairs: compensations of compensations can re-introduce a
+   term that an earlier compensation subtracted; since queries are signed
+   sums, such pairs contribute nothing and need not be shipped or
+   evaluated. *)
+let simplify q =
+  List.fold_left
+    (fun acc t ->
+      let opposite = Term.negate t in
+      let rec remove_first = function
+        | [] -> None
+        | x :: rest ->
+          if Term.equal x opposite then Some rest
+          else Option.map (fun r -> x :: r) (remove_first rest)
+      in
+      match remove_first acc with
+      | Some acc' -> acc'
+      | None -> acc @ [ t ])
+    [] q
+
+let base_relations q =
+  List.sort_uniq String.compare (List.concat_map Term.base_relations q)
+
+let term_count = List.length
+
+let byte_size q =
+  List.fold_left (fun acc t -> acc + Term.byte_size t) 0 q
+
+let equal a b = List.equal Term.equal a b
+
+let pp ppf q =
+  match q with
+  | [] -> Format.pp_print_string ppf "(empty query)"
+  | t :: rest ->
+    Term.pp ppf t;
+    List.iter
+      (fun (tm : Term.t) ->
+        match tm.Term.sign with
+        | Sign.Pos -> Format.fprintf ppf "@ + %a" Term.pp { tm with Term.sign = Sign.Pos }
+        | Sign.Neg -> Format.fprintf ppf "@ - %a" Term.pp { tm with Term.sign = Sign.Pos })
+      rest
+
+let to_string q = Format.asprintf "%a" pp q

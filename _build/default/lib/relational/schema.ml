@@ -1,0 +1,78 @@
+type column = {
+  col_name : string;
+  col_type : Value.ty;
+}
+
+type t = {
+  name : string;
+  columns : column list;
+  key : string list;
+}
+
+exception Schema_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Schema_error s)) fmt
+
+let make ?(key = []) name columns =
+  if name = "" then error "relation name cannot be empty";
+  if columns = [] then error "relation %s must have at least one column" name;
+  let names = List.map (fun c -> c.col_name) columns in
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then
+    error "relation %s has duplicate column names" name;
+  List.iter
+    (fun k ->
+      if not (List.mem k names) then
+        error "key attribute %s is not a column of %s" k name)
+    key;
+  { name; columns; key }
+
+let of_names ?key name col_names =
+  make ?key name
+    (List.map (fun n -> { col_name = n; col_type = Value.Tint }) col_names)
+
+let arity s = List.length s.columns
+
+let attr_names s = List.map (fun c -> c.col_name) s.columns
+
+let column_index s n =
+  let rec loop i = function
+    | [] -> None
+    | c :: rest -> if String.equal c.col_name n then Some i else loop (i + 1) rest
+  in
+  loop 0 s.columns
+
+let has_column s n = Option.is_some (column_index s n)
+
+let key_positions s =
+  List.map
+    (fun k ->
+      match column_index s k with
+      | Some i -> i
+      | None -> error "key attribute %s is not a column of %s" k s.name)
+    s.key
+
+let check_tuple s (t : Tuple.t) =
+  if Tuple.arity t <> arity s then
+    error "tuple %s has arity %d but relation %s has arity %d"
+      (Tuple.to_string t) (Tuple.arity t) s.name (arity s)
+
+let equal a b =
+  String.equal a.name b.name
+  && List.length a.columns = List.length b.columns
+  && List.for_all2
+       (fun x y -> String.equal x.col_name y.col_name && x.col_type = y.col_type)
+       a.columns b.columns
+  && List.equal String.equal a.key b.key
+
+let pp ppf s =
+  let pp_col ppf c =
+    Format.fprintf ppf "%s %s%s" c.col_name
+      (Value.ty_to_string c.col_type)
+      (if List.mem c.col_name s.key then " KEY" else "")
+  in
+  Format.fprintf ppf "%s(%a)" s.name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_col)
+    s.columns
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,43 @@
+(** Base-relation schemas: a relation name, ordered typed columns, and an
+    optional declared key.
+
+    Key declarations drive the ECA-Key algorithm (Section 5.4): a view is
+    ECAK-eligible only when it projects a declared key of every base
+    relation it ranges over. *)
+
+type column = {
+  col_name : string;
+  col_type : Value.ty;
+}
+
+type t = private {
+  name : string;
+  columns : column list;
+  key : string list;  (** declared key attributes; [[]] when unknown *)
+}
+
+exception Schema_error of string
+
+val make : ?key:string list -> string -> column list -> t
+(** [make ?key name columns] validates that column names are distinct and
+    that every key attribute is a column.
+    @raise Schema_error otherwise. *)
+
+val of_names : ?key:string list -> string -> string list -> t
+(** [of_names name cols] builds an all-[INT] schema; the paper's examples
+    (r1(W,X), r2(X,Y), ...) are all integer relations. *)
+
+val arity : t -> int
+val attr_names : t -> string list
+val column_index : t -> string -> int option
+val has_column : t -> string -> bool
+
+val key_positions : t -> int list
+(** Column indexes of the declared key attributes, in declaration order. *)
+
+val check_tuple : t -> Tuple.t -> unit
+(** @raise Schema_error when the tuple arity does not match the schema. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,29 @@
+type t = {
+  tables : Schema.t list;
+  views : Viewdef.t list;
+  initial : Update.t list;
+  updates : Update.t list;
+}
+
+let empty = { tables = []; views = []; initial = []; updates = [] }
+
+let table t name =
+  List.find_opt (fun (s : Schema.t) -> String.equal s.Schema.name name) t.tables
+
+let view t name =
+  List.find_opt
+    (fun (v : Viewdef.t) -> String.equal v.Viewdef.name name)
+    t.views
+
+let initial_db t =
+  let db =
+    List.fold_left (fun db s -> Db.add_relation db s) Db.empty t.tables
+  in
+  Db.apply_all db t.initial
+
+let pp ppf t =
+  Format.fprintf ppf "tables: %s@."
+    (String.concat ", " (List.map (fun (s : Schema.t) -> s.Schema.name) t.tables));
+  List.iter (fun v -> Format.fprintf ppf "%a@." Viewdef.pp v) t.views;
+  Format.fprintf ppf "initial inserts: %d, updates: %d"
+    (List.length t.initial) (List.length t.updates)

@@ -1,0 +1,35 @@
+type kind =
+  | Insert
+  | Delete
+
+type t = {
+  seq : int;
+  kind : kind;
+  rel : string;
+  tuple : Tuple.t;
+}
+
+let insert ?(seq = 0) rel tuple = { seq; kind = Insert; rel; tuple }
+let delete ?(seq = 0) rel tuple = { seq; kind = Delete; rel; tuple }
+
+let with_seq seq u = { u with seq }
+
+let sign u =
+  match u.kind with
+  | Insert -> Sign.Pos
+  | Delete -> Sign.Neg
+
+let signed_tuple u = (sign u, u.tuple)
+
+let byte_size u = 8 + String.length u.rel + Tuple.byte_size u.tuple
+
+let equal a b =
+  a.seq = b.seq && a.kind = b.kind && String.equal a.rel b.rel
+  && Tuple.equal a.tuple b.tuple
+
+let to_string u =
+  Printf.sprintf "%s(%s, %s)"
+    (match u.kind with Insert -> "insert" | Delete -> "delete")
+    u.rel (Tuple.to_string u.tuple)
+
+let pp ppf u = Format.pp_print_string ppf (to_string u)

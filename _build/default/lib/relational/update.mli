@@ -1,0 +1,36 @@
+(** Single-tuple base-relation updates, the unit of source→warehouse
+    notification.
+
+    Modifications are modelled as a deletion followed by an insertion, as
+    in the paper. The [seq] field is the source-assigned sequence number;
+    it identifies the update across the four events it triggers
+    ([S_up], [W_up], [S_qu], [W_ans]). *)
+
+type kind =
+  | Insert
+  | Delete
+
+type t = {
+  seq : int;
+  kind : kind;
+  rel : string;
+  tuple : Tuple.t;
+}
+
+val insert : ?seq:int -> string -> Tuple.t -> t
+val delete : ?seq:int -> string -> Tuple.t -> t
+val with_seq : int -> t -> t
+
+val sign : t -> Sign.t
+(** [Pos] for inserts, [Neg] for deletes — the sign substituted into query
+    terms by [Q⟨U⟩]. *)
+
+val signed_tuple : t -> Sign.t * Tuple.t
+
+val byte_size : t -> int
+(** Notification message size (charged identically for all algorithms, so
+    excluded from the paper's B metric; tracked for completeness). *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type ty =
+  | Tint
+  | Tfloat
+  | Tstr
+  | Tbool
+
+let type_of = function
+  | Int _ -> Tint
+  | Float _ -> Tfloat
+  | Str _ -> Tstr
+  | Bool _ -> Tbool
+
+let ty_to_string = function
+  | Tint -> "INT"
+  | Tfloat -> "FLOAT"
+  | Tstr -> "TEXT"
+  | Tbool -> "BOOL"
+
+let ty_of_string s =
+  match String.uppercase_ascii s with
+  | "INT" | "INTEGER" -> Some Tint
+  | "FLOAT" | "REAL" | "DOUBLE" -> Some Tfloat
+  | "TEXT" | "STRING" | "VARCHAR" -> Some Tstr
+  | "BOOL" | "BOOLEAN" -> Some Tbool
+  | _ -> None
+
+let tag = function
+  | Int _ -> 0
+  | Float _ -> 1
+  | Str _ -> 2
+  | Bool _ -> 3
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | (Int _ | Float _ | Str _ | Bool _), _ -> Int.compare (tag a) (tag b)
+
+let equal a b = compare a b = 0
+
+(* Cross-type numeric comparison used by predicates: an Int and a Float
+   compare by numeric value so that conditions like [W > 1.5] are usable on
+   integer columns. Other mixed comparisons fall back to structural order. *)
+let compare_for_predicate a b =
+  match a, b with
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | _ -> compare a b
+
+let byte_size = function
+  | Int _ -> 4
+  | Float _ -> 8
+  | Str s -> String.length s
+  | Bool _ -> 1
+
+let to_string = function
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> Printf.sprintf "%S" s
+  | Bool b -> string_of_bool b
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let hash = function
+  | Int n -> Hashtbl.hash (0, n)
+  | Float f -> Hashtbl.hash (1, f)
+  | Str s -> Hashtbl.hash (2, s)
+  | Bool b -> Hashtbl.hash (3, b)

@@ -1,0 +1,43 @@
+(** Scalar values stored in relation columns.
+
+    The paper works over untyped relational examples; we provide a small
+    typed universe sufficient for realistic warehouse schemas. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+(** Column types, used by schemas and the script parser. *)
+type ty =
+  | Tint
+  | Tfloat
+  | Tstr
+  | Tbool
+
+val type_of : t -> ty
+val ty_to_string : ty -> string
+
+val ty_of_string : string -> ty option
+(** [ty_of_string s] parses SQL-ish type names ([INT], [FLOAT], [TEXT],
+    [BOOL] and common synonyms), case-insensitively. *)
+
+val compare : t -> t -> int
+(** Total order: values of the same type compare naturally; values of
+    different types compare by a fixed tag order (Int < Float < Str < Bool).
+    Used for bag maps and deterministic printing. *)
+
+val equal : t -> t -> bool
+
+val compare_for_predicate : t -> t -> int
+(** Like {!compare} but [Int]/[Float] pairs compare numerically, so
+    predicates such as [W > 1.5] behave as expected on integer columns. *)
+
+val byte_size : t -> int
+(** Size in bytes charged by the transfer-cost model (ints 4, floats 8,
+    bools 1, strings their length). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val hash : t -> int

@@ -1,0 +1,1 @@
+lib/source_site/source.ml: Format List Relational Storage

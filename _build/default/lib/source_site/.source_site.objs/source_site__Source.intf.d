@@ -1,0 +1,1 @@
+lib/source_site/source.mli: Format Relational Storage

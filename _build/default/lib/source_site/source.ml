@@ -1,0 +1,51 @@
+module R = Relational
+
+type event =
+  | S_up of R.Update.t
+  | S_qu of {
+      id : int;
+      query : R.Query.t;
+      answer : R.Bag.t;
+      cost : Storage.Cost.t;
+    }
+
+type t = {
+  mutable db : R.Db.t;
+  catalog : Storage.Catalog.t;
+  mutable log : event list;  (* newest first *)
+  mutable io_total : int;
+}
+
+let create ?(catalog = Storage.Catalog.make ()) db =
+  { db; catalog; log = []; io_total = 0 }
+
+let db t = t.db
+
+let catalog t = t.catalog
+
+let execute_update t u =
+  t.db <- R.Db.apply t.db u;
+  t.log <- S_up u :: t.log
+
+let answer_query t ~id q =
+  let { Storage.Executor.answer; cost; plans = _ } =
+    Storage.Executor.run t.catalog t.db q
+  in
+  t.io_total <- t.io_total + cost.Storage.Cost.io;
+  t.log <- S_qu { id; query = q; answer; cost } :: t.log;
+  (answer, cost)
+
+let io_total t = t.io_total
+
+let events t = List.rev t.log
+
+let update_count t =
+  List.length (List.filter (function S_up _ -> true | S_qu _ -> false) t.log)
+
+let query_count t =
+  List.length (List.filter (function S_qu _ -> true | S_up _ -> false) t.log)
+
+let pp_event ppf = function
+  | S_up u -> Format.fprintf ppf "S_up %a" R.Update.pp u
+  | S_qu { id; answer; cost; _ } ->
+    Format.fprintf ppf "S_qu Q%d -> %a %a" id R.Bag.pp answer Storage.Cost.pp cost

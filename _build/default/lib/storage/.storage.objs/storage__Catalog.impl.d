@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Block Format Index List String

@@ -1,0 +1,1 @@
+lib/storage/executor.ml: Catalog Cost Hashtbl List Plan Planner Relational

@@ -1,0 +1,1 @@
+lib/storage/executor.mli: Catalog Cost Plan Relational

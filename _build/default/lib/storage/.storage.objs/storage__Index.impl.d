@@ -1,0 +1,1 @@
+lib/storage/index.ml: Block Bool Format String

@@ -1,0 +1,1 @@
+lib/storage/plan.ml: Format Index List Printf String

@@ -1,0 +1,1 @@
+lib/storage/plan.mli: Format Index

@@ -1,0 +1,1 @@
+lib/storage/planner.ml: Block Catalog Float Hashtbl Index List Option Plan Relational Stats String

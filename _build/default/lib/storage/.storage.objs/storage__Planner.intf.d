@@ -1,0 +1,1 @@
+lib/storage/planner.mli: Catalog Plan Relational

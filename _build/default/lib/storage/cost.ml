@@ -1,0 +1,26 @@
+type t = {
+  io : int;
+  answer_tuples : int;
+  answer_bytes : int;
+}
+
+let zero = { io = 0; answer_tuples = 0; answer_bytes = 0 }
+
+let io n = { zero with io = n }
+
+let add a b =
+  {
+    io = a.io + b.io;
+    answer_tuples = a.answer_tuples + b.answer_tuples;
+    answer_bytes = a.answer_bytes + b.answer_bytes;
+  }
+
+let sum l = List.fold_left add zero l
+
+let equal a b =
+  a.io = b.io && a.answer_tuples = b.answer_tuples
+  && a.answer_bytes = b.answer_bytes
+
+let pp ppf c =
+  Format.fprintf ppf "{io=%d; tuples=%d; bytes=%d}" c.io c.answer_tuples
+    c.answer_bytes

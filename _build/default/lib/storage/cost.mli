@@ -1,0 +1,16 @@
+(** Per-query cost records produced by the source's executor: I/Os spent
+    (the paper's IO metric) and the size of the produced answer (the B
+    metric is accumulated from these by the messaging layer). *)
+
+type t = {
+  io : int;
+  answer_tuples : int;  (** signed tuple copies in the answer *)
+  answer_bytes : int;
+}
+
+val zero : t
+val io : int -> t
+val add : t -> t -> t
+val sum : t list -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

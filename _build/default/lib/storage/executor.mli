@@ -1,0 +1,16 @@
+(** Query execution at the source: logical evaluation paired with
+    physical cost accounting.
+
+    The answer is the signed sum of the term results (what the warehouse
+    needs); the cost charges each term independently — I/Os from the
+    planner, transferred tuples/bytes from each term's materialized result
+    {e before} cross-term cancellation, matching how Appendix D sums the
+    per-term transfer costs of compensating queries. *)
+
+type result = {
+  answer : Relational.Bag.t;
+  cost : Cost.t;
+  plans : (Relational.Term.t * Plan.t) list;  (** per-term physical plans *)
+}
+
+val run : Catalog.t -> Relational.Db.t -> Relational.Query.t -> result

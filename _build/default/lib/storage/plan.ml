@@ -1,0 +1,57 @@
+type step =
+  | Local
+  | Scan of {
+      rel : string;
+      blocks : int;
+    }
+  | Index_probe of {
+      index : Index.t;
+      probes : int;
+      matches_per_probe : float;
+      io : int;
+    }
+  | Nested_loop of {
+      outers : (string * int) list;  (** (relation, chunk loads) *)
+      inner : string;
+      inner_blocks : int;
+      io : int;
+    }
+
+type t = {
+  steps : step list;
+  io : int;
+}
+
+let local = { steps = [ Local ]; io = 0 }
+
+let step_io = function
+  | Local -> 0
+  | Scan { blocks; _ } -> blocks
+  | Index_probe { io; _ } -> io
+  | Nested_loop { io; _ } -> io
+
+let of_steps steps =
+  { steps; io = List.fold_left (fun acc s -> acc + step_io s) 0 steps }
+
+let concat plans =
+  {
+    steps = List.concat_map (fun p -> p.steps) plans;
+    io = List.fold_left (fun acc p -> acc + p.io) 0 plans;
+  }
+
+let pp_step ppf = function
+  | Local -> Format.pp_print_string ppf "local (literal tuples only, 0 IO)"
+  | Scan { rel; blocks } -> Format.fprintf ppf "scan %s (%d IO)" rel blocks
+  | Index_probe { index; probes; matches_per_probe; io } ->
+    Format.fprintf ppf "probe %a x%d (J=%.2f, %d IO)" Index.pp index probes
+      matches_per_probe io
+  | Nested_loop { outers; inner; inner_blocks; io } ->
+    Format.fprintf ppf "nested-loop [%s] x scan %s (%d blocks) (%d IO)"
+      (String.concat "; "
+         (List.map (fun (r, c) -> Printf.sprintf "%s:%d chunks" r c) outers))
+      inner inner_blocks io
+
+let pp ppf t =
+  Format.fprintf ppf "io=%d: %a" t.io
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_step)
+    t.steps

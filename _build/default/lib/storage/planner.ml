@@ -1,0 +1,184 @@
+module R = Relational
+
+(* Equi-join edges of a term: [(relA, attrA, relB, attrB)] for every
+   top-level conjunct [relA.attrA = relB.attrB] with distinct relations. *)
+let join_edges (t : R.Term.t) =
+  List.filter_map
+    (function
+      | R.Predicate.Cmp
+          (R.Predicate.Eq, R.Predicate.Col a, R.Predicate.Col b) -> (
+        match a.R.Attr.rel, b.R.Attr.rel with
+        | Some ra, Some rb when not (String.equal ra rb) ->
+          Some (ra, a.R.Attr.name, rb, b.R.Attr.name)
+        | _ -> None)
+      | _ -> None)
+    (R.Predicate.conjuncts t.R.Term.cond)
+
+let relation_blocks cat db rel =
+  Block.blocks_for cat.Catalog.block ~tuples:(Stats.cardinality db rel)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario 1: indexes + ample memory.                                 *)
+(*                                                                     *)
+(* Literal slots seed the join. Each base relation reachable through a *)
+(* join edge is fetched either by index probes — one probe per tuple   *)
+(* of the relation on the other side of the edge, as in Appendix D's   *)
+(* IO1..IO3 derivations — or by one full scan, whichever is cheaper    *)
+(* (the paper's min(J, I) choice). Unreachable base relations are      *)
+(* scanned. A term with no literal slots reads every base relation.    *)
+(* ------------------------------------------------------------------ *)
+
+let scenario1_term cat db (t : R.Term.t) =
+  let bases = R.Term.base_relations t in
+  if bases = [] then Plan.local
+  else
+    let lits =
+      List.filter_map
+        (function
+          | R.Term.Lit (s, _, _) -> Some s.R.Schema.name
+          | R.Term.Base _ -> None)
+        t.R.Term.slots
+    in
+    if lits = [] then
+      Plan.of_steps
+        (List.map
+           (fun rel -> Plan.Scan { rel; blocks = relation_blocks cat db rel })
+           bases)
+    else begin
+      let edges = join_edges t in
+      (* multiplicity rel = expected number of tuples of [rel] that feed
+         probes into relations joined to it; literals contribute 1. *)
+      let multiplicity : (string, float) Hashtbl.t = Hashtbl.create 8 in
+      List.iter (fun r -> Hashtbl.replace multiplicity r 1.0) lits;
+      let bound rel = Hashtbl.mem multiplicity rel in
+      let remaining = ref bases in
+      let steps = ref [] in
+      let k = float_of_int cat.Catalog.block.Block.tuples_per_block in
+      (* The cheapest edge into [rel] from the bound set: fewest probes. *)
+      let best_edge rel =
+        List.filter_map
+          (fun (ra, aa, rb, ab) ->
+            if String.equal rb rel && bound ra then
+              Some (Hashtbl.find multiplicity ra, ab)
+            else if String.equal ra rel && bound rb then
+              Some (Hashtbl.find multiplicity rb, aa)
+            else None)
+          edges
+        |> List.fold_left
+             (fun acc (probes, attr) ->
+               match acc with
+               | Some (p, _) when p <= probes -> acc
+               | _ -> Some (probes, attr))
+             None
+      in
+      let next_reachable () =
+        List.find_map
+          (fun rel -> Option.map (fun e -> (rel, e)) (best_edge rel))
+          !remaining
+      in
+      let take rel mult =
+        remaining := List.filter (fun r -> not (String.equal r rel)) !remaining;
+        Hashtbl.replace multiplicity rel mult
+      in
+      let rec loop () =
+        match next_reachable () with
+        | Some (rel, (probes, attr)) ->
+          let m = Stats.join_factor db rel attr in
+          let idx = Catalog.index_on cat ~rel ~attr in
+          let per_probe =
+            match idx with
+            | Some i when i.Index.clustered -> Float.ceil (m /. k)
+            | Some _ -> m
+            | None -> Float.infinity
+          in
+          let probe_io = Float.ceil (probes *. per_probe) in
+          let scan_io = float_of_int (relation_blocks cat db rel) in
+          let step =
+            match idx with
+            | Some index when probe_io <= scan_io ->
+              Plan.Index_probe
+                {
+                  index;
+                  probes = int_of_float (Float.ceil probes);
+                  matches_per_probe = m;
+                  io = int_of_float probe_io;
+                }
+            | Some _ | None -> Plan.Scan { rel; blocks = int_of_float scan_io }
+          in
+          steps := step :: !steps;
+          take rel (probes *. m);
+          loop ()
+        | None -> (
+          (* Base relations not joined to anything bound: scan them. *)
+          match !remaining with
+          | [] -> ()
+          | rel :: _ ->
+            steps :=
+              Plan.Scan { rel; blocks = relation_blocks cat db rel } :: !steps;
+            take rel (float_of_int (max 1 (Stats.cardinality db rel)));
+            loop ())
+      in
+      loop ();
+      Plan.of_steps (List.rev !steps)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Scenario 2: no indexes, three free memory blocks, nested loops.     *)
+(*                                                                     *)
+(* With b base relations, the first b-1 (in slot order) are outer      *)
+(* loops read in chunks and the last is the inner scan. Two buffers    *)
+(* are available for outer chunks when b = 2, one per outer otherwise. *)
+(* Following Appendix D, only inner scans are charged unless the       *)
+(* catalog asks for outer reads too.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let scenario2_term cat db (t : R.Term.t) =
+  let bases = R.Term.base_relations t in
+  match bases with
+  | [] -> Plan.local
+  | [ rel ] ->
+    Plan.of_steps [ Plan.Scan { rel; blocks = relation_blocks cat db rel } ]
+  | _ ->
+    let b = List.length bases in
+    let rec split acc = function
+      | [] -> assert false
+      | [ inner ] -> (List.rev acc, inner)
+      | o :: rest -> split (o :: acc) rest
+    in
+    let outer_rels, inner = split [] bases in
+    let buffers_per_outer = if b = 2 then 2 else 1 in
+    let outers =
+      List.map
+        (fun rel ->
+          let c = Stats.cardinality db rel in
+          ( rel,
+            max 1
+              (Block.blocks_for cat.Catalog.block
+                 ~tuples:((c + buffers_per_outer - 1) / buffers_per_outer)) ))
+        outer_rels
+    in
+    let chunk_product =
+      List.fold_left (fun acc (_, chunks) -> acc * chunks) 1 outers
+    in
+    let inner_blocks = relation_blocks cat db inner in
+    let inner_io = chunk_product * inner_blocks in
+    let outer_io =
+      if not cat.Catalog.count_outer_reads then 0
+      else
+        let rec charge prefix = function
+          | [] -> 0
+          | (rel, chunks) :: rest ->
+            let blocks = relation_blocks cat db rel in
+            (prefix * blocks) + charge (prefix * chunks) rest
+        in
+        charge 1 outers
+    in
+    Plan.of_steps
+      [ Plan.Nested_loop { outers; inner; inner_blocks; io = inner_io + outer_io } ]
+
+let term cat db t =
+  match cat.Catalog.mode with
+  | Catalog.Indexed_memory -> scenario1_term cat db t
+  | Catalog.Limited_memory -> scenario2_term cat db t
+
+let query cat db q = Plan.concat (List.map (term cat db) (R.Query.terms q))

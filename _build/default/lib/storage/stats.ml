@@ -1,0 +1,68 @@
+module Smap = Map.Make (String)
+
+let cardinality db rel =
+  Relational.Bag.net_cardinality (Relational.Db.contents db rel)
+
+let distinct_values db rel attr =
+  let schema = Relational.Db.schema db rel in
+  match Relational.Schema.column_index schema attr with
+  | None -> 0
+  | Some i ->
+    let seen = Hashtbl.create 64 in
+    Relational.Bag.iter
+      (fun t n ->
+        if n > 0 then Hashtbl.replace seen (Relational.Tuple.get t i) ())
+      (Relational.Db.contents db rel);
+    Hashtbl.length seen
+
+(* J(r, a): expected number of r tuples matching a particular value of
+   attribute a — cardinality divided by the number of distinct values
+   (1.0 for empty relations, so probe costs stay conservative). *)
+let join_factor db rel attr =
+  let c = cardinality db rel in
+  let d = distinct_values db rel attr in
+  if c = 0 || d = 0 then 1.0 else float_of_int c /. float_of_int d
+
+let matches db rel attr v =
+  let schema = Relational.Db.schema db rel in
+  match Relational.Schema.column_index schema attr with
+  | None -> 0
+  | Some i ->
+    Relational.Bag.fold
+      (fun t n acc ->
+        if n > 0 && Relational.Value.equal (Relational.Tuple.get t i) v then
+          acc + n
+        else acc)
+      (Relational.Db.contents db rel)
+      0
+
+(* Selectivity of a view's non-join condition, measured on the current
+   instance: fraction of cross-product rows satisfying the full condition
+   relative to those satisfying only the equi-join conjuncts. Used for
+   reporting; the I/O model follows the paper in charging selections
+   nothing. *)
+let selectivity db (v : Relational.View.t) =
+  let joined =
+    let join_only =
+      Relational.Predicate.conj
+        (List.filter
+           (function
+             | Relational.Predicate.Cmp
+                 (Relational.Predicate.Eq, Relational.Predicate.Col _,
+                  Relational.Predicate.Col _) ->
+               true
+             | _ -> false)
+           (Relational.Predicate.conjuncts v.Relational.View.cond))
+    in
+    let relaxed =
+      Relational.View.make ~name:"__sel" ~proj:v.Relational.View.proj
+        ~cond:join_only v.Relational.View.sources
+    in
+    Relational.Bag.net_cardinality (Relational.Eval.view db relaxed)
+  in
+  if joined = 0 then 1.0
+  else
+    let kept =
+      Relational.Bag.net_cardinality (Relational.Eval.view db v)
+    in
+    float_of_int kept /. float_of_int joined

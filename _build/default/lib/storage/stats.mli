@@ -1,0 +1,23 @@
+(** Relation statistics measured on the live instance: the quantities the
+    paper parameterizes its analysis with (C, J, σ), computed from data
+    instead of assumed.
+
+    The analytic model in [lib/costmodel] uses the paper's constants; the
+    physical planner uses these measured statistics, so the two can be
+    compared in the benches. *)
+
+val cardinality : Relational.Db.t -> string -> int
+(** C: current number of tuples in a base relation. *)
+
+val distinct_values : Relational.Db.t -> string -> string -> int
+
+val join_factor : Relational.Db.t -> string -> string -> float
+(** J(r, a): expected tuples of [r] matching one value of attribute [a]
+    (C / distinct-count; 1.0 on empty relations). *)
+
+val matches : Relational.Db.t -> string -> string -> Relational.Value.t -> int
+(** Exact number of [r] tuples with value [v] in attribute [a]. *)
+
+val selectivity : Relational.Db.t -> Relational.View.t -> float
+(** σ: measured fraction of equi-joined rows that the view's residual
+    condition keeps. *)

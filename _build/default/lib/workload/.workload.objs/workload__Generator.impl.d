@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Float List Random Relational Spec String

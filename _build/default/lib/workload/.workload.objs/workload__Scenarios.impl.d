@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Generator Relational Storage

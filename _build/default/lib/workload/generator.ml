@@ -1,0 +1,170 @@
+module R = Relational
+
+(* The Example-6 chain schema: r1(W,X) ⋈ r2(X,Y) ⋈ r3(Y,Z). No key
+   declarations — with join factor J > 1 the join attributes repeat, so
+   none of the columns is a real key (the keyed scenario below is separate). *)
+let chain_r1 = R.Schema.of_names "r1" [ "W"; "X" ]
+let chain_r2 = R.Schema.of_names "r2" [ "X"; "Y" ]
+let chain_r3 = R.Schema.of_names "r3" [ "Y"; "Z" ]
+
+let chain_schemas = [ chain_r1; chain_r2; chain_r3 ]
+
+let rand_below st n = if n <= 0 then 0 else Random.State.int st n
+
+(* Zipf-distributed value in [0, n): P(i) proportional to 1/(i+1)^skew.
+   skew = 0 degenerates to uniform. Inverse-CDF over precomputed weights
+   would be faster, but domains here are small (C/J values). *)
+let zipf_below ~skew st n =
+  if n <= 0 then 0
+  else if skew <= 0.0 then Random.State.int st n
+  else begin
+    let total = ref 0.0 in
+    for i = 0 to n - 1 do
+      total := !total +. (1.0 /. Float.pow (float_of_int (i + 1)) skew)
+    done;
+    let target = Random.State.float st !total in
+    let rec pick i acc =
+      if i >= n - 1 then i
+      else
+        let acc = acc +. (1.0 /. Float.pow (float_of_int (i + 1)) skew) in
+        if acc >= target then i else pick (i + 1) acc
+    in
+    pick 0 0.0
+  end
+
+let chain_tuple (spec : Spec.t) st rel =
+  let dom = Spec.join_domain spec in
+  let vr = spec.Spec.value_range in
+  let join () = zipf_below ~skew:spec.Spec.skew st dom in
+  match rel with
+  | "r1" -> R.Tuple.ints [ rand_below st vr; join () ]
+  | "r2" -> R.Tuple.ints [ join (); join () ]
+  | "r3" -> R.Tuple.ints [ join (); rand_below st vr ]
+  | r -> invalid_arg ("Generator.chain_tuple: unknown relation " ^ r)
+
+let fill spec st db rel =
+  let rec go db n =
+    if n = 0 then db
+    else go (R.Db.apply db (R.Update.insert rel (chain_tuple spec st rel))) (n - 1)
+  in
+  go db spec.Spec.c
+
+let example6_db (spec : Spec.t) =
+  let st = Random.State.make [| spec.Spec.seed |] in
+  let db =
+    List.fold_left (fun db s -> R.Db.add_relation db s) R.Db.empty chain_schemas
+  in
+  List.fold_left (fun db s -> fill spec st db s.R.Schema.name) db chain_schemas
+
+let pick_existing st db rel =
+  let contents = R.Db.contents db rel in
+  let n = R.Bag.net_cardinality contents in
+  if n = 0 then None
+  else begin
+    let target = rand_below st n in
+    let chosen = ref None in
+    let seen = ref 0 in
+    R.Bag.iter
+      (fun t cnt ->
+        if !chosen = None && cnt > 0 then begin
+          if target < !seen + cnt then chosen := Some t;
+          seen := !seen + cnt
+        end)
+      contents;
+    !chosen
+  end
+
+(* k updates over the chain schema. With [round_robin] the relations cycle
+   r1, r2, r3, … (Example 6's update pattern, which the k-update analysis
+   of Appendix D assumes on average); otherwise each update picks its
+   relation uniformly. Deletes target a uniformly chosen existing tuple of
+   the evolving state; when a relation is empty an insert is substituted. *)
+let example6_updates ?(round_robin = true) (spec : Spec.t) ~db =
+  let st = Random.State.make [| spec.Spec.seed + 1 |] in
+  let rels = [| "r1"; "r2"; "r3" |] in
+  let rec go db acc i =
+    if i >= spec.Spec.k_updates then List.rev acc
+    else begin
+      let rel =
+        if round_robin then rels.(i mod 3)
+        else rels.(rand_below st 3)
+      in
+      let is_insert =
+        Random.State.float st 1.0 < spec.Spec.insert_ratio
+      in
+      let u =
+        if is_insert then R.Update.insert rel (chain_tuple spec st rel)
+        else
+          match pick_existing st db rel with
+          | Some t -> R.Update.delete rel t
+          | None -> R.Update.insert rel (chain_tuple spec st rel)
+      in
+      go (R.Db.apply db u) (u :: acc) (i + 1)
+    end
+  in
+  go db [] 0
+
+(* --- Keyed two-relation scenario for ECAK / ECAL workloads ---
+
+   orders(oid KEY, cust) ⋈ customers(cust, cname KEY is wrong; we keep the
+   paper's shape instead): r1(W KEY, X) ⋈ r2(X, Y KEY) with W and Y unique,
+   X shared with join factor J. The view π_{W,Y} covers both keys. *)
+
+let keyed_r1 = R.Schema.of_names ~key:[ "W" ] "r1" [ "W"; "X" ]
+let keyed_r2 = R.Schema.of_names ~key:[ "Y" ] "r2" [ "X"; "Y" ]
+
+let keyed_schemas = [ keyed_r1; keyed_r2 ]
+
+let keyed_db (spec : Spec.t) =
+  let dom = Spec.join_domain spec in
+  let db =
+    List.fold_left (fun db s -> R.Db.add_relation db s) R.Db.empty keyed_schemas
+  in
+  let st = Random.State.make [| spec.Spec.seed |] in
+  let db = ref db in
+  for w = 0 to spec.Spec.c - 1 do
+    db :=
+      R.Db.apply !db
+        (R.Update.insert "r1" (R.Tuple.ints [ w; rand_below st dom ]))
+  done;
+  for y = 0 to spec.Spec.c - 1 do
+    db :=
+      R.Db.apply !db
+        (R.Update.insert "r2" (R.Tuple.ints [ rand_below st dom; y ]))
+  done;
+  !db
+
+(* Inserts use fresh key values (starting above the initial population);
+   deletes pick existing tuples. *)
+let keyed_updates (spec : Spec.t) ~db =
+  let st = Random.State.make [| spec.Spec.seed + 1 |] in
+  let dom = Spec.join_domain spec in
+  let next_w = ref spec.Spec.c and next_y = ref spec.Spec.c in
+  let fresh_insert rel =
+    if String.equal rel "r1" then begin
+      let w = !next_w in
+      incr next_w;
+      R.Update.insert "r1" (R.Tuple.ints [ w; rand_below st dom ])
+    end
+    else begin
+      let y = !next_y in
+      incr next_y;
+      R.Update.insert "r2" (R.Tuple.ints [ rand_below st dom; y ])
+    end
+  in
+  let rec go db acc i =
+    if i >= spec.Spec.k_updates then List.rev acc
+    else begin
+      let rel = if rand_below st 2 = 0 then "r1" else "r2" in
+      let is_insert = Random.State.float st 1.0 < spec.Spec.insert_ratio in
+      let u =
+        if is_insert then fresh_insert rel
+        else
+          match pick_existing st db rel with
+          | Some t -> R.Update.delete rel t
+          | None -> fresh_insert rel
+      in
+      go (R.Db.apply db u) (u :: acc) (i + 1)
+    end
+  in
+  go db [] 0

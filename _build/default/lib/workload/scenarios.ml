@@ -1,0 +1,54 @@
+module R = Relational
+
+(* V = π_{W,Z} (σ_{W>Z} (r1 ⋈ r2 ⋈ r3)) — Example 6's view, whose
+   condition compares attributes of the outermost relations (so it cannot
+   prune I/O, as the paper notes). *)
+let example6_view () =
+  R.View.natural_join ~name:"V"
+    ~extra_cond:
+      (R.Predicate.Cmp
+         ( R.Predicate.Gt,
+           R.Predicate.Col (R.Attr.qualified "r1" "W"),
+           R.Predicate.Col (R.Attr.qualified "r3" "Z") ))
+    ~proj:[ R.Attr.qualified "r1" "W"; R.Attr.qualified "r3" "Z" ]
+    Generator.chain_schemas
+
+type setup = {
+  db : R.Db.t;
+  view : R.View.t;
+  updates : R.Update.t list;
+}
+
+let example6 ?round_robin spec =
+  let db = Generator.example6_db spec in
+  {
+    db;
+    view = example6_view ();
+    updates = Generator.example6_updates ?round_robin spec ~db;
+  }
+
+(* The keyed two-relation scenario: V = π_{W,Y}(r1 ⋈ r2) covers both
+   declared keys, so ECAK applies. *)
+let keyed_view () =
+  R.View.natural_join ~name:"VK"
+    ~proj:[ R.Attr.qualified "r1" "W"; R.Attr.qualified "r2" "Y" ]
+    Generator.keyed_schemas
+
+let keyed spec =
+  let db = Generator.keyed_db spec in
+  {
+    db;
+    view = keyed_view ();
+    updates = Generator.keyed_updates spec ~db;
+  }
+
+(* Physical configurations matching Appendix D's two extremes. *)
+let catalog_scenario1 ?(k_per_block = 20) () =
+  Storage.Catalog.make ~mode:Storage.Catalog.Indexed_memory
+    ~block:(Storage.Block.make ~tuples_per_block:k_per_block)
+    ~indexes:Storage.Catalog.example6_indexes ()
+
+let catalog_scenario2 ?(k_per_block = 20) () =
+  Storage.Catalog.make ~mode:Storage.Catalog.Limited_memory
+    ~block:(Storage.Block.make ~tuples_per_block:k_per_block)
+    ()

@@ -1,0 +1,28 @@
+(** Ready-made evaluation scenarios: Example 6 (the workload every figure
+    of Section 6 is computed over) and the keyed two-relation scenario
+    used by the ECAK/ECAL ablations, plus the physical catalogs of
+    Appendix D's two I/O scenarios. *)
+
+module R := Relational
+
+type setup = {
+  db : R.Db.t;
+  view : R.View.t;
+  updates : R.Update.t list;
+}
+
+val example6_view : unit -> R.View.t
+(** [V = π_{W,Z} (σ_{W>Z} (r1 ⋈ r2 ⋈ r3))]. *)
+
+val example6 : ?round_robin:bool -> Spec.t -> setup
+
+val keyed_view : unit -> R.View.t
+(** [VK = π_{W,Y} (r1 ⋈ r2)] with keys W, Y covered — ECAK-eligible. *)
+
+val keyed : Spec.t -> setup
+
+val catalog_scenario1 : ?k_per_block:int -> unit -> Storage.Catalog.t
+(** Indexed, ample memory; the exact Example-6 index set. *)
+
+val catalog_scenario2 : ?k_per_block:int -> unit -> Storage.Catalog.t
+(** No indexes, three-block nested loops. *)

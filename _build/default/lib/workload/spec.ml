@@ -1,0 +1,40 @@
+type t = {
+  c : int;
+  j : int;
+  k_updates : int;
+  insert_ratio : float;
+  seed : int;
+  value_range : int;
+  skew : float;
+}
+
+let default =
+  {
+    c = 100;
+    j = 4;
+    k_updates = 3;
+    insert_ratio = 1.0;
+    seed = 42;
+    value_range = 1000;
+    skew = 0.0;
+  }
+
+let make ?(c = default.c) ?(j = default.j) ?(k_updates = default.k_updates)
+    ?(insert_ratio = default.insert_ratio) ?(seed = default.seed)
+    ?(value_range = default.value_range) ?(skew = default.skew) () =
+  if c < 0 then invalid_arg "Spec.make: c must be non-negative";
+  if j < 1 then invalid_arg "Spec.make: j must be at least 1";
+  if k_updates < 0 then invalid_arg "Spec.make: k_updates must be non-negative";
+  if insert_ratio < 0.0 || insert_ratio > 1.0 then
+    invalid_arg "Spec.make: insert_ratio must lie in [0, 1]";
+  if value_range < 2 then invalid_arg "Spec.make: value_range must be >= 2";
+  if skew < 0.0 then invalid_arg "Spec.make: skew must be non-negative";
+  { c; j; k_updates; insert_ratio; seed; value_range; skew }
+
+(* Domain size for the join attributes: J matches per value needs roughly
+   C / J distinct values. *)
+let join_domain t = max 1 (t.c / t.j)
+
+let pp ppf t =
+  Format.fprintf ppf "C=%d J=%d k=%d ins=%.2f seed=%d skew=%.2f" t.c t.j
+    t.k_updates t.insert_ratio t.seed t.skew

@@ -1,0 +1,37 @@
+(** Workload specifications for the Example-6 evaluation scenario:
+    base-relation cardinality C, target join factor J, number of updates
+    k, insert/delete mix, and a seed for reproducibility. *)
+
+type t = private {
+  c : int;  (** initial cardinality of each base relation *)
+  j : int;  (** target join factor *)
+  k_updates : int;  (** length of the update stream *)
+  insert_ratio : float;  (** fraction of inserts (1.0 = inserts only) *)
+  seed : int;
+  value_range : int;  (** range of the non-join attributes W and Z *)
+  skew : float;
+      (** Zipf exponent for the join-attribute distribution: 0 = uniform
+          (the paper's constant-J assumption); larger values concentrate
+          matches on few hot values, raising the variance of J *)
+}
+
+val default : t
+(** C = 100, J = 4, k = 3, inserts only, seed 42 — the paper's base
+    setting. *)
+
+val make :
+  ?c:int ->
+  ?j:int ->
+  ?k_updates:int ->
+  ?insert_ratio:float ->
+  ?seed:int ->
+  ?value_range:int ->
+  ?skew:float ->
+  unit ->
+  t
+
+val join_domain : t -> int
+(** Number of distinct join-attribute values needed for join factor J
+    ([max 1 (C / J)]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Core List Random Relational Storage String

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Core Helpers List Option Relational Workload

@@ -1,0 +1,1 @@
+test/test_bag.ml: Alcotest Helpers List QCheck QCheck_alcotest Relational

@@ -1,0 +1,1 @@
+test/test_compound.ml: Alcotest Core Helpers List Printf QCheck QCheck_alcotest Random Relational

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Array Core Helpers Int List Printf QCheck QCheck_alcotest Relational String

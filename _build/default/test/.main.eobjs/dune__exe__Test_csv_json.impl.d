@@ -1,0 +1,1 @@
+test/test_csv_json.ml: Alcotest Core Helpers List Relational String

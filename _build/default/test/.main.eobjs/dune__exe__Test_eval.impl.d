@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Format Helpers List Option QCheck QCheck_alcotest Relational String

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Core Helpers List Printf QCheck QCheck_alcotest Relational Workload

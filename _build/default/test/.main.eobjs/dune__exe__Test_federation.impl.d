@@ -1,0 +1,1 @@
+test/test_federation.ml: Alcotest Core Helpers List QCheck QCheck_alcotest Random Relational

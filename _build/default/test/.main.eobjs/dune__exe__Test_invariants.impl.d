@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array Char Core Hashtbl List Option Printf QCheck QCheck_alcotest String Unix Workload

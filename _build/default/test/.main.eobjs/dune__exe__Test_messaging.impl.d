@@ -1,0 +1,1 @@
+test/test_messaging.ml: Alcotest Helpers List Messaging Option Relational Storage

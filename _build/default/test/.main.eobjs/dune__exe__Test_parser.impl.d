@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Core Helpers List Option QCheck QCheck_alcotest Relational

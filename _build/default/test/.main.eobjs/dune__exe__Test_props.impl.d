@@ -1,0 +1,1 @@
+test/test_props.ml: Core Format Helpers List Printf QCheck QCheck_alcotest Relational String Workload

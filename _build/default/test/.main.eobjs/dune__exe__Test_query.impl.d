@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Format Helpers List QCheck QCheck_alcotest Relational

@@ -1,0 +1,1 @@
+test/test_random_views.ml: Array Core Format Helpers List QCheck QCheck_alcotest Relational String

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Helpers List Option Relational

@@ -1,0 +1,1 @@
+test/test_relational_more.ml: Alcotest Core Costmodel Format Helpers List Option Relational String Workload

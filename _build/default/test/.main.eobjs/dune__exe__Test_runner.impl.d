@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Core Helpers List Messaging Option Relational Source_site Storage

@@ -1,0 +1,1 @@
+test/test_staleness.ml: Alcotest Core Helpers Relational Workload

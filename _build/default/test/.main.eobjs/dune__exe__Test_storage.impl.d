@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Helpers List Relational Storage Workload

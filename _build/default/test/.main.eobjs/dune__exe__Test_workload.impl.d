@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Core Hashtbl Helpers List Option Relational Storage Workload

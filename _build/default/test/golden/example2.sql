@@ -1,0 +1,8 @@
+-- Example 2 of the paper as a runnable script
+TABLE r1 (W INT, X INT);
+TABLE r2 (X INT, Y INT);
+VIEW v AS SELECT r1.W FROM r1, r2 WHERE r1.X = r2.X;
+INSERT INTO r1 VALUES (1, 2);
+UPDATES;
+INSERT INTO r2 VALUES (2, 3);
+INSERT INTO r1 VALUES (4, 2);

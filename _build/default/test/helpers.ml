@@ -1,0 +1,86 @@
+(* Shared builders for the test suites: the paper's running schemas and
+   views, Alcotest testables, and simulation shorthands. *)
+
+module R = Relational
+
+let bag_testable = Alcotest.testable R.Bag.pp R.Bag.equal
+
+let tuple_testable = Alcotest.testable R.Tuple.pp R.Tuple.equal
+
+let value_testable = Alcotest.testable R.Value.pp R.Value.equal
+
+let query_testable = Alcotest.testable R.Query.pp R.Query.equal
+
+let report_testable =
+  Alcotest.testable Core.Consistency.pp (fun (a : Core.Consistency.report) b ->
+      a = b)
+
+let plan_testable =
+  Alcotest.testable Storage.Plan.pp (fun (a : Storage.Plan.t) b ->
+      a.Storage.Plan.io = b.Storage.Plan.io)
+
+(* The paper's schemas, keyless by default — join attributes repeat, so
+   declaring keys here would be a lie (and Db enforces declared keys). *)
+let r1 = R.Schema.of_names "r1" [ "W"; "X" ]
+let r2 = R.Schema.of_names "r2" [ "X"; "Y" ]
+let r3 = R.Schema.of_names "r3" [ "Y"; "Z" ]
+
+(* Keyed variants for the ECAK/ECAL tests (Example 5 declares W and Y as
+   keys); test data must honour them. *)
+let r1_wkey = R.Schema.of_names ~key:[ "W" ] "r1" [ "W"; "X" ]
+let r2_ykey = R.Schema.of_names ~key:[ "Y" ] "r2" [ "X"; "Y" ]
+
+let bag rows = R.Bag.of_list (List.map R.Tuple.ints rows)
+
+let db_of assoc =
+  List.fold_left
+    (fun db (schema, rows) -> R.Db.add_relation ~contents:(bag rows) db schema)
+    R.Db.empty assoc
+
+let ins rel row = R.Update.insert rel (R.Tuple.ints row)
+let del rel row = R.Update.delete rel (R.Tuple.ints row)
+
+(* V = π_W (r1 ⋈ r2) over r1(W,X), r2(X,Y). *)
+let view_w ?(name = "V") () =
+  R.View.natural_join ~name ~proj:[ R.Attr.unqualified "W" ] [ r1; r2 ]
+
+(* V = π_{W,Y} (r1 ⋈ r2); pass the keyed schemas for ECAK scenarios. *)
+let view_wy ?(name = "V") ?(r1 = r1) ?(r2 = r2) () =
+  R.View.natural_join ~name
+    ~proj:[ R.Attr.unqualified "W"; R.Attr.unqualified "Y" ]
+    [ r1; r2 ]
+
+(* V = π_W (r1 ⋈ r2 ⋈ r3). *)
+let view_w3 ?(name = "V") () =
+  R.View.natural_join ~name ~proj:[ R.Attr.unqualified "W" ] [ r1; r2; r3 ]
+
+let run ?catalog ?(schedule = Core.Scheduler.Best_case) ?rv_period ~algorithm
+    ~views ~db ~updates () =
+  Core.Runner.run ?catalog ~schedule ?rv_period
+    ~creator:(Core.Registry.creator_exn algorithm)
+    ~views ~db ~updates ()
+
+let final_mv (result : Core.Runner.result) name =
+  List.assoc name result.Core.Runner.final_mvs
+
+let report (result : Core.Runner.result) name =
+  List.assoc name result.Core.Runner.reports
+
+(* Shorthand for explicit schedules: "AWAWSWSW" = the letter sequence of
+   Apply_update / Warehouse_receive / Source_receive actions. *)
+let explicit letters =
+  Core.Scheduler.Explicit
+    (List.map
+       (function
+         | 'A' -> Core.Scheduler.Apply_update
+         | 'S' -> Core.Scheduler.Source_receive
+         | 'W' -> Core.Scheduler.Warehouse_receive
+         | c -> Alcotest.failf "bad schedule letter %c" c)
+       (List.init (String.length letters) (String.get letters)))
+
+let check_bag = Alcotest.check bag_testable
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Deterministic RNG for property generators that need raw randomness. *)
+let rng seed = Random.State.make [| seed |]

@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "warehouse_vm"
+    [
+      ("relational", Test_relational.suite);
+      ("relational-more", Test_relational_more.suite);
+      ("scheduler", Test_scheduler.suite);
+      ("bag", Test_bag.suite);
+      ("query", Test_query.suite);
+      ("eval", Test_eval.suite);
+      ("parser", Test_parser.suite);
+      ("messaging", Test_messaging.suite);
+      ("storage", Test_storage.suite);
+      ("consistency", Test_consistency.suite);
+      ("algorithms", Test_algorithms.suite);
+      ("paper-examples", Test_paper_examples.suite);
+      ("batching", Test_batch.suite);
+      ("federation", Test_federation.suite);
+      ("timing", Test_timing.suite);
+      ("csv-json", Test_csv_json.suite);
+      ("runner", Test_runner.suite);
+      ("faults", Test_faults.suite);
+      ("compound-views", Test_compound.suite);
+      ("staleness", Test_staleness.suite);
+      ("misc-coverage", Test_misc_coverage.suite);
+      ("invariants", Test_invariants.suite);
+      ("properties", Test_props.suite);
+      ("random-views", Test_random_views.suite);
+      ("costmodel", Test_costmodel.suite);
+      ("workload", Test_workload.suite);
+    ]

@@ -1,0 +1,177 @@
+(* The Section-3.1 correctness hierarchy, exercised on hand-built state
+   sequences where each level's verdict is known. *)
+
+open Helpers
+module R = Relational
+module C = Core.Consistency
+
+let s n = bag [ [ n ] ]
+
+let check_report name expected ~source ~warehouse =
+  Alcotest.check report_testable name expected
+    (C.check ~source_states:source ~warehouse_states:warehouse)
+
+let all_good =
+  {
+    C.convergent = true;
+    weakly_consistent = true;
+    consistent = true;
+    strongly_consistent = true;
+    complete = true;
+  }
+
+let identical_sequences () =
+  check_report "identical sequences are complete" all_good
+    ~source:[ s 0; s 1; s 2 ]
+    ~warehouse:[ s 0; s 1; s 2 ]
+
+let skipping_states_is_strong_but_incomplete () =
+  check_report "warehouse skips a source state"
+    { all_good with complete = false }
+    ~source:[ s 0; s 1; s 2 ]
+    ~warehouse:[ s 0; s 2 ]
+
+let wrong_final_state () =
+  check_report "diverging final state"
+    {
+      C.convergent = false;
+      weakly_consistent = true;
+      consistent = true;
+      strongly_consistent = false;
+      complete = false;
+    }
+    ~source:[ s 0; s 1; s 2 ]
+    ~warehouse:[ s 0; s 1 ]
+
+let invalid_intermediate_state () =
+  (* ws visits a state the source never had: not even weakly consistent,
+     though it converges. *)
+  check_report "invalid intermediate state"
+    {
+      C.convergent = true;
+      weakly_consistent = false;
+      consistent = false;
+      strongly_consistent = false;
+      complete = false;
+    }
+    ~source:[ s 0; s 2 ]
+    ~warehouse:[ s 0; s 9; s 2 ]
+
+let out_of_order_states () =
+  (* Every warehouse state is valid but the order is reversed: weakly
+     consistent, convergent, yet not consistent. *)
+  check_report "out of order"
+    {
+      C.convergent = true;
+      weakly_consistent = true;
+      consistent = false;
+      strongly_consistent = false;
+      complete = false;
+    }
+    ~source:[ s 0; s 1; s 2 ]
+    ~warehouse:[ s 0; s 2; s 1; s 2 ]
+
+let repeated_matches_allowed () =
+  (* Consistency allows ss_k <= ss_l: two warehouse states may map to the
+     same source state. *)
+  check_report "repeats allowed" all_good
+    ~source:[ s 0; s 1 ]
+    ~warehouse:[ s 0; s 0; s 1 ]
+
+let source_revisits_a_state () =
+  (* The source passes through equal states at different times; greedy
+     matching must still find an order-preserving assignment. *)
+  check_report "revisited state"
+    { all_good with complete = false }
+    ~source:[ s 0; s 1; s 0; s 2 ]
+    ~warehouse:[ s 0; s 0; s 2 ]
+
+let empty_warehouse_history () =
+  check_report "no warehouse states at all"
+    {
+      C.convergent = false;
+      weakly_consistent = true;
+      consistent = true;
+      strongly_consistent = false;
+      complete = false;
+    }
+    ~source:[ s 0 ] ~warehouse:[]
+
+let labels () =
+  Alcotest.(check string) "complete" "complete" (C.strongest_label all_good);
+  Alcotest.(check string)
+    "strong" "strongly consistent"
+    (C.strongest_label { all_good with complete = false });
+  Alcotest.(check string)
+    "inconsistent" "inconsistent"
+    (C.strongest_label
+       {
+         C.convergent = false;
+         weakly_consistent = false;
+         consistent = false;
+         strongly_consistent = false;
+         complete = false;
+       })
+
+(* Reference implementation of the consistency check: exhaustive dynamic
+   programming over all order-preserving assignments. The production
+   checker uses greedy earliest-match; this property justifies it. *)
+let reference_consistent ~source_states ~warehouse_states =
+  let src = Array.of_list source_states in
+  let wh = Array.of_list warehouse_states in
+  let n = Array.length src and m = Array.length wh in
+  (* reachable.(j) = set of source indices the first j warehouse states can
+     map to for their last match *)
+  let rec go j candidates =
+    if j >= m then true
+    else begin
+      let next =
+        List.concat_map
+          (fun from ->
+            List.filter
+              (fun i -> R.Bag.equal src.(i) wh.(j))
+              (List.init (n - from) (fun d -> from + d)))
+          candidates
+        |> List.sort_uniq Int.compare
+      in
+      next <> [] && go (j + 1) next
+    end
+  in
+  m = 0 || go 0 [ 0 ]
+
+let checker_prop =
+  QCheck.Test.make ~name:"greedy consistency = exhaustive reference"
+    ~count:500
+    (QCheck.make
+       ~print:(fun (a, b) ->
+         Printf.sprintf "src=%s wh=%s"
+           (String.concat "," (List.map string_of_int a))
+           (String.concat "," (List.map string_of_int b)))
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 6) (int_bound 3))
+           (list_size (int_bound 6) (int_bound 3))))
+    (fun (src_ids, wh_ids) ->
+      let states ids = List.map s ids in
+      let source_states = states src_ids and warehouse_states = states wh_ids in
+      C.consistent ~source_states ~warehouse_states
+      = reference_consistent ~source_states ~warehouse_states)
+
+let suite =
+  [
+    Alcotest.test_case "identical sequences" `Quick identical_sequences;
+    Alcotest.test_case "skipped states: strong, not complete" `Quick
+      skipping_states_is_strong_but_incomplete;
+    Alcotest.test_case "wrong final state" `Quick wrong_final_state;
+    Alcotest.test_case "invalid intermediate state" `Quick
+      invalid_intermediate_state;
+    Alcotest.test_case "out-of-order states" `Quick out_of_order_states;
+    Alcotest.test_case "repeated matches allowed" `Quick
+      repeated_matches_allowed;
+    Alcotest.test_case "source revisits a state" `Quick
+      source_revisits_a_state;
+    Alcotest.test_case "empty warehouse history" `Quick
+      empty_warehouse_history;
+    Alcotest.test_case "strongest labels" `Quick labels;
+  ]
+  @ [ QCheck_alcotest.to_alcotest checker_prop ]

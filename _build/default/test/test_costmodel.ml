@@ -1,0 +1,161 @@
+(* The Appendix-D closed forms at the paper's defaults, and the crossover
+   claims read off Figures 6.3-6.5. *)
+
+open Helpers
+module CM = Costmodel
+
+let p = CM.Params.default
+
+let check_float name expected got =
+  Alcotest.(check (float 0.0001)) name expected got
+
+(* ------------------------------------------------------------------ *)
+(* Parameters                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let defaults () =
+  check_int "I = 5" 5 (CM.Params.blocks p);
+  check_int "I' = 3" 3 (CM.Params.half_blocks p);
+  let q = CM.Params.make ~c:101 () in
+  check_int "I of 101" 6 (CM.Params.blocks q)
+
+let validation () =
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument")
+    [
+      (fun () -> CM.Params.make ~c:(-1) ());
+      (fun () -> CM.Params.make ~sigma:1.5 ());
+      (fun () -> CM.Params.make ~j:0.0 ());
+      (fun () -> CM.Params.make ~k_per_block:0 ());
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Transfer (B) — Section 6.2 numbers at the defaults                  *)
+(* S=4, sigma=1/2, J=4, C=100                                          *)
+(* ------------------------------------------------------------------ *)
+
+let transfer_three_updates () =
+  check_float "BRVBest = S sigma C J^2 = 3200" 3200.0 (CM.Transfer.rv_best p);
+  check_float "BRVWorst = 3x" 9600.0 (CM.Transfer.rv_worst p);
+  check_float "BECABest = 3 S sigma J^2 = 96" 96.0 (CM.Transfer.eca_best p);
+  check_float "BECAWorst = 3 S sigma J (J+1) = 120" 120.0
+    (CM.Transfer.eca_worst p)
+
+let transfer_k_updates () =
+  check_float "k=3 best matches the three-update form" 96.0
+    (CM.Transfer.eca_best_k p ~k:3);
+  check_float "k=3 worst: 96 + 3*2*4*0.5*4/3 = 112" 112.0
+    (CM.Transfer.eca_worst_k p ~k:3);
+  check_float "RV best is k-independent" 3200.0 (CM.Transfer.rv_best_k p ~k:120);
+  check_float "RV worst scales with k" 384000.0 (CM.Transfer.rv_worst_k p ~k:120);
+  check_float "RV period s: ceil(k/s) recomputes" 6400.0
+    (CM.Transfer.rv_period_k p ~k:5 ~period:3)
+
+let transfer_crossovers () =
+  (* ECA best crosses RV best at k = C = 100 (Figure 6.3). *)
+  Alcotest.(check (option int))
+    "ECA-best/RV-best crossover at k=100" (Some 100)
+    (CM.Crossover.first_at_or_above ~lo:1 ~hi:200
+       (fun k -> CM.Transfer.eca_best_k p ~k)
+       (fun k -> CM.Transfer.rv_best_k p ~k));
+  (* ECA worst crosses RV best at ~30 updates ("RV outperforms ECA when 30
+     or more updates are involved"). *)
+  (match
+     CM.Crossover.first_at_or_above ~lo:1 ~hi:200
+       (fun k -> CM.Transfer.eca_worst_k p ~k)
+       (fun k -> CM.Transfer.rv_best_k p ~k)
+   with
+   | Some k -> check_bool "worst-case crossover near 30" true (k >= 25 && k <= 35)
+   | None -> Alcotest.fail "expected a crossover");
+  (* RV worst always dominates ECA worst. *)
+  check_bool "RV-worst > ECA-worst everywhere" true
+    (List.for_all
+       (fun k -> CM.Transfer.rv_worst_k p ~k > CM.Transfer.eca_worst_k p ~k)
+       (List.init 120 (fun i -> i + 1)))
+
+(* ------------------------------------------------------------------ *)
+(* I/O — Section 6.3 numbers                                           *)
+(* ------------------------------------------------------------------ *)
+
+let io_three_updates () =
+  check_int "S1 RV best = 3I = 15" 15 (CM.Io_model.s1_rv_best p);
+  check_int "S1 RV worst = 9I = 45" 45 (CM.Io_model.s1_rv_worst p);
+  check_int "S1 ECA best = 3 min(I,J) + 3 = 15" 15 (CM.Io_model.s1_eca_best p);
+  check_int "S1 ECA worst = +3" 18 (CM.Io_model.s1_eca_worst p);
+  check_int "S2 RV best = I^3 = 125" 125 (CM.Io_model.s2_rv_best p);
+  check_int "S2 RV worst = 3I^3" 375 (CM.Io_model.s2_rv_worst p);
+  check_int "S2 ECA best = 3II' = 45" 45 (CM.Io_model.s2_eca_best p);
+  check_int "S2 ECA worst = 3I(I'+1) = 60" 60 (CM.Io_model.s2_eca_worst p)
+
+let io_k_updates () =
+  check_float "S1 ECA best k: k(J+1)" 25.0
+    (CM.Io_model.eca_best_k CM.Io_model.Scenario1 p ~k:5);
+  check_float "S1 ECA worst k" (25.0 +. (5.0 *. 4.0 /. 3.0))
+    (CM.Io_model.eca_worst_k CM.Io_model.Scenario1 p ~k:5);
+  check_float "S2 ECA best k: kII'" 75.0
+    (CM.Io_model.eca_best_k CM.Io_model.Scenario2 p ~k:5);
+  check_float "S1 RV best constant" 15.0
+    (CM.Io_model.rv_best_k CM.Io_model.Scenario1 p ~k:50);
+  check_float "S2 RV worst: kI^3" 625.0
+    (CM.Io_model.rv_worst_k CM.Io_model.Scenario2 p ~k:5)
+
+let io_crossovers () =
+  (* Figure 6.4: ECA-best crosses one-shot-RV at k = 3 in Scenario 1. *)
+  Alcotest.(check (option int))
+    "Scenario 1 crossover at k=3" (Some 3)
+    (CM.Crossover.first_at_or_above ~lo:1 ~hi:20
+       (fun k -> CM.Io_model.eca_best_k CM.Io_model.Scenario1 p ~k)
+       (fun k -> CM.Io_model.rv_best_k CM.Io_model.Scenario1 p ~k));
+  (* Figure 6.5: between 5 and 8 in Scenario 2. *)
+  (match
+     CM.Crossover.first_at_or_above ~lo:1 ~hi:20
+       (fun k -> CM.Io_model.eca_worst_k CM.Io_model.Scenario2 p ~k)
+       (fun k -> CM.Io_model.rv_best_k CM.Io_model.Scenario2 p ~k)
+   with
+   | Some k -> check_bool "Scenario 2 crossover in (5,8)" true (k > 5 && k < 8)
+   | None -> Alcotest.fail "expected a crossover")
+
+(* ------------------------------------------------------------------ *)
+(* Messages — Section 6.1                                              *)
+(* ------------------------------------------------------------------ *)
+
+let message_counts () =
+  check_int "RV s=k: 2 messages" 2 (CM.Messages.rv ~k:50 ~period:50);
+  check_int "RV s=1: 2k" 100 (CM.Messages.rv ~k:50 ~period:1);
+  check_int "ECA: 2k" 100 (CM.Messages.eca ~k:50);
+  check_int "SC: none" 0 (CM.Messages.sc ~k:50);
+  check_bool "LCA bound above ECA" true
+    (CM.Messages.lca_upper ~k:50 >= CM.Messages.eca ~k:50)
+
+(* ------------------------------------------------------------------ *)
+(* Crossover helper edge cases                                         *)
+(* ------------------------------------------------------------------ *)
+
+let crossover_edges () =
+  Alcotest.(check (option int))
+    "no crossover" None
+    (CM.Crossover.first_at_or_above ~lo:1 ~hi:10
+       (fun _ -> 0.0)
+       (fun _ -> 1.0));
+  Alcotest.(check (option int))
+    "stable crossover skips transients" (Some 4)
+    (CM.Crossover.first_dominating ~lo:1 ~hi:10
+       (fun k -> if k = 2 then 10.0 else float_of_int k)
+       (fun _ -> 3.5))
+
+let suite =
+  [
+    Alcotest.test_case "parameter defaults" `Quick defaults;
+    Alcotest.test_case "parameter validation" `Quick validation;
+    Alcotest.test_case "B: three updates" `Quick transfer_three_updates;
+    Alcotest.test_case "B: k updates" `Quick transfer_k_updates;
+    Alcotest.test_case "B: crossovers" `Quick transfer_crossovers;
+    Alcotest.test_case "IO: three updates" `Quick io_three_updates;
+    Alcotest.test_case "IO: k updates" `Quick io_k_updates;
+    Alcotest.test_case "IO: crossovers" `Quick io_crossovers;
+    Alcotest.test_case "M: message counts" `Quick message_counts;
+    Alcotest.test_case "crossover edge cases" `Quick crossover_edges;
+  ]

@@ -1,0 +1,66 @@
+(* FIFO channels and the network: delivery order, byte accounting, and the
+   message-size model. *)
+
+open Helpers
+module R = Relational
+module M = Messaging
+
+let note n = M.Message.Update_note (ins "r1" [ n; n ])
+
+let fifo_order () =
+  let ch = M.Channel.create "t" in
+  M.Channel.send ch (note 1);
+  M.Channel.send ch (note 2);
+  M.Channel.send ch (note 3);
+  let got =
+    List.init 3 (fun _ ->
+        match M.Channel.receive ch with
+        | Some (M.Message.Update_note u) -> R.Tuple.get u.R.Update.tuple 0
+        | _ -> Alcotest.fail "unexpected message")
+  in
+  Alcotest.(check (list value_testable)) "in order" [ Int 1; Int 2; Int 3 ] got;
+  check_bool "drained" true (M.Channel.is_empty ch)
+
+let receive_empty () =
+  let ch = M.Channel.create "t" in
+  check_bool "empty receive" true (Option.is_none (M.Channel.receive ch))
+
+let stats_accumulate () =
+  let ch = M.Channel.create "t" in
+  M.Channel.send ch (note 1);
+  M.Channel.send ch (note 2);
+  ignore (M.Channel.receive ch);
+  check_int "messages counted" 2 (M.Channel.messages_sent ch);
+  check_int "one pending" 1 (M.Channel.pending ch);
+  check_bool "bytes counted" true (M.Channel.bytes_sent ch > 0)
+
+let message_sizes () =
+  let q =
+    M.Message.Query { id = 1; query = R.Query.of_view (view_w ()) }
+  in
+  let a =
+    M.Message.Answer
+      { id = 1; answer = bag [ [ 1 ]; [ 2 ] ]; cost = Storage.Cost.zero }
+  in
+  check_bool "query has size" true (M.Message.byte_size q > 0);
+  check_int "answer sized by contents" (8 + 8) (M.Message.byte_size a);
+  Alcotest.(check string) "kind" "answer" (M.Message.kind_name a)
+
+let network_directions () =
+  let net = M.Network.create () in
+  M.Network.send net M.Network.To_warehouse (note 1);
+  check_bool "other direction empty" true
+    (Option.is_none (M.Network.receive net M.Network.To_source));
+  check_bool "not quiescent" false (M.Network.quiescent net);
+  ignore (M.Network.receive net M.Network.To_warehouse);
+  check_bool "quiescent after drain" true (M.Network.quiescent net);
+  check_int "totals" 1 (M.Network.total_messages net)
+
+let suite =
+  [
+    Alcotest.test_case "FIFO order" `Quick fifo_order;
+    Alcotest.test_case "receive on empty" `Quick receive_empty;
+    Alcotest.test_case "stats accumulate" `Quick stats_accumulate;
+    Alcotest.test_case "message sizes" `Quick message_sizes;
+    Alcotest.test_case "network directions" `Quick network_directions;
+  ]

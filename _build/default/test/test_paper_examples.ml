@@ -1,0 +1,198 @@
+(* Step-by-step reproductions of Examples 1-5 and 7-9 of the paper, run
+   through the full simulation stack (source, FIFO network, warehouse)
+   under the exact event interleavings the paper describes. *)
+
+open Helpers
+module R = Relational
+
+(* Example 1: a single update, drained before anything else happens — the
+   basic algorithm is correct and the view gains a duplicate [1]. *)
+let example1 () =
+  let db = db_of [ (r1, [ [ 1; 2 ] ]); (r2, [ [ 2; 4 ] ]) ] in
+  let view = view_w () in
+  let result =
+    run ~algorithm:"basic" ~schedule:Core.Scheduler.Best_case ~views:[ view ]
+      ~db ~updates:[ ins "r2" [ 2; 3 ] ] ()
+  in
+  check_bag "final view has two copies of [1]"
+    (bag [ [ 1 ]; [ 1 ] ])
+    (final_mv result "V");
+  check_bool "converged" true (report result "V").Core.Consistency.convergent
+
+(* Example 2: the insertion anomaly. Two inserts race the first query; the
+   basic algorithm double-counts [4]. *)
+let example2_schedule = explicit "AWAWSWSW"
+
+let example2_setup () =
+  let db = db_of [ (r1, [ [ 1; 2 ] ]); (r2, []) ] in
+  let view = view_w () in
+  let updates = [ ins "r2" [ 2; 3 ]; ins "r1" [ 4; 2 ] ] in
+  (db, view, updates)
+
+let example2_anomaly () =
+  let db, view, updates = example2_setup () in
+  let result =
+    run ~algorithm:"basic" ~schedule:example2_schedule ~views:[ view ] ~db
+      ~updates ()
+  in
+  check_bag "anomalous final view ([1],[4],[4])"
+    (bag [ [ 1 ]; [ 4 ]; [ 4 ] ])
+    (final_mv result "V");
+  let r = report result "V" in
+  check_bool "not convergent" false r.Core.Consistency.convergent;
+  check_bool "not weakly consistent" false r.Core.Consistency.weakly_consistent
+
+let example2_eca_fixes_it () =
+  let db, view, updates = example2_setup () in
+  let result =
+    run ~algorithm:"eca" ~schedule:example2_schedule ~views:[ view ] ~db
+      ~updates ()
+  in
+  check_bag "correct final view ([1],[4])"
+    (bag [ [ 1 ]; [ 4 ] ])
+    (final_mv result "V");
+  check_bool "strongly consistent" true
+    (report result "V").Core.Consistency.strongly_consistent
+
+(* Example 3: the deletion anomaly. Both base tuples die but the stale
+   queries see empty relations, so the basic algorithm keeps [1,3]. *)
+let example3_setup () =
+  let db = db_of [ (r1, [ [ 1; 2 ] ]); (r2, [ [ 2; 3 ] ]) ] in
+  let view = view_wy () in
+  let updates = [ del "r1" [ 1; 2 ]; del "r2" [ 2; 3 ] ] in
+  (db, view, updates)
+
+let example3_anomaly () =
+  let db, view, updates = example3_setup () in
+  let result =
+    run ~algorithm:"basic" ~schedule:example2_schedule ~views:[ view ] ~db
+      ~updates ()
+  in
+  check_bag "anomalous final view still ([1,3])"
+    (bag [ [ 1; 3 ] ])
+    (final_mv result "V");
+  check_bool "not convergent" false
+    (report result "V").Core.Consistency.convergent
+
+let example3_eca_fixes_it () =
+  let db, view, updates = example3_setup () in
+  let result =
+    run ~algorithm:"eca" ~schedule:example2_schedule ~views:[ view ] ~db
+      ~updates ()
+  in
+  check_bag "correct empty view" R.Bag.empty (final_mv result "V");
+  check_bool "strongly consistent" true
+    (report result "V").Core.Consistency.strongly_consistent
+
+(* Example 4: ECA over three inserts into three relations, all applied at
+   the source before any query is answered. *)
+let example4 () =
+  let db = db_of [ (r1, [ [ 1; 2 ] ]); (r2, []); (r3, []) ] in
+  let view = view_w3 () in
+  let updates =
+    [ ins "r1" [ 4; 2 ]; ins "r3" [ 5; 3 ]; ins "r2" [ 2; 5 ] ]
+  in
+  let result =
+    run ~algorithm:"eca" ~schedule:(explicit "AWAWAWSWSWSW") ~views:[ view ]
+      ~db ~updates ()
+  in
+  check_bag "final view ([1],[4])"
+    (bag [ [ 1 ]; [ 4 ] ])
+    (final_mv result "V");
+  check_bool "strongly consistent" true
+    (report result "V").Core.Consistency.strongly_consistent
+
+(* Example 7: same data as Example 4 but A1 arrives before U3. *)
+let example7 () =
+  let db = db_of [ (r1, [ [ 1; 2 ] ]); (r2, []); (r3, []) ] in
+  let view = view_w3 () in
+  let updates =
+    [ ins "r1" [ 4; 2 ]; ins "r3" [ 5; 3 ]; ins "r2" [ 2; 5 ] ]
+  in
+  let result =
+    run ~algorithm:"eca" ~schedule:(explicit "AWAWSWAWSWSW") ~views:[ view ]
+      ~db ~updates ()
+  in
+  check_bag "final view ([1],[4])"
+    (bag [ [ 1 ]; [ 4 ] ])
+    (final_mv result "V");
+  check_bool "strongly consistent" true
+    (report result "V").Core.Consistency.strongly_consistent
+
+(* Example 8: two racing deletions, ECA. *)
+let example8 () =
+  let db = db_of [ (r1, [ [ 1; 2 ]; [ 4; 2 ] ]); (r2, [ [ 2; 3 ] ]) ] in
+  let view = view_w () in
+  let updates = [ del "r1" [ 4; 2 ]; del "r2" [ 2; 3 ] ] in
+  let result =
+    run ~algorithm:"eca" ~schedule:example2_schedule ~views:[ view ] ~db
+      ~updates ()
+  in
+  check_bag "final view empty" R.Bag.empty (final_mv result "V");
+  check_bool "strongly consistent" true
+    (report result "V").Core.Consistency.strongly_consistent
+
+(* Example 9: a racing delete and insert, ECA. *)
+let example9 () =
+  let db = db_of [ (r1, [ [ 1; 2 ]; [ 4; 2 ] ]); (r2, []) ] in
+  let view = view_w () in
+  let updates = [ del "r1" [ 4; 2 ]; ins "r2" [ 2; 3 ] ] in
+  let result =
+    run ~algorithm:"eca" ~schedule:example2_schedule ~views:[ view ] ~db
+      ~updates ()
+  in
+  check_bag "final view ([1])" (bag [ [ 1 ] ]) (final_mv result "V");
+  check_bool "strongly consistent" true
+    (report result "V").Core.Consistency.strongly_consistent
+
+(* Example 5: ECAK with W and Y as keys; two inserts and a delete all race
+   the queries; the final view is ([3,3],[3,4]). *)
+let example5 () =
+  let db = db_of [ (r1_wkey, [ [ 1; 2 ] ]); (r2_ykey, [ [ 2; 3 ] ]) ] in
+  let view = view_wy ~r1:r1_wkey ~r2:r2_ykey () in
+  let updates =
+    [ ins "r2" [ 2; 4 ]; ins "r1" [ 3; 2 ]; del "r1" [ 1; 2 ] ]
+  in
+  let result =
+    run ~algorithm:"eca-key" ~schedule:(explicit "AWAWAWSWSW")
+      ~views:[ view ] ~db ~updates ()
+  in
+  check_bag "final view ([3,3],[3,4])"
+    (bag [ [ 3; 3 ]; [ 3; 4 ] ])
+    (final_mv result "V");
+  check_bool "strongly consistent" true
+    (report result "V").Core.Consistency.strongly_consistent
+
+(* The same Example 5 run under plain ECA must agree on the final view. *)
+let example5_eca_agrees () =
+  let db = db_of [ (r1_wkey, [ [ 1; 2 ] ]); (r2_ykey, [ [ 2; 3 ] ]) ] in
+  let view = view_wy ~r1:r1_wkey ~r2:r2_ykey () in
+  let updates =
+    [ ins "r2" [ 2; 4 ]; ins "r1" [ 3; 2 ]; del "r1" [ 1; 2 ] ]
+  in
+  let result =
+    run ~algorithm:"eca" ~schedule:(explicit "AWAWAWSWSWSW") ~views:[ view ]
+      ~db ~updates ()
+  in
+  check_bag "final view ([3,3],[3,4])"
+    (bag [ [ 3; 3 ]; [ 3; 4 ] ])
+    (final_mv result "V")
+
+let suite =
+  [
+    Alcotest.test_case "example 1: correct maintenance" `Quick example1;
+    Alcotest.test_case "example 2: basic algorithm anomaly" `Quick
+      example2_anomaly;
+    Alcotest.test_case "example 2: ECA eliminates the anomaly" `Quick
+      example2_eca_fixes_it;
+    Alcotest.test_case "example 3: deletion anomaly" `Quick example3_anomaly;
+    Alcotest.test_case "example 3: ECA eliminates the anomaly" `Quick
+      example3_eca_fixes_it;
+    Alcotest.test_case "example 4: ECA, three racing inserts" `Quick example4;
+    Alcotest.test_case "example 5: ECAK" `Quick example5;
+    Alcotest.test_case "example 5: ECA agrees with ECAK" `Quick
+      example5_eca_agrees;
+    Alcotest.test_case "example 7: ECA, interleaved answer" `Quick example7;
+    Alcotest.test_case "example 8: ECA, racing deletions" `Quick example8;
+    Alcotest.test_case "example 9: ECA, delete vs insert" `Quick example9;
+  ]

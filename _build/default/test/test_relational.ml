@@ -1,0 +1,246 @@
+(* Unit tests for the relational substrate: values, tuples, attributes,
+   schemas, predicates, updates, and database instances. *)
+
+open Helpers
+module R = Relational
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let value_order () =
+  check_bool "ints by value" true (R.Value.compare (Int 1) (Int 2) < 0);
+  check_bool "strings by value" true
+    (R.Value.compare (Str "a") (Str "b") < 0);
+  check_bool "cross-type order is stable" true
+    (R.Value.compare (Int 5) (Str "a") < 0);
+  check_bool "equal ints" true (R.Value.equal (Int 7) (Int 7))
+
+let value_predicate_compare () =
+  check_bool "int vs float numerically" true
+    (R.Value.compare_for_predicate (Int 2) (Float 1.5) > 0);
+  check_bool "float vs int numerically" true
+    (R.Value.compare_for_predicate (Float 1.5) (Int 2) < 0);
+  check_int "int/float equal" 0
+    (R.Value.compare_for_predicate (Int 2) (Float 2.0))
+
+let value_bytes () =
+  check_int "int is 4 bytes" 4 (R.Value.byte_size (Int 12345));
+  check_int "float is 8 bytes" 8 (R.Value.byte_size (Float 1.0));
+  check_int "string is its length" 5 (R.Value.byte_size (Str "hello"));
+  check_int "bool is 1 byte" 1 (R.Value.byte_size (Bool true))
+
+let value_types () =
+  Alcotest.(check (option string))
+    "INT parses" (Some "INT")
+    (Option.map R.Value.ty_to_string (R.Value.ty_of_string "integer"));
+  Alcotest.(check (option string))
+    "unknown type rejected" None
+    (Option.map R.Value.ty_to_string (R.Value.ty_of_string "BLOB"))
+
+(* ------------------------------------------------------------------ *)
+(* Tuples                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tuple_basics () =
+  let t = R.Tuple.ints [ 1; 2; 3 ] in
+  check_int "arity" 3 (R.Tuple.arity t);
+  Alcotest.check value_testable "get" (Int 2) (R.Tuple.get t 1);
+  check_int "byte size" 12 (R.Tuple.byte_size t);
+  Alcotest.check tuple_testable "project"
+    (R.Tuple.ints [ 3; 1 ])
+    (R.Tuple.project [| 2; 0 |] t)
+
+let tuple_order () =
+  let a = R.Tuple.ints [ 1; 2 ] and b = R.Tuple.ints [ 1; 3 ] in
+  check_bool "lexicographic" true (R.Tuple.compare a b < 0);
+  check_bool "shorter first" true
+    (R.Tuple.compare (R.Tuple.ints [ 9 ]) a < 0);
+  check_bool "equal" true (R.Tuple.equal a (R.Tuple.ints [ 1; 2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Attributes                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let attr_parsing () =
+  let q = R.Attr.of_string "r1.X" in
+  Alcotest.(check (option string)) "qualified rel" (Some "r1") q.R.Attr.rel;
+  Alcotest.(check string) "qualified name" "X" q.R.Attr.name;
+  let u = R.Attr.of_string "X" in
+  Alcotest.(check (option string)) "unqualified" None u.R.Attr.rel
+
+let attr_matching () =
+  check_bool "qualified matches" true
+    (R.Attr.matches ~rel:"r1" ~name:"X" (R.Attr.qualified "r1" "X"));
+  check_bool "wrong relation" false
+    (R.Attr.matches ~rel:"r2" ~name:"X" (R.Attr.qualified "r1" "X"));
+  check_bool "unqualified matches any relation" true
+    (R.Attr.matches ~rel:"r9" ~name:"X" (R.Attr.unqualified "X"))
+
+(* ------------------------------------------------------------------ *)
+(* Schemas                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let schema_validation () =
+  Alcotest.check_raises "duplicate columns rejected"
+    (R.Schema.Schema_error "relation r has duplicate column names") (fun () ->
+      ignore (R.Schema.of_names "r" [ "A"; "A" ]));
+  Alcotest.check_raises "key must be a column"
+    (R.Schema.Schema_error "key attribute Z is not a column of r") (fun () ->
+      ignore (R.Schema.of_names ~key:[ "Z" ] "r" [ "A" ]))
+
+let schema_lookup () =
+  Alcotest.(check (option int)) "column index" (Some 1)
+    (R.Schema.column_index r1 "X");
+  Alcotest.(check (option int)) "missing column" None
+    (R.Schema.column_index r1 "Q");
+  Alcotest.(check (list int)) "key positions" [ 0 ]
+    (R.Schema.key_positions r1_wkey)
+
+let schema_arity_check () =
+  Alcotest.check_raises "arity mismatch"
+    (R.Schema.Schema_error
+       "tuple [1] has arity 1 but relation r1 has arity 2") (fun () ->
+      R.Schema.check_tuple r1 (R.Tuple.ints [ 1 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Predicates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pred_eval () =
+  let lookup a =
+    match R.Attr.to_string a with
+    | "r1.W" -> R.Value.Int 3
+    | "r1.X" -> R.Value.Int 7
+    | other -> Alcotest.failf "unexpected lookup %s" other
+  in
+  let p = R.Parser.parse_predicate "r1.W < r1.X AND NOT r1.W = 4" in
+  check_bool "evaluates" true (R.Predicate.eval lookup p);
+  let q = R.Parser.parse_predicate "r1.W >= 4 OR r1.X <> 7" in
+  check_bool "false branch" false (R.Predicate.eval lookup q)
+
+let pred_conjuncts () =
+  let p = R.Parser.parse_predicate "a = b AND c = d AND e > 1" in
+  check_int "three conjuncts" 3 (List.length (R.Predicate.conjuncts p));
+  check_int "conj of empty is True" 0
+    (List.length (R.Predicate.conjuncts (R.Predicate.conj [])))
+
+let pred_attrs () =
+  let p = R.Parser.parse_predicate "r1.W > r3.Z AND r1.X = 4" in
+  check_int "attribute references" 3 (List.length (R.Predicate.attrs p))
+
+(* ------------------------------------------------------------------ *)
+(* Updates and database instances                                      *)
+(* ------------------------------------------------------------------ *)
+
+let update_signs () =
+  check_bool "insert is positive" true
+    (R.Sign.equal R.Sign.Pos (R.Update.sign (ins "r1" [ 1; 2 ])));
+  check_bool "delete is negative" true
+    (R.Sign.equal R.Sign.Neg (R.Update.sign (del "r1" [ 1; 2 ])))
+
+let db_apply () =
+  let db = db_of [ (r1, [ [ 1; 2 ] ]) ] in
+  let db = R.Db.apply db (ins "r1" [ 4; 2 ]) in
+  check_bag "insert adds" (bag [ [ 1; 2 ]; [ 4; 2 ] ]) (R.Db.contents db "r1");
+  let db = R.Db.apply db (del "r1" [ 1; 2 ]) in
+  check_bag "delete removes" (bag [ [ 4; 2 ] ]) (R.Db.contents db "r1");
+  check_int "total tuples" 1 (R.Db.total_tuples db)
+
+let db_strict_delete () =
+  let db = db_of [ (r1, []) ] in
+  Alcotest.check_raises "strict delete of absent tuple"
+    (R.Db.Db_error "delete of absent tuple: delete(r1, [9,9])") (fun () ->
+      ignore (R.Db.apply db (del "r1" [ 9; 9 ])));
+  let db' = R.Db.apply ~strict:false db (del "r1" [ 9; 9 ]) in
+  check_bag "non-strict is a no-op" R.Bag.empty (R.Db.contents db' "r1")
+
+let db_duplicates () =
+  let db = db_of [ (r1, [ [ 1; 2 ]; [ 1; 2 ] ]) ] in
+  check_int "bag keeps duplicates" 2
+    (R.Bag.count (R.Db.contents db "r1") (R.Tuple.ints [ 1; 2 ]));
+  let db = R.Db.apply db (del "r1" [ 1; 2 ]) in
+  check_int "delete removes one copy" 1
+    (R.Bag.count (R.Db.contents db "r1") (R.Tuple.ints [ 1; 2 ]))
+
+let db_unknown_relation () =
+  Alcotest.check_raises "unknown relation"
+    (R.Db.Db_error "unknown relation nope") (fun () ->
+      ignore (R.Db.contents R.Db.empty "nope"))
+
+(* ------------------------------------------------------------------ *)
+(* Views                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let view_resolution () =
+  let v = view_wy () in
+  Alcotest.(check (list string))
+    "projection resolved and qualified"
+    [ "r1.W"; "r2.Y" ]
+    (List.map R.Attr.to_string v.R.View.proj)
+
+let view_ambiguity () =
+  let dup = R.Schema.of_names "rr" [ "W"; "Q" ] in
+  Alcotest.check_raises "ambiguous unqualified attribute"
+    (R.View.View_error "attribute W is ambiguous; qualify it") (fun () ->
+      ignore
+        (R.View.make ~proj:[ R.Attr.unqualified "W" ] ~cond:R.Predicate.True
+           [ r1; dup ]))
+
+let view_duplicate_relations () =
+  Alcotest.check_raises "duplicate relations rejected"
+    (R.View.View_error
+       "view V mentions a relation twice; the algorithms assume distinct \
+        relations") (fun () ->
+      ignore
+        (R.View.make ~proj:[ R.Attr.qualified "r1" "W" ]
+           ~cond:R.Predicate.True [ r1; r1 ]))
+
+let view_key_coverage () =
+  check_bool "W+Y view covers keys of keyed r1 and keyed r2" true
+    (R.View.covers_all_keys (view_wy ~r1:r1_wkey ~r2:r2_ykey ()));
+  check_bool "keyless view has no coverage" false
+    (R.View.covers_all_keys (view_w ()));
+  match R.View.key_coverage (view_wy ~r1:r1_wkey ~r2:r2_ykey ()) with
+  | Some cover ->
+    Alcotest.(check (list int)) "r1 key at output 0" [ 0 ]
+      (List.assoc "r1" cover);
+    Alcotest.(check (list int)) "r2 key at output 1" [ 1 ]
+      (List.assoc "r2" cover)
+  | None -> Alcotest.fail "expected coverage"
+
+let view_natural_join_cond () =
+  let v = view_w3 () in
+  (* r1.X = r2.X and r2.Y = r3.Y: exactly two equi-join conjuncts. *)
+  check_int "two join conjuncts" 2
+    (List.length (R.Predicate.conjuncts v.R.View.cond))
+
+let suite =
+  [
+    Alcotest.test_case "value ordering" `Quick value_order;
+    Alcotest.test_case "value predicate comparison" `Quick
+      value_predicate_compare;
+    Alcotest.test_case "value byte sizes" `Quick value_bytes;
+    Alcotest.test_case "value type names" `Quick value_types;
+    Alcotest.test_case "tuple basics" `Quick tuple_basics;
+    Alcotest.test_case "tuple ordering" `Quick tuple_order;
+    Alcotest.test_case "attribute parsing" `Quick attr_parsing;
+    Alcotest.test_case "attribute matching" `Quick attr_matching;
+    Alcotest.test_case "schema validation" `Quick schema_validation;
+    Alcotest.test_case "schema lookup" `Quick schema_lookup;
+    Alcotest.test_case "schema arity check" `Quick schema_arity_check;
+    Alcotest.test_case "predicate evaluation" `Quick pred_eval;
+    Alcotest.test_case "predicate conjuncts" `Quick pred_conjuncts;
+    Alcotest.test_case "predicate attributes" `Quick pred_attrs;
+    Alcotest.test_case "update signs" `Quick update_signs;
+    Alcotest.test_case "db apply" `Quick db_apply;
+    Alcotest.test_case "db strict delete" `Quick db_strict_delete;
+    Alcotest.test_case "db duplicate tuples" `Quick db_duplicates;
+    Alcotest.test_case "db unknown relation" `Quick db_unknown_relation;
+    Alcotest.test_case "view attribute resolution" `Quick view_resolution;
+    Alcotest.test_case "view ambiguity rejected" `Quick view_ambiguity;
+    Alcotest.test_case "view duplicate relations rejected" `Quick
+      view_duplicate_relations;
+    Alcotest.test_case "view key coverage" `Quick view_key_coverage;
+    Alcotest.test_case "natural join condition" `Quick view_natural_join_cond;
+  ]
