@@ -1,0 +1,39 @@
+# Convenience targets; `dune build` / `dune runtest` remain the source of
+# truth (ROADMAP.md tier 1).
+
+.PHONY: all build test bench smoke clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full benchmark suite including the Bechamel wall-clock section.
+bench:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe
+
+# One-stop pre-commit gate: build everything, run the test suite, run the
+# quick benchmark, and fail if its wall clock regressed more than 2x
+# against the committed BENCH_results.json baseline. The baseline is
+# copied aside first because the bench overwrites it in place.
+smoke:
+	dune build @all
+	dune runtest
+	dune build bench/main.exe
+	@if [ -f BENCH_results.json ]; then \
+	  cp BENCH_results.json /tmp/BENCH_baseline.json; \
+	else \
+	  echo "smoke: no committed BENCH_results.json baseline; skipping guard"; \
+	fi
+	./_build/default/bench/main.exe quick > /dev/null
+	@if [ -f /tmp/BENCH_baseline.json ]; then \
+	  sh scripts/perf_guard.sh /tmp/BENCH_baseline.json BENCH_results.json; \
+	  rm -f /tmp/BENCH_baseline.json; \
+	fi
+
+clean:
+	dune clean

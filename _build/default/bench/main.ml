@@ -23,8 +23,88 @@ module W = Workload
 let params = CM.Params.default
 let s_bytes = params.CM.Params.s
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Every measured simulator run is appended here and dumped as
+   BENCH_results.json at the end — one record per run, grouped by the
+   section (figure/table/ablation) that requested it. The schema is
+   documented in EXPERIMENTS.md; scripts/perf_guard.sh greps the
+   "total_wall_clock_s" line to detect wall-clock regressions. *)
+type json_run = {
+  r_figure : string;  (* section header active when the run executed *)
+  r_algorithm : string;  (* algorithm plus schedule/period qualifiers *)
+  r_wall_s : float;
+  r_messages : int;
+  r_tuples : int;
+  r_bytes : int;
+  r_io : int;
+}
+
+let json_runs : json_run list ref = ref []
+let current_section = ref "startup"
+
 let header title =
+  current_section := title;
   Printf.printf "\n================ %s ================\n" title
+
+let schedule_label = function
+  | Core.Scheduler.Best_case -> "[best]"
+  | Core.Scheduler.Worst_case -> "[worst]"
+  | Core.Scheduler.Round_robin -> "[rr]"
+  | Core.Scheduler.Random seed -> Printf.sprintf "[rand=%d]" seed
+  | Core.Scheduler.Explicit _ -> "[explicit]"
+
+let algo_label ?rv_period ~schedule algorithm =
+  algorithm
+  ^ (match rv_period with
+    | Some p -> Printf.sprintf "[p=%d]" p
+    | None -> "")
+  ^ schedule_label schedule
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Wall clock of `bench/main.exe quick` at the pre-plan-compilation seed
+   (list-based bags, per-call term analysis, recomputing oracle), kept in
+   the emitted JSON so before/after is visible in the committed artifact. *)
+let seed_quick_wall_clock_s = 8.984
+
+let write_json ~path ~mode ~total_wall_s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "{\n";
+      Printf.fprintf oc "  \"schema_version\": 1,\n";
+      Printf.fprintf oc "  \"mode\": \"%s\",\n" (json_escape mode);
+      Printf.fprintf oc "  \"total_wall_clock_s\": %.3f,\n" total_wall_s;
+      Printf.fprintf oc "  \"seed_quick_wall_clock_s\": %.3f,\n"
+        seed_quick_wall_clock_s;
+      Printf.fprintf oc "  \"runs\": [";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc "%s\n    { \"figure\": \"%s\", "
+            (if i = 0 then "" else ",")
+            (json_escape r.r_figure);
+          Printf.fprintf oc "\"algorithm\": \"%s\", " (json_escape r.r_algorithm);
+          Printf.fprintf oc
+            "\"wall_clock_s\": %.6f, \"messages\": %d, \"answer_tuples\": %d, \
+             \"bytes\": %d, \"source_io\": %d }"
+            r.r_wall_s r.r_messages r.r_tuples r.r_bytes r.r_io)
+        (List.rev !json_runs);
+      Printf.fprintf oc "\n  ]\n}\n")
 
 (* ------------------------------------------------------------------ *)
 (* Measured runs                                                       *)
@@ -37,6 +117,19 @@ type measured = {
   m_io : int;
 }
 
+let record ~algorithm ~wall_s m =
+  json_runs :=
+    {
+      r_figure = !current_section;
+      r_algorithm = algorithm;
+      r_wall_s = wall_s;
+      r_messages = m.m_messages;
+      r_tuples = m.m_tuples;
+      r_bytes = m.m_bytes;
+      r_io = m.m_io;
+    }
+    :: !json_runs
+
 let run_example6 ?(scenario = 1) ?(schedule = Core.Scheduler.Best_case)
     ?rv_period ~algorithm spec =
   let { W.Scenarios.db; view; updates } = W.Scenarios.example6 spec in
@@ -44,22 +137,29 @@ let run_example6 ?(scenario = 1) ?(schedule = Core.Scheduler.Best_case)
     if scenario = 1 then W.Scenarios.catalog_scenario1 ()
     else W.Scenarios.catalog_scenario2 ()
   in
+  let t0 = Unix.gettimeofday () in
   let result =
     Core.Runner.run ~catalog ~schedule ?rv_period
       ~creator:(Core.Registry.creator_exn algorithm)
       ~views:[ view ] ~db ~updates ()
   in
+  let wall_s = Unix.gettimeofday () -. t0 in
   let m = result.Core.Runner.metrics in
   let report = List.assoc "V" result.Core.Runner.reports in
   if not report.Core.Consistency.convergent then
     Printf.printf "!! %s did not converge (%s)\n" algorithm
       (Core.Consistency.strongest_label report);
-  {
-    m_messages = Core.Metrics.messages m;
-    m_tuples = m.Core.Metrics.answer_tuples;
-    m_bytes = Core.Metrics.bytes_for ~s:s_bytes m;
-    m_io = m.Core.Metrics.source_io;
-  }
+  let measured =
+    {
+      m_messages = Core.Metrics.messages m;
+      m_tuples = m.Core.Metrics.answer_tuples;
+      m_bytes = Core.Metrics.bytes_for ~s:s_bytes m;
+      m_io = m.Core.Metrics.source_io;
+    }
+  in
+  record ~algorithm:(algo_label ?rv_period ~schedule algorithm) ~wall_s
+    measured;
+  measured
 
 let spec_for ?(c = 100) ?(k = 3) ?(seed = 42) () =
   W.Spec.make ~c ~j:4 ~k_updates:k ~seed ()
@@ -283,12 +383,24 @@ let ablation_compensation () =
 let run_keyed ~algorithm ~schedule ?(insert_ratio = 0.5) k =
   let spec = W.Spec.make ~c:100 ~j:4 ~k_updates:k ~insert_ratio ~seed:7 () in
   let { W.Scenarios.db; view; updates } = W.Scenarios.keyed spec in
+  let t0 = Unix.gettimeofday () in
   let result =
     Core.Runner.run ~schedule
       ~creator:(Core.Registry.creator_exn algorithm)
       ~views:[ view ] ~db ~updates ()
   in
-  result.Core.Runner.metrics
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let m = result.Core.Runner.metrics in
+  record
+    ~algorithm:(algo_label ~schedule algorithm)
+    ~wall_s
+    {
+      m_messages = Core.Metrics.messages m;
+      m_tuples = m.Core.Metrics.answer_tuples;
+      m_bytes = Core.Metrics.bytes_for ~s:s_bytes m;
+      m_io = m.Core.Metrics.source_io;
+    };
+  m
 
 let ablation_ecak () =
   header "Ablation: ECAK vs ECA on a keyed view (k=40, half deletes)";
@@ -636,6 +748,7 @@ let () =
      exit 0
    | _ -> ());
   let quick = Array.exists (String.equal "quick") Sys.argv in
+  let t_start = Unix.gettimeofday () in
   table1 ();
   messages ();
   figure_6_2 ();
@@ -655,4 +768,9 @@ let () =
   ablation_skew ();
   ablation_compound_views ();
   if not quick then bechamel_section ();
+  let total_wall_s = Unix.gettimeofday () -. t_start in
+  let path = "BENCH_results.json" in
+  write_json ~path ~mode:(if quick then "quick" else "full") ~total_wall_s;
+  Printf.printf "\nwrote %d runs to %s (total_wall_clock_s %.3f)\n"
+    (List.length !json_runs) path total_wall_s;
   print_newline ()

@@ -24,10 +24,22 @@ let snapshot_defs views db =
 let snapshot_views views db =
   snapshot_defs (List.map R.Viewdef.simple views) db
 
+(* How the consistency oracle maintains the per-update source-view states
+   it records in the trace. [Incremental] applies each update's delta query
+   to the previous snapshot — O(delta) per update instead of re-running
+   every view over the full database. This is exact: a view ranges over
+   distinct relations (enforced by [View.make]), so the substituted delta
+   query T⟨U⟩ evaluated on the post-update state is precisely
+   V(D∘u) − V(D). [Recompute] keeps the old full re-evaluation as a
+   cross-check escape hatch. *)
+type oracle =
+  | Incremental
+  | Recompute
+
 let run_defs ?(catalog = Storage.Catalog.make ())
     ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
-    ?local_literal_eval ?unordered_delivery ?(max_steps = 2_000_000) ~creator
-    ~views ~db ~updates () =
+    ?local_literal_eval ?unordered_delivery ?(max_steps = 2_000_000)
+    ?(oracle = Incremental) ~creator ~views ~db ~updates () =
   if batch_size < 1 then raise (Run_error "batch_size must be at least 1");
   let configs =
     List.map
@@ -41,6 +53,21 @@ let run_defs ?(catalog = Storage.Catalog.make ())
   let sched = Scheduler.create schedule in
   let initial_views = snapshot_defs views db in
   let trace = Trace.create ~initial_views in
+  (* Oracle state: the current source-view contents, one entry per view in
+     [views] order, advanced as updates execute at the source. *)
+  let snapshots = ref initial_views in
+  let advance_snapshots u =
+    snapshots :=
+      List.map2
+        (fun (v : R.Viewdef.t) (name, snap) ->
+          let delta = R.Viewdef.delta v u in
+          if R.Query.is_empty delta then (name, snap)
+          else
+            ( name,
+              R.Bag.plus snap
+                (R.Eval.query (Source_site.Source.db source) delta) ))
+        views !snapshots
+  in
   let pending_updates = ref updates in
   let next_seq = ref 0 in
   let m = ref Metrics.zero in
@@ -95,7 +122,17 @@ let run_defs ?(catalog = Storage.Catalog.make ())
     match take batch_size [] with
     | [] -> raise (Run_error "apply_update with empty workload")
     | batch ->
-      List.iter (Source_site.Source.execute_update source) batch;
+      List.iter
+        (fun u ->
+          Source_site.Source.execute_update source u;
+          match oracle with
+          | Incremental -> advance_snapshots u
+          | Recompute -> ())
+        batch;
+      (match oracle with
+       | Incremental -> ()
+       | Recompute ->
+         snapshots := snapshot_defs views (Source_site.Source.db source));
       let note =
         match batch with
         | [ u ] -> Messaging.Message.Update_note u
@@ -105,11 +142,7 @@ let run_defs ?(catalog = Storage.Catalog.make ())
       bump (fun m ->
           { m with Metrics.updates = m.Metrics.updates + List.length batch });
       Trace.record trace
-        (Trace.Source_update
-           {
-             updates = batch;
-             source_views = snapshot_defs views (Source_site.Source.db source);
-           })
+        (Trace.Source_update { updates = batch; source_views = !snapshots })
   in
   let source_receive () =
     match Messaging.Network.receive net Messaging.Network.To_source with
@@ -234,15 +267,15 @@ let run_defs ?(catalog = Storage.Catalog.make ())
     metrics = !m;
     reports;
     final_mvs = Warehouse.mvs warehouse;
-    final_source_views = snapshot_defs views (Source_site.Source.db source);
+    final_source_views = !snapshots;
     negative_installs = List.rev !negative_installs;
     source;
   }
 
 let run ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
-    ?unordered_delivery ?max_steps ~creator ~views ~db ~updates () =
+    ?unordered_delivery ?max_steps ?oracle ~creator ~views ~db ~updates () =
   run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
-    ?unordered_delivery ?max_steps ~creator
+    ?unordered_delivery ?max_steps ?oracle ~creator
     ~views:(List.map R.Viewdef.simple views)
     ~db ~updates ()
 
@@ -250,7 +283,7 @@ let run ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
    the creator on the view's name — creators receive the full config, so
    the per-view choice is total and checked up front. *)
 let run_mixed ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
-    ?unordered_delivery ?max_steps ~assignments ~db ~updates () =
+    ?unordered_delivery ?max_steps ?oracle ~assignments ~db ~updates () =
   let creator (cfg : Algorithm.Config.t) =
     let name = cfg.Algorithm.Config.view.R.Viewdef.name in
     match
@@ -262,6 +295,6 @@ let run_mixed ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     | None -> raise (Run_error ("no algorithm assigned to view " ^ name))
   in
   run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
-    ?unordered_delivery ?max_steps ~creator
+    ?unordered_delivery ?max_steps ?oracle ~creator
     ~views:(List.map fst assignments)
     ~db ~updates ()

@@ -27,6 +27,18 @@ type result = {
   source : Source_site.Source.t;
 }
 
+(** How the consistency oracle maintains the per-update source-view states
+    recorded in the trace. [Incremental] (the default) applies each
+    update's delta query to the previous snapshot — O(delta) per update
+    instead of re-evaluating every view over the full database. This is
+    exact because a view ranges over distinct relations (enforced by
+    [View.make]): the substituted delta query evaluated on the post-update
+    state is precisely V(D∘u) − V(D). [Recompute] keeps the full
+    re-evaluation as a cross-checking escape hatch. *)
+type oracle =
+  | Incremental
+  | Recompute
+
 val run :
   ?catalog:Storage.Catalog.t ->
   ?schedule:Scheduler.policy ->
@@ -35,6 +47,7 @@ val run :
   ?local_literal_eval:bool ->
   ?unordered_delivery:int ->
   ?max_steps:int ->
+  ?oracle:oracle ->
   creator:Algorithm.creator ->
   views:R.View.t list ->
   db:R.Db.t ->
@@ -50,6 +63,7 @@ val run_defs :
   ?local_literal_eval:bool ->
   ?unordered_delivery:int ->
   ?max_steps:int ->
+  ?oracle:oracle ->
   creator:Algorithm.creator ->
   views:R.Viewdef.t list ->
   db:R.Db.t ->
@@ -79,6 +93,7 @@ val run_mixed :
   ?local_literal_eval:bool ->
   ?unordered_delivery:int ->
   ?max_steps:int ->
+  ?oracle:oracle ->
   assignments:(R.Viewdef.t * Algorithm.creator) list ->
   db:R.Db.t ->
   updates:R.Update.t list ->

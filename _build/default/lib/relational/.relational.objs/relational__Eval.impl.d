@@ -1,1 +1,1 @@
-lib/relational/eval.ml: Array Attr Bag Db Format Hashtbl List Option Predicate Query Schema Sign Term Tuple Value
+lib/relational/eval.ml: Array Bag Db Format Hashtbl List Plan Predicate Query Schema Sign Term Tuple Value

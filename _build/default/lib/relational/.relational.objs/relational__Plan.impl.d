@@ -1,0 +1,1 @@
+lib/relational/plan.ml: Array Attr Format Hashtbl List Predicate Schema Term Value

@@ -1,0 +1,1 @@
+lib/relational/plan.mli: Attr Predicate Term Value

@@ -1,1 +1,1 @@
-lib/relational/query.ml: Format List Option Sign String Term Update
+lib/relational/query.ml: Array Format Hashtbl List Sign String Term Update

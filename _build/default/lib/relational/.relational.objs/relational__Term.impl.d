@@ -1,1 +1,1 @@
-lib/relational/term.ml: Attr Format List Predicate Schema Sign String Tuple Update View
+lib/relational/term.ml: Attr Format Hashtbl List Predicate Schema Sign String Tuple Update View

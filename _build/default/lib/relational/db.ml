@@ -28,15 +28,16 @@ let check_keys schema bag =
   match Schema.key_positions schema with
   | [] -> ()
   | positions ->
+    (* Sorted walk so the offending tuple reported is deterministic. *)
     let seen = Hashtbl.create 16 in
-    Bag.iter
-      (fun t n ->
+    List.iter
+      (fun (t, n) ->
         let key = List.map (Tuple.get t) positions in
         if n > 1 || Hashtbl.mem seen key then
           error "relation %s: tuple %s violates the declared key"
             schema.Schema.name (Tuple.to_string t);
         Hashtbl.replace seen key ())
-      bag
+      (Bag.to_counted_list bag)
 
 let add_relation ?(contents = Bag.empty) db schema =
   if Smap.mem schema.Schema.name db.relations then

@@ -1,102 +1,68 @@
+(* Term/query evaluation over compiled plans.
+
+   {!Plan} fixes layout, join keys, filters and projection positions once
+   per term skeleton (cached); this module supplies the runtime: slot
+   contents come from the database, intermediate rows live in growable
+   arrays, and equi-joins run through a hash table keyed by an explicit
+   [Value] hash — no polymorphic hashing, no per-row attribute resolution.
+
+   [naive_term]/[naive_query] keep the obviously-correct reference
+   semantics (full cross product, filter, project) for property tests. *)
+
 exception Eval_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
 
-(* Column layout of a term: the concatenation of its slots' columns, each
-   tagged with its relation. Slot [i] occupies positions
-   [offsets.(i) .. offsets.(i) + arity_i - 1]. *)
-type layout = {
-  cols : (string * string) array;  (* (relation, column) per position *)
-  offsets : int array;             (* first position of each slot *)
-}
+(* ------------------------------------------------------------------ *)
+(* Join-key hash table: explicit Value hash/equal over key arrays       *)
+(* ------------------------------------------------------------------ *)
 
-let layout_of_slots slots =
-  let cols = ref [] and offsets = ref [] and off = ref 0 in
-  List.iter
-    (fun slot ->
-      let s = Term.slot_schema slot in
-      offsets := !off :: !offsets;
-      List.iter
-        (fun c ->
-          cols := (s.Schema.name, c) :: !cols;
-          incr off)
-        (Schema.attr_names s))
-    slots;
-  { cols = Array.of_list (List.rev !cols); offsets = Array.of_list (List.rev !offsets) }
+module Vkey = struct
+  type t = Value.t array
 
-let resolve layout (a : Attr.t) =
-  let hits = ref [] in
-  Array.iteri
-    (fun i (rel, name) -> if Attr.matches ~rel ~name a then hits := i :: !hits)
-    layout.cols;
-  match !hits with
-  | [ i ] -> i
-  | [] -> error "unresolved attribute %s" (Attr.to_string a)
-  | _ -> error "ambiguous attribute %s" (Attr.to_string a)
+  let equal a b =
+    let la = Array.length a in
+    la = Array.length b
+    &&
+    let rec loop i = i >= la || (Value.equal a.(i) b.(i) && loop (i + 1)) in
+    loop 0
 
-(* Highest column position referenced by a predicate; -1 when it has no
-   attribute references (constant-only conjuncts). *)
-let max_position layout p =
-  List.fold_left
-    (fun acc a -> max acc (resolve layout a))
-    (-1) (Predicate.attrs p)
+  let hash k = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
+end
 
-let slot_of_position layout pos =
-  let n = Array.length layout.offsets in
-  let rec loop i = if i + 1 < n && layout.offsets.(i + 1) <= pos then loop (i + 1) else i in
-  loop 0
+module Vtbl = Hashtbl.Make (Vkey)
 
-(* A conjunct [colA = colB] whose two sides land in different slots and
-   whose later slot is [slot] becomes a hash-join key for that slot. *)
-type join_key = {
-  probe_pos : int;  (* position among already-joined columns *)
-  build_pos : int;  (* position within the new slot's own columns *)
-}
+(* ------------------------------------------------------------------ *)
+(* Growable row buffers                                                *)
+(* ------------------------------------------------------------------ *)
 
-let classify_conjuncts layout slots cond =
-  let nslots = List.length slots in
-  let joins = Array.make nslots [] in      (* per-slot hash-join keys *)
-  let filters = Array.make nslots [] in    (* per-slot residual conjuncts *)
-  let pre = ref [] in                      (* constant-only conjuncts *)
-  let assign p =
-    match p with
-    | Predicate.Cmp (Predicate.Eq, Predicate.Col a, Predicate.Col b) -> (
-      let pa = resolve layout a and pb = resolve layout b in
-      let sa = slot_of_position layout pa and sb = slot_of_position layout pb in
-      if sa = sb then
-        filters.(sa) <- p :: filters.(sa)
-      else
-        let later, (probe_pos, build_pos) =
-          if sa < sb then sb, (pa, pb - layout.offsets.(sb))
-          else sa, (pb, pa - layout.offsets.(sa))
-        in
-        joins.(later) <- { probe_pos; build_pos } :: joins.(later))
-    | _ -> (
-      match max_position layout p with
-      | -1 -> pre := p :: !pre
-      | pos -> (
-        let s = slot_of_position layout pos in
-        filters.(s) <- p :: filters.(s)))
-  in
-  List.iter assign (Predicate.conjuncts cond);
-  (!pre, joins, filters)
+(* Intermediate join results: parallel growable arrays of rows and
+   replication counts, replacing the consed (row, count) lists the old
+   evaluator rebuilt at every slot. *)
+module Rows = struct
+  type t = {
+    mutable data : Value.t array array;
+    mutable counts : int array;
+    mutable len : int;
+  }
 
-(* Compile a residual conjunct once per term: attribute positions are
-   resolved ahead of the row loop, so applying the filter is a small
-   association lookup instead of a scan over the whole column layout. All
-   attributes are bound by the time the filter is applied. *)
-let compile_filter layout p =
-  let resolved =
-    List.map (fun a -> (a, resolve layout a)) (Predicate.attrs p)
-  in
-  let position a =
-    let rec find = function
-      | [] -> resolve layout a
-      | (a', i) :: rest -> if Attr.equal a a' then i else find rest
-    in
-    find resolved
-  in
-  fun (row : Value.t array) -> Predicate.eval (fun a -> row.(position a)) p
+  let create ?(capacity = 16) () =
+    let capacity = max capacity 1 in
+    { data = Array.make capacity [||]; counts = Array.make capacity 0; len = 0 }
+
+  let push r row count =
+    if r.len = Array.length r.data then begin
+      let cap = 2 * r.len in
+      let data = Array.make cap [||] and counts = Array.make cap 0 in
+      Array.blit r.data 0 data 0 r.len;
+      Array.blit r.counts 0 counts 0 r.len;
+      r.data <- data;
+      r.counts <- counts
+    end;
+    r.data.(r.len) <- row;
+    r.counts.(r.len) <- count;
+    r.len <- r.len + 1
+end
 
 let slot_contents db = function
   | Term.Base s -> Db.contents db s.Schema.name
@@ -104,71 +70,114 @@ let slot_contents db = function
     Schema.check_tuple s tup;
     Bag.singleton ~count:(Sign.to_int g) tup
 
-(* Core term evaluation: left-to-right join of the slots with per-slot hash
-   joins on equality conjuncts, residual filters applied as soon as their
-   last column is bound, and final projection into a signed bag. Replication
-   counts multiply across slots, which is exactly the sign-product rule of
-   Section 4.1 read through ℤ counts. *)
-let term db (t : Term.t) =
-  let layout = layout_of_slots t.Term.slots in
-  let pre, joins, filters = classify_conjuncts layout t.Term.slots t.Term.cond in
-  let statically_false =
-    List.exists (fun p -> not (Predicate.eval (fun _ -> assert false) p)) pre
-  in
-  if statically_false then Bag.empty
+(* ------------------------------------------------------------------ *)
+(* Plan execution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let keep filter row =
+  match filter with
+  | None -> true
+  | Some f -> f row
+
+(* Extend [rows] with [contents] by nested loop (no equi-join keys). *)
+let extend_nested rows contents filter =
+  let next = Rows.create ~capacity:(Rows.(rows.len)) () in
+  for j = 0 to rows.Rows.len - 1 do
+    let row = rows.Rows.data.(j) and cnt = rows.Rows.counts.(j) in
+    Bag.iter
+      (fun tup n ->
+        let row' = Tuple.concat row tup in
+        if keep filter row' then Rows.push next row' (cnt * n))
+      contents
+  done;
+  next
+
+(* Extend [rows] with [contents] by hash join on [keys]. The hash table is
+   built on whichever side is smaller — the accumulated rows or the new
+   slot — and seeded to its exact size, so neither side pays rehashing or
+   an oversized allocation. *)
+let extend_hash rows contents (keys : Plan.join_key array) filter =
+  let next = Rows.create ~capacity:(Rows.(rows.len)) () in
+  let build_card = Bag.distinct_cardinality contents in
+  if build_card <= rows.Rows.len then begin
+    (* Build on the slot's contents, probe with the partial rows. *)
+    let tbl : (Tuple.t * int) list ref Vtbl.t = Vtbl.create (max 16 build_card) in
+    Bag.iter
+      (fun tup n ->
+        let key = Array.map (fun (k : Plan.join_key) -> Tuple.get tup k.Plan.build_pos) keys in
+        match Vtbl.find_opt tbl key with
+        | Some cell -> cell := (tup, n) :: !cell
+        | None -> Vtbl.add tbl key (ref [ (tup, n) ]))
+      contents;
+    for j = 0 to rows.Rows.len - 1 do
+      let row = rows.Rows.data.(j) and cnt = rows.Rows.counts.(j) in
+      let key = Array.map (fun (k : Plan.join_key) -> row.(k.Plan.probe_pos)) keys in
+      match Vtbl.find_opt tbl key with
+      | None -> ()
+      | Some cell ->
+        List.iter
+          (fun (tup, n) ->
+            let row' = Tuple.concat row tup in
+            if keep filter row' then Rows.push next row' (cnt * n))
+          !cell
+    done
+  end
   else begin
-    let proj_positions =
-      Array.of_list (List.map (resolve layout) t.Term.proj)
+    (* Fewer partial rows than slot tuples: build on the rows instead and
+       stream the slot's contents past the table. *)
+    let tbl : (Value.t array * int) list ref Vtbl.t =
+      Vtbl.create (max 16 rows.Rows.len)
     in
-    let rows = ref [ (([||] : Value.t array), 1) ] in
+    for j = 0 to rows.Rows.len - 1 do
+      let row = rows.Rows.data.(j) and cnt = rows.Rows.counts.(j) in
+      let key = Array.map (fun (k : Plan.join_key) -> row.(k.Plan.probe_pos)) keys in
+      match Vtbl.find_opt tbl key with
+      | Some cell -> cell := (row, cnt) :: !cell
+      | None -> Vtbl.add tbl key (ref [ (row, cnt) ])
+    done;
+    Bag.iter
+      (fun tup n ->
+        let key = Array.map (fun (k : Plan.join_key) -> Tuple.get tup k.Plan.build_pos) keys in
+        match Vtbl.find_opt tbl key with
+        | None -> ()
+        | Some cell ->
+          List.iter
+            (fun (row, cnt) ->
+              let row' = Tuple.concat row tup in
+              if keep filter row' then Rows.push next row' (cnt * n))
+            !cell)
+      contents
+  end;
+  next
+
+let term db (t : Term.t) =
+  let plan = Plan.of_term t in
+  if plan.Plan.pre_false then Bag.empty
+  else begin
+    let rows = ref (Rows.create ~capacity:1 ()) in
+    Rows.push !rows [||] 1;
     List.iteri
       (fun i slot ->
-        let contents = slot_contents db slot in
-        let fs = List.map (compile_filter layout) filters.(i) in
-        let apply_filters row = List.for_all (fun f -> f row) fs in
-        let next =
-          match joins.(i) with
-          | [] ->
-            (* Nested-loop extension. *)
-            List.concat_map
-              (fun (row, cnt) ->
-                Bag.fold
-                  (fun tup n acc ->
-                    let row' = Tuple.concat row tup in
-                    if apply_filters row' then (row', cnt * n) :: acc else acc)
-                  contents [])
-              !rows
-          | keys ->
-            (* Hash join: build on the new slot, probe with partial rows. *)
-            let tbl : (Value.t list, (Tuple.t * int) list) Hashtbl.t =
-              Hashtbl.create 64
-            in
-            Bag.iter
-              (fun tup n ->
-                let key = List.map (fun k -> Tuple.get tup k.build_pos) keys in
-                let prev = Option.value (Hashtbl.find_opt tbl key) ~default:[] in
-                Hashtbl.replace tbl key ((tup, n) :: prev))
-              contents;
-            List.concat_map
-              (fun (row, cnt) ->
-                let key = List.map (fun k -> row.(k.probe_pos)) keys in
-                match Hashtbl.find_opt tbl key with
-                | None -> []
-                | Some matches ->
-                  List.filter_map
-                    (fun (tup, n) ->
-                      let row' = Tuple.concat row tup in
-                      if apply_filters row' then Some (row', cnt * n) else None)
-                    matches)
-              !rows
-        in
-        rows := next)
+        if !rows.Rows.len > 0 then begin
+          let contents = slot_contents db slot in
+          let sp = plan.Plan.slots.(i) in
+          rows :=
+            if Array.length sp.Plan.keys = 0 then
+              extend_nested !rows contents sp.Plan.filter
+            else extend_hash !rows contents sp.Plan.keys sp.Plan.filter
+        end)
       t.Term.slots;
     let sign_factor = Sign.to_int t.Term.sign in
-    List.fold_left
-      (fun acc (row, cnt) ->
-        Bag.add ~count:(cnt * sign_factor) (Tuple.project proj_positions row) acc)
-      Bag.empty !rows
+    let rows = !rows in
+    let acc = ref Bag.empty in
+    for j = 0 to rows.Rows.len - 1 do
+      acc :=
+        Bag.add
+          ~count:(rows.Rows.counts.(j) * sign_factor)
+          (Tuple.project plan.Plan.proj rows.Rows.data.(j))
+          !acc
+    done;
+    !acc
   end
 
 let query db q =
@@ -183,3 +192,39 @@ let literal_term (t : Term.t) =
 
 let literal_query q =
   List.fold_left (fun acc t -> Bag.plus acc (literal_term t)) Bag.empty q
+
+(* ------------------------------------------------------------------ *)
+(* Naive reference evaluator                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Ground truth for equivalence tests: expand the full cross product of
+   the slots, evaluate the condition by scanning the layout for every
+   attribute reference, and project. No plans, no hash joins, no caches —
+   deliberately slow and deliberately independent of the machinery above
+   (only the layout/resolution helpers are shared). *)
+let naive_term db (t : Term.t) =
+  let layout = Plan.layout_of_slots t.Term.slots in
+  let slot_rows slot =
+    Bag.fold (fun tup n acc -> (tup, n) :: acc) (slot_contents db slot) []
+  in
+  let rec cross = function
+    | [] -> [ (([||] : Value.t array), 1) ]
+    | slot :: rest ->
+      let tails = cross rest in
+      List.concat_map
+        (fun (tup, n) ->
+          List.map (fun (row, c) -> (Tuple.concat tup row, n * c)) tails)
+        (slot_rows slot)
+  in
+  let lookup row a = row.(Plan.resolve layout a) in
+  let proj = Array.of_list (List.map (Plan.resolve layout) t.Term.proj) in
+  let sign_factor = Sign.to_int t.Term.sign in
+  List.fold_left
+    (fun acc (row, count) ->
+      if Predicate.eval (lookup row) t.Term.cond then
+        Bag.add ~count:(count * sign_factor) (Tuple.project proj row) acc
+      else acc)
+    Bag.empty (cross t.Term.slots)
+
+let naive_query db q =
+  List.fold_left (fun acc t -> Bag.plus acc (naive_term db t)) Bag.empty q

@@ -1,12 +1,15 @@
 (** Logical evaluation of terms, queries and views against a database
     instance.
 
-    Terms are executed as left-to-right joins: top-level equality conjuncts
-    between attributes of different slots run as hash joins, residual
-    conjuncts are applied as soon as their columns are bound, and
-    replication counts multiply across slots — which realizes the paper's
-    sign-product rule through ℤ-counted bags. The result of evaluating a
-    query is the signed sum of its terms' results.
+    Terms are executed as left-to-right joins over compiled {!Plan}s:
+    top-level equality conjuncts between attributes of different slots run
+    as hash joins (built on the smaller side, keyed by explicit [Value]
+    hashing), residual conjuncts are applied as position-resolved compiled
+    filters as soon as their columns are bound, and replication counts
+    multiply across slots — which realizes the paper's sign-product rule
+    through ℤ-counted bags. The result of evaluating a query is the signed
+    sum of its terms' results. Plans are cached per term skeleton, so
+    repeated evaluation of a view and of its delta terms compiles once.
 
     This evaluator defines {e what} an answer is; the physical layer in
     [lib/storage] independently accounts for {e how many I/Os} the source
@@ -31,3 +34,11 @@ val literal_term : Term.t -> Bag.t
     @raise Eval_error if the term still references a base relation. *)
 
 val literal_query : Query.t -> Bag.t
+
+val naive_term : Db.t -> Term.t -> Bag.t
+(** Reference semantics: full cross product of the slots, condition
+    evaluated by scanning the layout per row, then projection. Exists as
+    ground truth for the planned evaluator's equivalence property tests —
+    never use it on anything large. *)
+
+val naive_query : Db.t -> Query.t -> Bag.t

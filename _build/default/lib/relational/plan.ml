@@ -1,0 +1,229 @@
+(* Compiled evaluation plans for SPJ terms.
+
+   [Eval.term] used to redo the same analysis on every call: rebuild the
+   column layout, re-classify conjuncts into join keys and residual
+   filters, and re-resolve attribute positions — sometimes inside the
+   per-row loop. A view is evaluated thousands of times per simulated run
+   (every delta query, every compensation, every oracle snapshot), so this
+   module compiles a term once into position-resolved artifacts and caches
+   the result.
+
+   The cache key is the term's *skeleton*: projection list, condition and
+   slot schemas. The literal tuple values and the term sign are deliberately
+   excluded — ECA's per-update delta terms T⟨U⟩ differ from the view's own
+   term only in which slot is a literal and in the substituted tuple, and
+   neither changes the layout, the join keys, the filter positions nor the
+   projection positions. One compiled plan therefore serves the view term
+   and every delta/compensation term derived from it. *)
+
+exception Plan_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Plan_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Column layout of a term: the concatenation of its slots' columns, each
+   tagged with its relation. Slot [i] occupies positions
+   [offsets.(i) .. offsets.(i) + arity_i - 1]. *)
+type layout = {
+  cols : (string * string) array;  (* (relation, column) per position *)
+  offsets : int array;             (* first position of each slot *)
+}
+
+let layout_of_schemas schemas =
+  let cols = ref [] and offsets = ref [] and off = ref 0 in
+  List.iter
+    (fun (s : Schema.t) ->
+      offsets := !off :: !offsets;
+      List.iter
+        (fun c ->
+          cols := (s.Schema.name, c) :: !cols;
+          incr off)
+        (Schema.attr_names s))
+    schemas;
+  { cols = Array.of_list (List.rev !cols); offsets = Array.of_list (List.rev !offsets) }
+
+let layout_of_slots slots = layout_of_schemas (List.map Term.slot_schema slots)
+
+let resolve layout (a : Attr.t) =
+  let hits = ref [] in
+  Array.iteri
+    (fun i (rel, name) -> if Attr.matches ~rel ~name a then hits := i :: !hits)
+    layout.cols;
+  match !hits with
+  | [ i ] -> i
+  | [] -> error "unresolved attribute %s" (Attr.to_string a)
+  | _ -> error "ambiguous attribute %s" (Attr.to_string a)
+
+let slot_of_position layout pos =
+  let n = Array.length layout.offsets in
+  let rec loop i = if i + 1 < n && layout.offsets.(i + 1) <= pos then loop (i + 1) else i in
+  loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Compiled filters                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type filter = Value.t array -> bool
+
+(* Compile a predicate into a closure with every attribute position
+   resolved *now*, at plan-build time. An unbound or ambiguous attribute
+   raises here — never inside the row loop. *)
+let compile_operand layout = function
+  | Predicate.Col a ->
+    let i = resolve layout a in
+    fun (row : Value.t array) -> row.(i)
+  | Predicate.Const v -> fun _ -> v
+
+let rec compile_pred layout p : filter =
+  match p with
+  | Predicate.True -> fun _ -> true
+  | Predicate.False -> fun _ -> false
+  | Predicate.Cmp (c, x, y) ->
+    let fx = compile_operand layout x and fy = compile_operand layout y in
+    fun row -> Predicate.cmp_holds c (Value.compare_for_predicate (fx row) (fy row))
+  | Predicate.And (a, b) ->
+    let fa = compile_pred layout a and fb = compile_pred layout b in
+    fun row -> fa row && fb row
+  | Predicate.Or (a, b) ->
+    let fa = compile_pred layout a and fb = compile_pred layout b in
+    fun row -> fa row || fb row
+  | Predicate.Not a ->
+    let fa = compile_pred layout a in
+    fun row -> not (fa row)
+
+let conj_filter = function
+  | [] -> None
+  | fs ->
+    let fs = Array.of_list fs in
+    Some (fun row -> Array.for_all (fun f -> f row) fs)
+
+(* ------------------------------------------------------------------ *)
+(* Conjunct classification                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A conjunct [colA = colB] whose two sides land in different slots and
+   whose later slot is [slot] becomes a hash-join key for that slot. *)
+type join_key = {
+  probe_pos : int;  (* position among already-joined columns *)
+  build_pos : int;  (* position within the new slot's own columns *)
+}
+
+type slot_plan = {
+  keys : join_key array;  (* [||] — extend by nested loop *)
+  filter : filter option; (* residual conjuncts, all positions resolved *)
+}
+
+type t = {
+  layout : layout;
+  pre_false : bool;       (* a constant-only conjunct is statically false *)
+  slots : slot_plan array;
+  proj : int array;       (* projection positions into the full layout *)
+}
+
+(* Highest column position referenced by a predicate; -1 when it has no
+   attribute references (constant-only conjuncts). *)
+let max_position layout p =
+  List.fold_left (fun acc a -> max acc (resolve layout a)) (-1) (Predicate.attrs p)
+
+let compile_with_layout layout ~nslots ~cond ~proj =
+  let joins = Array.make nslots [] in
+  let filters = Array.make nslots [] in
+  let pre = ref [] in
+  let assign p =
+    match p with
+    | Predicate.Cmp (Predicate.Eq, Predicate.Col a, Predicate.Col b) -> (
+      let pa = resolve layout a and pb = resolve layout b in
+      let sa = slot_of_position layout pa and sb = slot_of_position layout pb in
+      if sa = sb then filters.(sa) <- p :: filters.(sa)
+      else
+        let later, (probe_pos, build_pos) =
+          if sa < sb then sb, (pa, pb - layout.offsets.(sb))
+          else sa, (pb, pa - layout.offsets.(sa))
+        in
+        joins.(later) <- { probe_pos; build_pos } :: joins.(later))
+    | _ -> (
+      match max_position layout p with
+      | -1 -> pre := p :: !pre
+      | pos ->
+        let s = slot_of_position layout pos in
+        filters.(s) <- p :: filters.(s))
+  in
+  List.iter assign (Predicate.conjuncts cond);
+  let pre_false =
+    (* Constant-only conjuncts reference no attributes, so the lookup
+       function is never consulted. *)
+    List.exists
+      (fun p -> not (Predicate.eval (fun _ -> assert false) p))
+      !pre
+  in
+  {
+    layout;
+    pre_false;
+    slots =
+      Array.init nslots (fun i ->
+          {
+            keys = Array.of_list (List.rev joins.(i));
+            filter = conj_filter (List.map (compile_pred layout) filters.(i));
+          });
+    proj = Array.of_list (List.map (resolve layout) proj);
+  }
+
+let compile (t : Term.t) =
+  let schemas = List.map Term.slot_schema t.Term.slots in
+  compile_with_layout (layout_of_schemas schemas)
+    ~nslots:(List.length schemas) ~cond:t.Term.cond ~proj:t.Term.proj
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Key = struct
+  type t = {
+    proj : Attr.t list;
+    cond : Predicate.t;
+    schemas : Schema.t list;
+  }
+
+  let of_term (t : Term.t) =
+    {
+      proj = t.Term.proj;
+      cond = t.Term.cond;
+      schemas = List.map Term.slot_schema t.Term.slots;
+    }
+
+  let equal a b =
+    List.equal Attr.equal a.proj b.proj
+    && Predicate.equal a.cond b.cond
+    && List.equal Schema.equal a.schemas b.schemas
+
+  (* Structural hash over a bounded prefix of the skeleton; collisions are
+     resolved by [equal]. The key contains only strings, options and
+     variants, all of which the polymorphic hash treats structurally. *)
+  let hash k = Hashtbl.hash k
+end
+
+module Cache = Hashtbl.Make (Key)
+
+let cache : t Cache.t = Cache.create 64
+
+(* Distinct skeletons are per *view shape*, not per update, so the cache
+   stays tiny in practice. The bound is a safety valve for adversarial
+   long-running processes that keep minting fresh view shapes. *)
+let max_cached_plans = 1024
+
+let of_term (t : Term.t) =
+  let key = Key.of_term t in
+  match Cache.find_opt cache key with
+  | Some plan -> plan
+  | None ->
+    let plan = compile t in
+    if Cache.length cache >= max_cached_plans then Cache.reset cache;
+    Cache.add cache key plan;
+    plan
+
+let cache_stats () = Cache.length cache
+
+let clear_cache () = Cache.reset cache

@@ -1,0 +1,64 @@
+(** Compiled evaluation plans for SPJ terms.
+
+    A plan fixes, once per term *skeleton* (projection + condition + slot
+    schemas): the column layout, the projection positions, the per-slot
+    hash-join keys, and residual filters compiled to closures with every
+    attribute position resolved at build time. Plans are cached; literal
+    tuple values and the term sign are excluded from the cache key, so the
+    per-update delta terms T⟨U⟩ of a view all share the view's plan.
+
+    {!Eval} executes plans; this module only builds them. *)
+
+exception Plan_error of string
+
+(** Column layout of a term: the concatenation of its slots' columns. Slot
+    [i] occupies positions [offsets.(i) .. offsets.(i) + arity_i - 1]. *)
+type layout = {
+  cols : (string * string) array;  (** (relation, column) per position *)
+  offsets : int array;             (** first position of each slot *)
+}
+
+val layout_of_slots : Term.slot list -> layout
+
+val resolve : layout -> Attr.t -> int
+(** Position of an attribute reference in the layout.
+    @raise Plan_error when the attribute is unbound or ambiguous. *)
+
+val slot_of_position : layout -> int -> int
+
+type filter = Value.t array -> bool
+
+val compile_pred : layout -> Predicate.t -> filter
+(** Compile a predicate against a layout. All attribute positions are
+    resolved during compilation — applying the result never scans the
+    layout. @raise Plan_error on unbound/ambiguous attributes. *)
+
+(** A conjunct [colA = colB] across two slots becomes a hash-join key of
+    the later slot. *)
+type join_key = {
+  probe_pos : int;  (** position among already-joined columns *)
+  build_pos : int;  (** position within the new slot's own columns *)
+}
+
+type slot_plan = {
+  keys : join_key array;  (** [[||]] — extend by nested loop *)
+  filter : filter option; (** residual conjuncts for this slot, if any *)
+}
+
+type t = {
+  layout : layout;
+  pre_false : bool;  (** some constant-only conjunct is statically false *)
+  slots : slot_plan array;
+  proj : int array;  (** projection positions into the full layout *)
+}
+
+val compile : Term.t -> t
+(** Compile without consulting the cache. *)
+
+val of_term : Term.t -> t
+(** Cached compilation keyed by the term skeleton. *)
+
+val cache_stats : unit -> int
+(** Number of cached plans (distinct term skeletons seen). *)
+
+val clear_cache : unit -> unit

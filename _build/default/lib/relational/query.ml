@@ -28,21 +28,58 @@ let split_local q =
 (* Cancel T / -T pairs: compensations of compensations can re-introduce a
    term that an earlier compensation subtracted; since queries are signed
    sums, such pairs contribute nothing and need not be shipped or
-   evaluated. *)
+   evaluated.
+
+   Surviving terms are bucketed by {!Term.hash}, so each incoming term
+   compares only against the candidates sharing its opposite's hash —
+   ECA's compensation queries grow to hundreds of terms under contention
+   and a linear scan with full structural [Term.equal] per element
+   dominated whole runs. The cancelled occurrence is the *oldest* match,
+   and survivors keep arrival order, exactly as the specification fold
+   ([if opposite ∈ acc then remove first occurrence else append]) did. *)
 let simplify q =
-  List.fold_left
-    (fun acc t ->
+  match q with
+  | [] | [ _ ] -> q
+  | _ ->
+    let terms = Array.of_list q in
+    let n = Array.length terms in
+    let alive = Array.make n false in
+    (* Term.hash -> indices of live terms, newest first. *)
+    let tbl : (int, int list ref) Hashtbl.t = Hashtbl.create (2 * n) in
+    for i = 0 to n - 1 do
+      let t = terms.(i) in
       let opposite = Term.negate t in
-      let rec remove_first = function
-        | [] -> None
-        | x :: rest ->
-          if Term.equal x opposite then Some rest
-          else Option.map (fun r -> x :: r) (remove_first rest)
+      let cancelled =
+        match Hashtbl.find_opt tbl (Term.hash opposite) with
+        | None -> false
+        | Some bucket ->
+          let oldest =
+            List.fold_left
+              (fun best j ->
+                if Term.equal terms.(j) opposite && (best = -1 || j < best)
+                then j
+                else best)
+              (-1) !bucket
+          in
+          oldest >= 0
+          && begin
+               alive.(oldest) <- false;
+               bucket := List.filter (fun j -> j <> oldest) !bucket;
+               true
+             end
       in
-      match remove_first acc with
-      | Some acc' -> acc'
-      | None -> acc @ [ t ])
-    [] q
+      if not cancelled then begin
+        alive.(i) <- true;
+        match Hashtbl.find_opt tbl (Term.hash t) with
+        | Some bucket -> bucket := i :: !bucket
+        | None -> Hashtbl.add tbl (Term.hash t) (ref [ i ])
+      end
+    done;
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      if alive.(i) then out := terms.(i) :: !out
+    done;
+    !out
 
 let base_relations q =
   List.sort_uniq String.compare (List.concat_map Term.base_relations q)

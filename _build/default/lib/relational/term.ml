@@ -75,6 +75,22 @@ let byte_size t =
   in
   16 + List.fold_left (fun acc s -> acc + slot_bytes s) 0 t.slots
 
+(* Consistent with [equal]; discriminates on the parts that actually vary
+   between the delta/compensation terms of one view — the sign and the
+   substituted literal tuples — which the depth-limited polymorphic hash
+   never reaches behind the projection and condition. *)
+let hash t =
+  let slot_hash acc = function
+    | Base s -> (acc * 31) + Hashtbl.hash s.Schema.name
+    | Lit (s, g, tup) ->
+      (((((acc * 31) + Hashtbl.hash s.Schema.name) * 31) + Sign.to_int g + 1)
+       * 31)
+      + Tuple.hash tup
+  in
+  List.fold_left slot_hash
+    ((Hashtbl.hash t.sign * 31) + Hashtbl.hash t.proj)
+    t.slots
+
 let equal a b =
   let slot_equal x y =
     match x, y with

@@ -45,5 +45,10 @@ val byte_size : t -> int
 (** Approximate wire size of the term inside a query message. *)
 
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Consistent with {!equal}. Discriminates on sign and substituted
+    literal tuples, so the delta terms T⟨U⟩ of one view hash apart. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

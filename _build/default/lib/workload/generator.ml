@@ -64,13 +64,15 @@ let pick_existing st db rel =
     let target = rand_below st n in
     let chosen = ref None in
     let seen = ref 0 in
-    R.Bag.iter
-      (fun t cnt ->
+    (* Walk in canonical tuple order so the workload drawn from a given
+       seed does not depend on the bag's internal (hash) ordering. *)
+    List.iter
+      (fun (t, cnt) ->
         if !chosen = None && cnt > 0 then begin
           if target < !seen + cnt then chosen := Some t;
           seen := !seen + cnt
         end)
-      contents;
+      (R.Bag.to_counted_list contents);
     !chosen
   end
 

@@ -1,0 +1,1 @@
+test/test_plan_equiv.ml: Alcotest Array Format Helpers List Printf QCheck QCheck_alcotest Relational String Workload

@@ -24,6 +24,7 @@ let () =
       ("misc-coverage", Test_misc_coverage.suite);
       ("invariants", Test_invariants.suite);
       ("properties", Test_props.suite);
+      ("plan-equiv", Test_plan_equiv.suite);
       ("random-views", Test_random_views.suite);
       ("costmodel", Test_costmodel.suite);
       ("workload", Test_workload.suite);

@@ -208,6 +208,51 @@ let mixed_algorithms () =
         (List.assoc name result.Core.Runner.final_mvs))
     [ "K"; "P" ]
 
+(* The incremental oracle (delta applied to the previous snapshot) must
+   record exactly the same per-update source states as full recomputation
+   — across schedules, batch sizes and a signed (delete-heavy) stream. *)
+let oracle_modes_agree () =
+  let db =
+    db_of
+      [
+        (r1, [ [ 1; 2 ]; [ 4; 2 ]; [ 5; 3 ] ]);
+        (r2, [ [ 2; 7 ]; [ 3; 7 ] ]);
+      ]
+  in
+  let updates =
+    [
+      ins "r2" [ 2; 9 ]; del "r1" [ 1; 2 ]; ins "r1" [ 6; 3 ];
+      del "r2" [ 3; 7 ]; ins "r2" [ 3; 8 ];
+    ]
+  in
+  List.iter
+    (fun (label, schedule, batch_size) ->
+      let go oracle =
+        Core.Runner.run ~schedule ~batch_size ~oracle
+          ~creator:(Core.Registry.creator_exn "eca")
+          ~views:[ view_w () ] ~db ~updates ()
+      in
+      let inc = go Core.Runner.Incremental in
+      let re = go Core.Runner.Recompute in
+      Alcotest.(check (list bag_testable))
+        (label ^ ": identical source-state sequences")
+        (Core.Trace.source_states re.Core.Runner.trace "V")
+        (Core.Trace.source_states inc.Core.Runner.trace "V");
+      check_bag
+        (label ^ ": identical final source views")
+        (List.assoc "V" re.Core.Runner.final_source_views)
+        (List.assoc "V" inc.Core.Runner.final_source_views);
+      Alcotest.(check bool)
+        (label ^ ": same consistency verdict")
+        true
+        ((report re "V").Core.Consistency.strongly_consistent
+        = (report inc "V").Core.Consistency.strongly_consistent))
+    [
+      ("best", Core.Scheduler.Best_case, 1);
+      ("worst", Core.Scheduler.Worst_case, 1);
+      ("batched", Core.Scheduler.Best_case, 2);
+    ]
+
 let metrics_accounting () =
   let db = small_db () in
   let result =
@@ -238,5 +283,6 @@ let suite =
       runner_empty_workload;
     Alcotest.test_case "runner numbers updates" `Quick runner_update_numbering;
     Alcotest.test_case "mixed algorithms per view" `Quick mixed_algorithms;
+    Alcotest.test_case "oracle modes agree" `Quick oracle_modes_agree;
     Alcotest.test_case "metrics accounting" `Quick metrics_accounting;
   ]

@@ -1,21 +1,65 @@
-module Tmap = Map.Make (Tuple)
+(* Hash-indexed signed bags.
 
-type t = int Tmap.t
+   The bag is a persistent map from tuple *hash* to a small collision
+   bucket of [(tuple, count)] entries. Dispatching on the precomputed
+   integer hash means every lookup/update walks the tree comparing single
+   ints and only runs full [Tuple.equal] inside a (nearly always
+   single-entry) bucket — O(1) expected tuple comparisons per operation,
+   against the former [Map.Make (Tuple)] tree that paid a full-tuple
+   comparison at every node.
 
-let empty = Tmap.empty
+   Iteration order of [fold]/[iter] follows hash order and is therefore
+   arbitrary (but deterministic for a given bag). Everything user-facing —
+   [pp], [to_list], [to_counted_list], [compare] — sorts by [Tuple.compare]
+   first, so printed output, golden files and cross-bag comparisons keep
+   the canonical tuple order of the old tree representation. *)
 
-let is_empty b = Tmap.is_empty b
+module Imap = Map.Make (Int)
 
-let count b t = match Tmap.find_opt t b with Some n -> n | None -> 0
+type t = {
+  size : int;  (* number of distinct tuples, i.e. total bucket entries *)
+  buckets : (Tuple.t * int) list Imap.t;
+}
+
+let empty = { size = 0; buckets = Imap.empty }
+
+let is_empty b = b.size = 0
+
+let distinct_cardinality b = b.size
+
+let count b t =
+  match Imap.find_opt (Tuple.hash t) b.buckets with
+  | None -> 0
+  | Some bucket -> (
+    match List.find_opt (fun (t', _) -> Tuple.equal t t') bucket with
+    | Some (_, n) -> n
+    | None -> 0)
 
 let add ?(count = 1) t b =
   if count = 0 then b
   else
-    Tmap.update t
-      (fun prev ->
-        let n = Option.value prev ~default:0 + count in
-        if n = 0 then None else Some n)
-      b
+    let h = Tuple.hash t in
+    let bucket = Option.value (Imap.find_opt h b.buckets) ~default:[] in
+    let rec split acc = function
+      | [] -> None
+      | ((t', n) :: rest : (Tuple.t * int) list) ->
+        if Tuple.equal t t' then Some (acc, n, rest) else split ((t', n) :: acc) rest
+    in
+    match split [] bucket with
+    | None ->
+      { size = b.size + 1; buckets = Imap.add h ((t, count) :: bucket) b.buckets }
+    | Some (before, n, after) ->
+      let n' = n + count in
+      if n' = 0 then
+        let bucket' = List.rev_append before after in
+        if bucket' = [] then
+          { size = b.size - 1; buckets = Imap.remove h b.buckets }
+        else { size = b.size - 1; buckets = Imap.add h bucket' b.buckets }
+      else
+        {
+          size = b.size;
+          buckets = Imap.add h ((t, n') :: List.rev_append before after) b.buckets;
+        }
 
 let remove ?(count = 1) t b = add ~count:(-count) t b
 
@@ -24,28 +68,61 @@ let singleton ?count t = add ?count t empty
 let of_list ts = List.fold_left (fun b t -> add t b) empty ts
 
 let of_signed_list sts =
-  List.fold_left
-    (fun b (s, t) -> add ~count:(Sign.to_int s) t b)
-    empty sts
+  List.fold_left (fun b (s, t) -> add ~count:(Sign.to_int s) t b) empty sts
 
-let plus a b = Tmap.fold (fun t n acc -> add ~count:n t acc) b a
+let fold f b acc =
+  Imap.fold
+    (fun _ bucket acc ->
+      List.fold_left (fun acc (t, n) -> f t n acc) acc bucket)
+    b.buckets acc
 
-let negate b = Tmap.map (fun n -> -n) b
+let iter f b =
+  Imap.iter (fun _ bucket -> List.iter (fun (t, n) -> f t n) bucket) b.buckets
+
+(* Fold the smaller operand into the larger: counts add commutatively, so
+   the result is the same bag either way. *)
+let plus a b =
+  let small, large = if a.size <= b.size then a, b else b, a in
+  fold (fun t n acc -> add ~count:n t acc) small large
+
+(* Rebuild with a per-entry count transform ([f] returning None drops the
+   entry); used by all the mapping/filtering operations below. *)
+let filter_map_counts f b =
+  let size = ref 0 in
+  let buckets =
+    Imap.filter_map
+      (fun _ bucket ->
+        match
+          List.filter_map
+            (fun (t, n) ->
+              match f t n with
+              | Some 0 | None -> None
+              | Some n' ->
+                incr size;
+                Some (t, n'))
+            bucket
+        with
+        | [] -> None
+        | bucket' -> Some bucket')
+      b.buckets
+  in
+  { size = !size; buckets }
+
+let negate b = filter_map_counts (fun _ n -> Some (-n)) b
 
 let minus a b = plus a (negate b)
 
-let scale k b = if k = 0 then empty else Tmap.map (fun n -> n * k) b
+let scale k b = if k = 0 then empty else filter_map_counts (fun _ n -> Some (n * k)) b
 
 let apply_sign s b =
   match s with
   | Sign.Pos -> b
   | Sign.Neg -> negate b
 
-let pos_part b = Tmap.filter (fun _ n -> n > 0) b
+let pos_part b = filter_map_counts (fun _ n -> if n > 0 then Some n else None) b
 
-let neg_part b = Tmap.filter_map (fun _ n -> if n < 0 then Some (-n) else None) b
+let neg_part b = filter_map_counts (fun _ n -> if n < 0 then Some (-n) else None) b
 
-(* Plain (unsigned) bag union: only meaningful on non-negative bags. *)
 let union a b = plus (pos_part a) (pos_part b)
 
 (* Truncating bag difference on non-negative bags: copies below zero vanish.
@@ -53,52 +130,63 @@ let union a b = plus (pos_part a) (pos_part b)
    paper's (pos ∪ pos) − (neg ∪ neg) formulation; the signed [minus] above
    is the operator the algorithms use. *)
 let diff_truncated a b =
-  Tmap.merge
-    (fun _ na nb ->
-      let n = Option.value na ~default:0 - Option.value nb ~default:0 in
-      if n > 0 then Some n else None)
-    (pos_part a) (pos_part b)
+  let pa = pos_part a in
+  fold
+    (fun t nb acc ->
+      match count acc t with
+      | 0 -> acc
+      | na -> add ~count:(max 0 (na - nb) - na) t acc)
+    (pos_part b) pa
 
-let cardinality b = Tmap.fold (fun _ n acc -> acc + abs n) b 0
+let cardinality b = fold (fun _ n acc -> acc + abs n) b 0
 
-let net_cardinality b = Tmap.fold (fun _ n acc -> acc + n) b 0
+let net_cardinality b = fold (fun _ n acc -> acc + n) b 0
 
-let distinct_cardinality b = Tmap.cardinal b
+let has_negative b =
+  Imap.exists (fun _ bucket -> List.exists (fun (_, n) -> n < 0) bucket) b.buckets
 
-let has_negative b = Tmap.exists (fun _ n -> n < 0) b
+let is_set b =
+  Imap.for_all (fun _ bucket -> List.for_all (fun (_, n) -> n = 1) bucket) b.buckets
 
-let is_set b = Tmap.for_all (fun _ n -> n = 1) b
+(* Buckets hold the same entries in arbitrary order when two bags were
+   built along different paths, so bucket equality is multiset equality. *)
+let bucket_equal b1 b2 =
+  List.length b1 = List.length b2
+  && List.for_all
+       (fun (t, n) ->
+         List.exists (fun (t', n') -> n = n' && Tuple.equal t t') b2)
+       b1
 
-let equal a b = Tmap.equal Int.equal a b
+let equal a b = a.size = b.size && Imap.equal bucket_equal a.buckets b.buckets
 
-let compare a b = Tmap.compare Int.compare a b
+let to_counted_list b =
+  fold (fun t n acc -> (t, n) :: acc) b []
+  |> List.sort (fun (t1, _) (t2, _) -> Tuple.compare t1 t2)
+
+(* Canonical order: lexicographic over the tuple-sorted entry sequence,
+   exactly the order the old [Map.Make (Tuple)] representation compared in. *)
+let compare a b =
+  List.compare
+    (fun (t1, n1) (t2, n2) ->
+      match Tuple.compare t1 t2 with 0 -> Int.compare n1 n2 | c -> c)
+    (to_counted_list a) (to_counted_list b)
 
 let mem t b = count b t <> 0
 
-let fold f b acc = Tmap.fold f b acc
+let filter f b = filter_map_counts (fun t n -> if f t then Some n else None) b
 
-let iter f b = Tmap.iter f b
-
-let filter f b = Tmap.filter (fun t _ -> f t) b
-
-let map_tuples f b =
-  Tmap.fold (fun t n acc -> add ~count:n (f t) acc) b empty
+let map_tuples f b = fold (fun t n acc -> add ~count:n (f t) acc) b empty
 
 let to_list b =
-  Tmap.fold
-    (fun t n acc ->
+  List.concat_map
+    (fun (t, n) ->
       let s = Sign.of_int n in
-      let rec push k acc = if k = 0 then acc else push (k - 1) ((s, t) :: acc) in
-      push (abs n) acc)
-    b []
-  |> List.rev
+      List.init (abs n) (fun _ -> (s, t)))
+    (to_counted_list b)
 
-let to_counted_list b = Tmap.bindings b
+let byte_size b = fold (fun t n acc -> acc + (abs n * Tuple.byte_size t)) b 0
 
-let byte_size b =
-  Tmap.fold (fun t n acc -> acc + (abs n * Tuple.byte_size t)) b 0
-
-let dedup_to_set b = Tmap.filter_map (fun _ n -> if n > 0 then Some 1 else None) b
+let dedup_to_set b = filter_map_counts (fun _ n -> if n > 0 then Some 1 else None) b
 
 let pp ppf b =
   let pp_entry ppf (t, n) =
@@ -108,6 +196,6 @@ let pp ppf b =
   in
   Format.fprintf ppf "(%a)"
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_entry)
-    (Tmap.bindings b)
+    (to_counted_list b)
 
 let to_string b = Format.asprintf "%a" pp b

@@ -11,7 +11,15 @@
     multiset difference would break associativity, so — consistently with
     the replication-count reading — we use ℤ counts, under which all the
     stated laws hold exactly. {!diff_truncated} is provided separately for
-    the classic truncating difference. *)
+    the classic truncating difference.
+
+    Representation: tuples are indexed by their hash, so {!add}, {!count}
+    and {!mem} cost O(1) expected tuple comparisons. Consequently
+    {!fold} and {!iter} enumerate in unspecified (hash) order —
+    deterministic for a given bag, but not sorted. Callers that need the
+    canonical tuple order (printing, serialization, picking a
+    deterministic representative) must go through {!to_counted_list},
+    {!to_list} or {!pp}, which sort by [Tuple.compare]. *)
 
 type t
 
@@ -63,6 +71,7 @@ val net_cardinality : t -> int
 (** [Σ count]; for a non-negative bag this is the number of tuples. *)
 
 val distinct_cardinality : t -> int
+(** Number of distinct tuples; O(1) — usable for sizing hash tables. *)
 
 val has_negative : t -> bool
 (** True when some tuple has net negative count — a materialized view in
@@ -76,7 +85,11 @@ val compare : t -> t -> int
 val mem : Tuple.t -> t -> bool
 
 val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Enumeration order is unspecified (hash order); see the module note. *)
+
 val iter : (Tuple.t -> int -> unit) -> t -> unit
+(** Like {!fold}, enumeration order is unspecified (hash order). *)
+
 val filter : (Tuple.t -> bool) -> t -> t
 val map_tuples : (Tuple.t -> Tuple.t) -> t -> t
 
@@ -84,6 +97,7 @@ val to_list : t -> (Sign.t * Tuple.t) list
 (** Expansion into one signed entry per copy, in tuple order. *)
 
 val to_counted_list : t -> (Tuple.t * int) list
+(** One entry per distinct tuple with its net count, in tuple order. *)
 
 val byte_size : t -> int
 (** [Σ |count| · byte_size tuple]; used for measured transfer costs. *)

@@ -108,8 +108,8 @@ let to_string ?(header = false) schema bag =
     Buffer.add_string buf (String.concat "," (Schema.attr_names schema));
     Buffer.add_char buf '\n'
   end;
-  Bag.iter
-    (fun t n ->
+  List.iter
+    (fun (t, n) ->
       if n < 0 then
         error "cannot serialize a relation with negative counts";
       for _ = 1 to n do
@@ -118,5 +118,5 @@ let to_string ?(header = false) schema bag =
              (List.map field_to_string (Tuple.to_list t)));
         Buffer.add_char buf '\n'
       done)
-    bag;
+    (Bag.to_counted_list bag);
   Buffer.contents buf

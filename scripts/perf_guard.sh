@@ -1,0 +1,41 @@
+#!/bin/sh
+# Perf-regression guard for the quick benchmark.
+#
+# Usage: perf_guard.sh BASELINE_JSON CURRENT_JSON
+#
+# Compares the "total_wall_clock_s" field of two BENCH_results.json files
+# (schema in EXPERIMENTS.md) and fails when the current run is more than
+# 2x slower than the committed baseline. Machine noise on loaded CI boxes
+# is real, so the threshold is deliberately loose: it catches algorithmic
+# regressions (accidental quadratic loops, lost caching), not jitter.
+set -eu
+
+baseline_file=$1
+current_file=$2
+
+extract() {
+  # The writer emits the field on its own line: "total_wall_clock_s": 1.234,
+  # [|| true] so a missing field reaches the explicit check below instead of
+  # tripping set -e inside the pipeline.
+  grep -o '"total_wall_clock_s": *[0-9.]*' "$1" 2>/dev/null \
+    | grep -o '[0-9.]*$' || true
+}
+
+baseline=$(extract "$baseline_file")
+current=$(extract "$current_file")
+
+if [ -z "$baseline" ] || [ -z "$current" ]; then
+  echo "perf_guard: could not read total_wall_clock_s" >&2
+  exit 2
+fi
+
+# ratio check in awk (POSIX sh has no float arithmetic)
+awk -v b="$baseline" -v c="$current" 'BEGIN {
+  ratio = c / b;
+  printf "perf_guard: baseline %.3fs, current %.3fs (%.2fx)\n", b, c, ratio;
+  if (ratio > 2.0) {
+    printf "perf_guard: FAIL — quick bench regressed more than 2x\n";
+    exit 1;
+  }
+  printf "perf_guard: OK\n";
+}'

@@ -1,0 +1,184 @@
+(* Equivalence of the planned evaluator with the naive reference.
+
+   {!Eval.term} runs compiled plans over hash-indexed bags; [Eval.naive_*]
+   keeps the obviously-correct semantics (full cross product, per-row
+   condition scan, projection). These properties pin the two together on
+   random views, signed databases (including negative counts), delta
+   queries with literal slots, and fully-substituted literal-only queries
+   — plus the deterministic workloads from [lib/workload], which every
+   benchmark figure is computed over. *)
+
+open Helpers
+module R = Relational
+module W = Workload
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let schemas = [| r1; r2; r3 |]
+
+let qualified_cols (s : R.Schema.t) =
+  List.map (fun c -> R.Attr.qualified s.R.Schema.name c) (R.Schema.attr_names s)
+
+let view_gen =
+  QCheck.Gen.(
+    let* mask = int_range 1 7 in
+    let sources =
+      List.filteri (fun i _ -> mask land (1 lsl i) <> 0)
+        (Array.to_list schemas)
+    in
+    let cols = List.concat_map qualified_cols sources in
+    let* proj_mask = int_range 1 ((1 lsl List.length cols) - 1) in
+    let proj = List.filteri (fun i _ -> proj_mask land (1 lsl i) <> 0) cols in
+    let operand =
+      let* use_col = bool in
+      if use_col then
+        let* i = int_bound (List.length cols - 1) in
+        return (R.Predicate.Col (List.nth cols i))
+      else
+        let* n = int_bound 4 in
+        return (R.Predicate.Const (R.Value.Int n))
+    in
+    let conjunct =
+      let* cmp = oneofl R.Predicate.[ Eq; Neq; Lt; Le; Gt; Ge ] in
+      let* a = operand in
+      let* b = operand in
+      return (R.Predicate.Cmp (cmp, a, b))
+    in
+    let* n_conj = int_bound 2 in
+    let* conjs = list_size (return n_conj) conjunct in
+    return
+      (R.View.natural_join ~name:"PV" ~extra_cond:(R.Predicate.conj conjs)
+         ~proj sources))
+
+(* Base relations hold duplicate (count > 1) tuples; negative counts are
+   rejected by [Db], so the negative paths are exercised through negated
+   query terms and delete deltas below. *)
+let base_bag_gen =
+  QCheck.Gen.(
+    let tuple = map R.Tuple.ints (list_size (return 2) (int_bound 4)) in
+    let counted =
+      let* t = tuple in
+      let* c = int_range 1 3 in
+      return (t, c)
+    in
+    let* rows = list_size (int_bound 5) counted in
+    return
+      (List.fold_left
+         (fun acc (t, count) -> R.Bag.add ~count t acc)
+         R.Bag.empty rows))
+
+let db_gen =
+  QCheck.Gen.(
+    let* b1 = base_bag_gen in
+    let* b2 = base_bag_gen in
+    let* b3 = base_bag_gen in
+    return (R.Db.of_list [ (r1, b1); (r2, b2); (r3, b3) ]))
+
+let update_gen =
+  QCheck.Gen.(
+    let* rel = oneofl [ "r1"; "r2"; "r3" ] in
+    let* row = list_size (return 2) (int_bound 4) in
+    let* insert = bool in
+    let tup = R.Tuple.ints row in
+    return
+      (if insert then R.Update.insert rel tup else R.Update.delete rel tup))
+
+let print_setup (view, db, _) =
+  Format.asprintf "%a@.%a" R.View.pp view R.Db.pp db
+
+let arb_setup =
+  QCheck.make ~print:print_setup
+    QCheck.Gen.(
+      let* view = view_gen in
+      let* db = db_gen in
+      let* updates = list_size (int_range 1 3) update_gen in
+      return (view, db, updates))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let agree db q = R.Bag.equal (R.Eval.query db q) (R.Eval.naive_query db q)
+
+(* Planned view evaluation = naive reference; the negated difference
+   query exercises negative result counts through both evaluators. *)
+let view_equiv =
+  QCheck.Test.make ~name:"planned view eval = naive reference" ~count:400
+    arb_setup (fun (view, db, _) ->
+      let q = R.Query.of_view view in
+      agree db q && agree db (R.Query.minus R.Query.empty q))
+
+(* Delta queries substitute a literal slot per update; their plans come
+   from the same cache entry as the view's own term. *)
+let delta_equiv =
+  QCheck.Test.make ~name:"planned delta eval = naive reference" ~count:400
+    arb_setup (fun (view, db, updates) ->
+      List.for_all
+        (fun u ->
+          let delta = R.Query.view_delta view u in
+          agree db delta && agree (R.Db.apply ~strict:false db u) delta)
+        updates)
+
+(* Substituting every source relation leaves only literal slots; the
+   warehouse evaluates those without a database at all. *)
+let literal_equiv =
+  QCheck.Test.make ~name:"literal-only eval = naive reference" ~count:300
+    arb_setup (fun (view, db, updates) ->
+      ignore db;
+      let q =
+        List.fold_left
+          (fun q rel ->
+            let u =
+              match
+                List.find_opt
+                  (fun (u : R.Update.t) -> String.equal u.R.Update.rel rel)
+                  updates
+              with
+              | Some u -> u
+              | None -> R.Update.insert rel (R.Tuple.ints [ 1; 2 ])
+            in
+            R.Query.subst q u)
+          (R.Query.of_view view)
+          (List.map (fun (s : R.Schema.t) -> s.R.Schema.name)
+             view.R.View.sources)
+      in
+      List.for_all R.Term.is_all_literals (R.Query.terms q)
+      && R.Bag.equal (R.Eval.literal_query q)
+           (R.Eval.naive_query R.Db.empty q))
+
+(* The deterministic generator behind every benchmark figure. *)
+let workload_equiv () =
+  List.iter
+    (fun (c, k, skew, seed) ->
+      let spec = W.Spec.make ~c ~j:4 ~k_updates:k ~seed ~skew () in
+      let { W.Scenarios.db; view; updates } = W.Scenarios.example6 spec in
+      let q = R.Query.of_view view in
+      Alcotest.(check bool)
+        (Printf.sprintf "example6 c=%d k=%d skew=%.1f" c k skew)
+        true
+        (agree db q
+        && List.for_all
+             (fun u -> agree db (R.Query.view_delta view u))
+             updates
+        && agree (R.Db.apply_all db updates) q))
+    [
+      (20, 5, 0.0, 42);
+      (50, 10, 0.0, 7);
+      (50, 10, 1.0, 7);
+      (100, 5, 0.5, 1);
+    ];
+  let spec = W.Spec.make ~c:50 ~j:4 ~k_updates:10 ~insert_ratio:0.5 ~seed:3 () in
+  let { W.Scenarios.db; view; updates } = W.Scenarios.keyed spec in
+  Alcotest.(check bool)
+    "keyed scenario" true
+    (agree db (R.Query.of_view view)
+    && List.for_all
+         (fun u -> agree db (R.Query.view_delta view u))
+         updates)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ view_equiv; delta_equiv; literal_equiv ]
+  @ [ Alcotest.test_case "workload instances" `Quick workload_equiv ]
