@@ -16,13 +16,17 @@ bench:
 	dune build bench/main.exe
 	./_build/default/bench/main.exe
 
-# One-stop pre-commit gate: build everything, run the test suite, run the
-# quick benchmark, and fail if its wall clock regressed more than 2x
-# against the committed BENCH_results.json baseline. The baseline is
-# copied aside first because the bench overwrites it in place.
+# One-stop pre-commit gate: build everything, run the test suite (plus
+# the fault-injection/reliability suites explicitly, so a filtered or
+# cached runtest can never silently skip them), run the quick benchmark,
+# and fail if its wall clock regressed more than 2x against the
+# committed BENCH_results.json baseline. The baseline is copied aside
+# first because the bench overwrites it in place.
 smoke:
 	dune build @all
 	dune runtest
+	dune exec test/main.exe -- test faults
+	dune exec test/main.exe -- test reliable
 	dune build bench/main.exe
 	@if [ -f BENCH_results.json ]; then \
 	  cp BENCH_results.json /tmp/BENCH_baseline.json; \

@@ -40,6 +40,9 @@ type json_run = {
   r_tuples : int;
   r_bytes : int;
   r_io : int;
+  (* transport-level delivery stats; Some only for runs over faulty
+     channels / the reliable sublayer (the reliability ablation) *)
+  r_delivery : Core.Metrics.delivery option;
 }
 
 let json_runs : json_run list ref = ref []
@@ -87,7 +90,7 @@ let write_json ~path ~mode ~total_wall_s =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       Printf.fprintf oc "{\n";
-      Printf.fprintf oc "  \"schema_version\": 1,\n";
+      Printf.fprintf oc "  \"schema_version\": 2,\n";
       Printf.fprintf oc "  \"mode\": \"%s\",\n" (json_escape mode);
       Printf.fprintf oc "  \"total_wall_clock_s\": %.3f,\n" total_wall_s;
       Printf.fprintf oc "  \"seed_quick_wall_clock_s\": %.3f,\n"
@@ -101,8 +104,22 @@ let write_json ~path ~mode ~total_wall_s =
           Printf.fprintf oc "\"algorithm\": \"%s\", " (json_escape r.r_algorithm);
           Printf.fprintf oc
             "\"wall_clock_s\": %.6f, \"messages\": %d, \"answer_tuples\": %d, \
-             \"bytes\": %d, \"source_io\": %d }"
-            r.r_wall_s r.r_messages r.r_tuples r.r_bytes r.r_io)
+             \"bytes\": %d, \"source_io\": %d"
+            r.r_wall_s r.r_messages r.r_tuples r.r_bytes r.r_io;
+          (match r.r_delivery with
+           | None -> ()
+           | Some d ->
+             Printf.fprintf oc
+               ", \"delivery\": { \"ticks\": %d, \"retransmits\": %d, \
+                \"dups_dropped\": %d, \"acks\": %d, \"msgs_dropped\": %d, \
+                \"msgs_duplicated\": %d, \"delivered\": %d, \
+                \"wire_messages\": %d, \"wire_bytes\": %d }"
+               d.Core.Metrics.ticks d.Core.Metrics.retransmits
+               d.Core.Metrics.dups_dropped d.Core.Metrics.acks
+               d.Core.Metrics.msgs_dropped d.Core.Metrics.msgs_duplicated
+               d.Core.Metrics.delivered d.Core.Metrics.wire_messages
+               d.Core.Metrics.wire_bytes);
+          Printf.fprintf oc " }")
         (List.rev !json_runs);
       Printf.fprintf oc "\n  ]\n}\n")
 
@@ -117,7 +134,7 @@ type measured = {
   m_io : int;
 }
 
-let record ~algorithm ~wall_s m =
+let record ?delivery ~algorithm ~wall_s m =
   json_runs :=
     {
       r_figure = !current_section;
@@ -127,6 +144,7 @@ let record ~algorithm ~wall_s m =
       r_tuples = m.m_tuples;
       r_bytes = m.m_bytes;
       r_io = m.m_io;
+      r_delivery = delivery;
     }
     :: !json_runs
 
@@ -611,6 +629,65 @@ let ablation_skew () =
         (float_of_int eca /. float_of_int (max 1 rv)))
     [ 0.0; 0.5; 1.0; 1.5 ]
 
+let ablation_reliability () =
+  header "Ablation: reliable delivery over faulty channels (ECA, k=20)";
+  (* The fault-profile matrix, each crossed with {raw channels, reliable
+     sublayer}. "logical" is the paper's M (queries + answers); "wire" is
+     every physical transmission including retransmits, duplicates and
+     acks — the reliability overhead is wire/baseline on the clean run. *)
+  let spec = spec_for ~c:50 ~k:20 ~seed:11 () in
+  let { W.Scenarios.db; view; updates } = W.Scenarios.example6 spec in
+  let truth = R.Eval.view (R.Db.apply_all db updates) view in
+  let one ~fault ~reliable label =
+    let t0 = Unix.gettimeofday () in
+    let result =
+      Core.Runner.run
+        ~schedule:(Core.Scheduler.Random 11)
+        ~fault ~fault_seed:23 ~reliable
+        ~creator:(Core.Registry.creator_exn "eca")
+        ~views:[ view ] ~db ~updates ()
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let m = result.Core.Runner.metrics in
+    let d = m.Core.Metrics.delivery in
+    let ok = R.Bag.equal truth (List.assoc "V" result.Core.Runner.final_mvs) in
+    record ~delivery:d ~algorithm:label ~wall_s
+      {
+        m_messages = Core.Metrics.messages m;
+        m_tuples = m.Core.Metrics.answer_tuples;
+        m_bytes = Core.Metrics.bytes_for ~s:s_bytes m;
+        m_io = m.Core.Metrics.source_io;
+      };
+    (m, d, ok)
+  in
+  Printf.printf "%-12s %-9s %8s %8s %10s %6s %6s %6s %6s %9s %8s\n" "profile"
+    "channel" "logical" "wire" "wire bytes" "retx" "dups" "acks" "ticks"
+    "overhead" "correct";
+  let baseline = ref 0 in
+  List.iter
+    (fun (name, fault) ->
+      List.iter
+        (fun reliable ->
+          let label =
+            Printf.sprintf "eca[%s/%s]" name
+              (if reliable then "reliable" else "raw")
+          in
+          let m, d, ok = one ~fault ~reliable label in
+          if name = "clean" && not reliable then
+            baseline := d.Core.Metrics.wire_bytes;
+          Printf.printf "%-12s %-9s %8d %8d %10d %6d %6d %6d %6d %8.2fx %8s\n"
+            name
+            (if reliable then "reliable" else "raw")
+            (Core.Metrics.messages m)
+            d.Core.Metrics.wire_messages d.Core.Metrics.wire_bytes
+            d.Core.Metrics.retransmits d.Core.Metrics.dups_dropped
+            d.Core.Metrics.acks d.Core.Metrics.ticks
+            (float_of_int d.Core.Metrics.wire_bytes
+            /. float_of_int (max 1 !baseline))
+            (if ok then "yes" else "NO"))
+        [ false; true ])
+    W.Scenarios.fault_profiles
+
 let ablation_compound_views () =
   header "Extension: union/difference views (Section 7; k=30, worst case)";
   let spec = spec_for ~c:100 ~k:30 () in
@@ -766,6 +843,7 @@ let () =
   ablation_literal_eval ();
   ablation_scan_sharing ();
   ablation_skew ();
+  ablation_reliability ();
   ablation_compound_views ();
   if not quick then bechamel_section ();
   let total_wall_s = Unix.gettimeofday () -. t_start in

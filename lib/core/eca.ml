@@ -4,7 +4,7 @@ type t = {
   view : R.Viewdef.t;
   mutable mv : R.Bag.t;
   mutable collect : R.Bag.t;
-  mutable uqs : (int * R.Query.t) list;  (* oldest first *)
+  mutable uqs : (int * R.Query.t) R.Fqueue.t;  (* oldest first *)
   mutable next_id : int;
   local_literal_eval : bool;
 }
@@ -14,7 +14,7 @@ let create (cfg : Algorithm.Config.t) =
     view = cfg.view;
     mv = cfg.init_mv;
     collect = R.Bag.empty;
-    uqs = [];
+    uqs = R.Fqueue.empty;
     next_id = 0;
     local_literal_eval = cfg.Algorithm.Config.local_literal_eval;
   }
@@ -28,9 +28,9 @@ let split t q =
 
 let mv t = t.mv
 
-let uqs t = t.uqs
+let uqs t = R.Fqueue.to_list t.uqs
 
-let quiescent t = t.uqs = [] && R.Bag.is_empty t.collect
+let quiescent t = R.Fqueue.is_empty t.uqs && R.Bag.is_empty t.collect
 
 let replace_mv t mv =
   if not (quiescent t) then
@@ -41,7 +41,7 @@ let replace_mv t mv =
    earlier could expose an invalid intermediate state (the algorithm would
    still converge, but stop being consistent; see Section 5.2). *)
 let maybe_install t =
-  if t.uqs = [] && not (R.Bag.is_empty t.collect) then begin
+  if R.Fqueue.is_empty t.uqs && not (R.Bag.is_empty t.collect) then begin
     t.mv <- Mview.apply_delta t.mv t.collect;
     t.collect <- R.Bag.empty;
     Algorithm.install t.mv
@@ -51,7 +51,7 @@ let maybe_install t =
 let on_update t (u : R.Update.t) =
   (* Q_i = V⟨U_i⟩ − Σ_{Q_j ∈ UQS} Q_j⟨U_i⟩ *)
   let q =
-    List.fold_left
+    R.Fqueue.fold
       (fun acc (_, qj) -> R.Query.minus acc (R.Query.subst qj u))
       (R.Viewdef.delta t.view u)
       t.uqs
@@ -66,12 +66,12 @@ let on_update t (u : R.Update.t) =
   else begin
     let id = t.next_id in
     t.next_id <- id + 1;
-    t.uqs <- t.uqs @ [ (id, remote) ];
+    t.uqs <- R.Fqueue.push t.uqs (id, remote);
     Algorithm.send_one id remote
   end
 
 let on_answer t ~id answer =
-  t.uqs <- List.filter (fun (i, _) -> i <> id) t.uqs;
+  t.uqs <- R.Fqueue.filter (fun (i, _) -> i <> id) t.uqs;
   t.collect <- R.Bag.plus t.collect answer;
   maybe_install t
 
@@ -84,7 +84,7 @@ let on_batch t us =
   List.iter
     (fun u ->
       let q =
-        List.fold_left
+        R.Fqueue.fold
           (fun acc (_, qj) -> R.Query.minus acc (R.Query.subst qj u))
           (R.Viewdef.delta t.view u)
           t.uqs
@@ -98,7 +98,7 @@ let on_batch t us =
   else begin
     let id = t.next_id in
     t.next_id <- id + 1;
-    t.uqs <- t.uqs @ [ (id, !batch_remote) ];
+    t.uqs <- R.Fqueue.push t.uqs (id, !batch_remote);
     Algorithm.send_one id !batch_remote
   end
 

@@ -27,7 +27,7 @@ type t = {
   view : R.View.t;
   mutable mv : R.Bag.t;
   mutable collect : R.Bag.t;  (* working copy of MV, a set *)
-  mutable uqs : int list;
+  mutable uqs : int R.Fqueue.t;
   mutable next_id : int;
   mutable dirty : bool;  (* collect differs from mv *)
   mutable tombstones : tombstone list;
@@ -55,7 +55,7 @@ let create (cfg : Algorithm.Config.t) =
     view;
     mv = cfg.init_mv;
     collect = R.Bag.dedup_to_set cfg.init_mv;
-    uqs = [];
+    uqs = R.Fqueue.empty;
     next_id = 0;
     dirty = false;
     tombstones = [];
@@ -65,12 +65,12 @@ let mv t = t.mv
 
 let collect t = t.collect
 
-let quiescent t = t.uqs = [] && not t.dirty
+let quiescent t = R.Fqueue.is_empty t.uqs && not t.dirty
 
 (* When UQS is empty the working copy replaces the view; COLLECT is not
    reset — it remains the working copy (step 5 of Section 5.4). *)
 let maybe_install t =
-  if t.uqs = [] && t.dirty then begin
+  if R.Fqueue.is_empty t.uqs && t.dirty then begin
     t.mv <- t.collect;
     t.dirty <- false;
     Algorithm.install t.mv
@@ -93,7 +93,7 @@ let on_update t (u : R.Update.t) =
       set_collect t
         (Mview.key_delete ~view:t.view ~rel:u.R.Update.rel u.R.Update.tuple
            t.collect);
-      if t.uqs <> [] then
+      if not (R.Fqueue.is_empty t.uqs) then
         t.tombstones <-
           { rel = u.R.Update.rel; tuple = u.R.Update.tuple; cutoff = t.next_id }
           :: t.tombstones;
@@ -111,12 +111,12 @@ let on_update t (u : R.Update.t) =
       else begin
         let id = t.next_id in
         t.next_id <- id + 1;
-        t.uqs <- t.uqs @ [ id ];
+        t.uqs <- R.Fqueue.push t.uqs id;
         Algorithm.send_one id remote
       end
 
 let on_answer t ~id answer =
-  t.uqs <- List.filter (fun i -> i <> id) t.uqs;
+  t.uqs <- R.Fqueue.filter (fun i -> i <> id) t.uqs;
   let answer =
     List.fold_left
       (fun a ts ->
@@ -128,7 +128,7 @@ let on_answer t ~id answer =
   set_collect t (Mview.add_dedup t.collect answer);
   (* Even an unchanged working copy must be installable once the pending
      phase ends: a stale MV may still differ from COLLECT. *)
-  if t.uqs = [] then begin
+  if R.Fqueue.is_empty t.uqs then begin
     t.tombstones <- [];
     if not (R.Bag.equal t.mv t.collect) then t.dirty <- true
   end;

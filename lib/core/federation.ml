@@ -230,7 +230,10 @@ let run ?(policy = Drain_first) ?allow_cross_source
       ship (Warehouse.handle_update t.warehouse u)
     | Some (Messaging.Message.Batch_note us) ->
       ship (Warehouse.handle_batch t.warehouse us)
-    | Some (Messaging.Message.Query _) | None ->
+    | Some
+        ( Messaging.Message.Query _ | Messaging.Message.Data _
+        | Messaging.Message.Ack _ )
+    | None ->
       error "warehouse had nothing to receive from site %d" i
   in
   let enabled () =

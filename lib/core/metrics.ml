@@ -1,3 +1,17 @@
+type delivery = {
+  ticks : int;
+  retransmits : int;
+  dups_dropped : int;
+  acks : int;
+  msgs_dropped : int;
+  msgs_duplicated : int;
+  delivered : int;
+  latency_total : int;
+  latency_max : int;
+  wire_messages : int;
+  wire_bytes : int;
+}
+
 type t = {
   updates : int;
   queries_sent : int;
@@ -7,7 +21,23 @@ type t = {
   query_bytes : int;
   source_io : int;
   steps : int;
+  delivery : delivery;
 }
+
+let no_delivery =
+  {
+    ticks = 0;
+    retransmits = 0;
+    dups_dropped = 0;
+    acks = 0;
+    msgs_dropped = 0;
+    msgs_duplicated = 0;
+    delivered = 0;
+    latency_total = 0;
+    latency_max = 0;
+    wire_messages = 0;
+    wire_bytes = 0;
+  }
 
 let zero =
   {
@@ -19,6 +49,7 @@ let zero =
     query_bytes = 0;
     source_io = 0;
     steps = 0;
+    delivery = no_delivery;
   }
 
 (* The paper's M metric: query and answer messages only — update
@@ -31,9 +62,32 @@ let transfer_tuples t = t.answer_tuples
 
 let bytes_for ~s t = s * t.answer_tuples
 
+let mean_latency t =
+  if t.delivery.delivered = 0 then 0.0
+  else
+    float_of_int t.delivery.latency_total
+    /. float_of_int t.delivery.delivered
+
+(* Wire totals are metered on every run (they are just the channels'
+   physical counters), so a perfect-FIFO run still carries nonzero
+   wire_messages/wire_bytes. The transport is only worth printing when a
+   fault or the reliability protocol actually did something. *)
+let delivery_active d =
+  d.ticks <> 0 || d.retransmits <> 0 || d.dups_dropped <> 0 || d.acks <> 0
+  || d.msgs_dropped <> 0 || d.msgs_duplicated <> 0
+
+let pp_delivery ppf d =
+  Format.fprintf ppf
+    "ticks=%d retransmits=%d dups_dropped=%d acks=%d dropped=%d \
+     duplicated=%d wire=%d msgs/%d bytes"
+    d.ticks d.retransmits d.dups_dropped d.acks d.msgs_dropped
+    d.msgs_duplicated d.wire_messages d.wire_bytes
+
 let pp ppf t =
   Format.fprintf ppf
     "updates=%d M=%d (q=%d a=%d) answer_tuples=%d answer_bytes=%d \
      query_bytes=%d IO=%d steps=%d"
     t.updates (messages t) t.queries_sent t.answers_received t.answer_tuples
-    t.answer_bytes t.query_bytes t.source_io t.steps
+    t.answer_bytes t.query_bytes t.source_io t.steps;
+  if delivery_active t.delivery then
+    Format.fprintf ppf " [%a]" pp_delivery t.delivery

@@ -1,5 +1,27 @@
 (** Run-level counters for the three cost factors of Section 6: messages
-    (M), data transferred (B) and source I/O (IO). *)
+    (M), data transferred (B) and source I/O (IO) — plus the transport's
+    delivery counters when faults or the reliability sublayer are in
+    play. *)
+
+type delivery = {
+  ticks : int;  (** clock advances the scheduler had to insert *)
+  retransmits : int;  (** frames re-sent after a timeout *)
+  dups_dropped : int;
+      (** data frames discarded at a receiver as already seen — channel
+          duplicates and spurious retransmissions alike *)
+  acks : int;  (** cumulative acknowledgement frames sent *)
+  msgs_dropped : int;  (** transmissions lost to the fault profile *)
+  msgs_duplicated : int;  (** extra copies injected by the fault profile *)
+  delivered : int;  (** payload messages released in order by {!Reliable} *)
+  latency_total : int;
+      (** summed ticks from first transmission to in-order release *)
+  latency_max : int;
+  wire_messages : int;
+      (** physical transmissions both ways: payloads, duplicates,
+          retransmits and acks — the denominator of reliability's wire
+          overhead *)
+  wire_bytes : int;
+}
 
 type t = {
   updates : int;  (** source updates executed *)
@@ -12,9 +34,11 @@ type t = {
   query_bytes : int;  (** wire size of query messages *)
   source_io : int;  (** I/Os charged by the source's planner *)
   steps : int;  (** simulation events executed *)
+  delivery : delivery;  (** transport counters; {!no_delivery} when clean *)
 }
 
 val zero : t
+val no_delivery : delivery
 
 val messages : t -> int
 (** The paper's M: queries + answers (notifications excluded, as in
@@ -25,4 +49,14 @@ val transfer_tuples : t -> int
 val bytes_for : s:int -> t -> int
 (** The paper's B for a given per-tuple size [S]. *)
 
+val mean_latency : t -> float
+(** Mean delivery latency in ticks of reliably delivered messages. *)
+
+val delivery_active : delivery -> bool
+(** True when a fault or the reliability protocol actually fired —
+    i.e. any counter beyond the always-metered wire totals is nonzero.
+    [pp] appends the delivery block only in that case, keeping
+    perfect-FIFO run reports unchanged. *)
+
 val pp : Format.formatter -> t -> unit
+val pp_delivery : Format.formatter -> delivery -> unit

@@ -38,9 +38,18 @@ type oracle =
 
 let run_defs ?(catalog = Storage.Catalog.make ())
     ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
-    ?local_literal_eval ?unordered_delivery ?(max_steps = 2_000_000)
+    ?local_literal_eval ?unordered_delivery ?fault ?fault_seed
+    ?(reliable = false) ?retransmit_timeout ?(max_steps = 2_000_000)
     ?(oracle = Incremental) ~creator ~views ~db ~updates () =
   if batch_size < 1 then raise (Run_error "batch_size must be at least 1");
+  (* [unordered_delivery] predates fault profiles and survives as sugar
+     for the reorder-only profile it used to hard-code. *)
+  let fault_profile, net_seed =
+    match (fault, unordered_delivery) with
+    | Some f, _ -> (f, Option.value fault_seed ~default:0)
+    | None, Some seed -> (Messaging.Fault.reorder_only, seed)
+    | None, None -> (Messaging.Fault.none, Option.value fault_seed ~default:0)
+  in
   let configs =
     List.map
       (fun view ->
@@ -49,7 +58,10 @@ let run_defs ?(catalog = Storage.Catalog.make ())
   in
   let warehouse = Warehouse.of_creator ~creator ~configs in
   let source = Source_site.Source.create ~catalog db in
-  let net = Messaging.Network.create ?unordered_seed:unordered_delivery () in
+  let net =
+    Messaging.Network.create ~fault:fault_profile ~seed:net_seed ~reliable
+      ?timeout:retransmit_timeout ()
+  in
   let sched = Scheduler.create schedule in
   let initial_views = snapshot_defs views db in
   let trace = Trace.create ~initial_views in
@@ -159,7 +171,8 @@ let run_defs ?(catalog = Storage.Catalog.make ())
       Trace.record trace (Trace.Source_answer { gid = id; answer; cost })
     | Some
         ( Messaging.Message.Update_note _ | Messaging.Message.Batch_note _
-        | Messaging.Message.Answer _ ) ->
+        | Messaging.Message.Answer _ | Messaging.Message.Data _
+        | Messaging.Message.Ack _ ) ->
       raise (Run_error "source received a non-query message")
   in
   let warehouse_receive () =
@@ -206,20 +219,19 @@ let run_defs ?(catalog = Storage.Catalog.make ())
            { gid = id; installs = reaction.Warehouse.installs })
     | Some (Messaging.Message.Query _) ->
       raise (Run_error "warehouse received a query message")
+    | Some (Messaging.Message.Data _ | Messaging.Message.Ack _) ->
+      raise (Run_error "warehouse received an unwrapped protocol frame")
   in
   let enabled () =
     {
       Scheduler.can_update = !pending_updates <> [];
       can_source =
-        not
-          (Messaging.Channel.is_empty
-             (Messaging.Network.channel net Messaging.Network.To_source));
+        Messaging.Network.can_receive net Messaging.Network.To_source;
       can_warehouse =
-        not
-          (Messaging.Channel.is_empty
-             (Messaging.Network.channel net Messaging.Network.To_warehouse));
+        Messaging.Network.can_receive net Messaging.Network.To_warehouse;
     }
   in
+  let ticks = ref 0 in
   let rec loop () =
     bump (fun m -> { m with Metrics.steps = m.Metrics.steps + 1 });
     if (!m).Metrics.steps > max_steps then
@@ -235,23 +247,62 @@ let run_defs ?(catalog = Storage.Catalog.make ())
       warehouse_receive ();
       loop ()
     | None ->
-      let reaction = Warehouse.quiesce warehouse in
-      ship_queries reaction.Warehouse.queries;
-      watch_installs reaction.Warehouse.installs;
-      if
-        reaction.Warehouse.queries <> []
-        || reaction.Warehouse.installs <> []
-      then begin
-        Trace.record trace
-          (Trace.Quiesce_probe
-             {
-               queries = reaction.Warehouse.queries;
-               installs = reaction.Warehouse.installs;
-             });
+      if not (Messaging.Network.idle net) then begin
+        (* Messages are in flight but not yet deliverable — delayed
+           transmissions ripening, or reliability-layer frames awaiting
+           acks/retransmission. Advance the transport clock one tick and
+           re-examine; the tick is a scheduler decision, so faulty runs
+           stay deterministic. *)
+        Messaging.Network.tick net;
+        incr ticks;
         loop ()
+      end
+      else begin
+        let reaction = Warehouse.quiesce warehouse in
+        ship_queries reaction.Warehouse.queries;
+        watch_installs reaction.Warehouse.installs;
+        if
+          reaction.Warehouse.queries <> []
+          || reaction.Warehouse.installs <> []
+        then begin
+          Trace.record trace
+            (Trace.Quiesce_probe
+               {
+                 queries = reaction.Warehouse.queries;
+                 installs = reaction.Warehouse.installs;
+               });
+          loop ()
+        end
       end
   in
   loop ();
+  bump (fun m ->
+      let r =
+        match Messaging.Network.reliability net with
+        | Some s ->
+          {
+            Metrics.no_delivery with
+            Metrics.retransmits = s.Messaging.Reliable.retransmits;
+            dups_dropped = s.Messaging.Reliable.dups_dropped;
+            acks = s.Messaging.Reliable.acks_sent;
+            delivered = s.Messaging.Reliable.delivered;
+            latency_total = s.Messaging.Reliable.latency_total;
+            latency_max = s.Messaging.Reliable.latency_max;
+          }
+        | None -> Metrics.no_delivery
+      in
+      {
+        m with
+        Metrics.delivery =
+          {
+            r with
+            Metrics.ticks = !ticks;
+            msgs_dropped = Messaging.Network.total_dropped net;
+            msgs_duplicated = Messaging.Network.total_duplicated net;
+            wire_messages = Messaging.Network.total_messages net;
+            wire_bytes = Messaging.Network.total_bytes net;
+          };
+      });
   let reports =
     List.map
       (fun (v : R.Viewdef.t) ->
@@ -273,9 +324,11 @@ let run_defs ?(catalog = Storage.Catalog.make ())
   }
 
 let run ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
-    ?unordered_delivery ?max_steps ?oracle ~creator ~views ~db ~updates () =
+    ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
+    ?max_steps ?oracle ~creator ~views ~db ~updates () =
   run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
-    ?unordered_delivery ?max_steps ?oracle ~creator
+    ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
+    ?max_steps ?oracle ~creator
     ~views:(List.map R.Viewdef.simple views)
     ~db ~updates ()
 
@@ -283,7 +336,8 @@ let run ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
    the creator on the view's name — creators receive the full config, so
    the per-view choice is total and checked up front. *)
 let run_mixed ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
-    ?unordered_delivery ?max_steps ?oracle ~assignments ~db ~updates () =
+    ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
+    ?max_steps ?oracle ~assignments ~db ~updates () =
   let creator (cfg : Algorithm.Config.t) =
     let name = cfg.Algorithm.Config.view.R.Viewdef.name in
     match
@@ -295,6 +349,7 @@ let run_mixed ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     | None -> raise (Run_error ("no algorithm assigned to view " ^ name))
   in
   run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
-    ?unordered_delivery ?max_steps ?oracle ~creator
+    ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
+    ?max_steps ?oracle ~creator
     ~views:(List.map fst assignments)
     ~db ~updates ()

@@ -46,6 +46,10 @@ val run :
   ?batch_size:int ->
   ?local_literal_eval:bool ->
   ?unordered_delivery:int ->
+  ?fault:Messaging.Fault.profile ->
+  ?fault_seed:int ->
+  ?reliable:bool ->
+  ?retransmit_timeout:int ->
   ?max_steps:int ->
   ?oracle:oracle ->
   creator:Algorithm.creator ->
@@ -62,6 +66,10 @@ val run_defs :
   ?batch_size:int ->
   ?local_literal_eval:bool ->
   ?unordered_delivery:int ->
+  ?fault:Messaging.Fault.profile ->
+  ?fault_seed:int ->
+  ?reliable:bool ->
+  ?retransmit_timeout:int ->
   ?max_steps:int ->
   ?oracle:oracle ->
   creator:Algorithm.creator ->
@@ -74,9 +82,17 @@ val run_defs :
     "initially correct" assumption). Updates with [seq = 0] are numbered
     in stream order.
 
-    With [unordered_delivery] set, the network violates the paper's
-    in-order delivery assumption on purpose (seeded) — the fault-injection
-    mode the assumption-necessity tests use.
+    With [fault] set, both network directions misbehave per the profile
+    (seeded by [fault_seed]) — dropping, duplicating, delaying and/or
+    reordering transmissions. [unordered_delivery] is the legacy spelling
+    of [~fault:Fault.reorder_only ~fault_seed]. With [~reliable:true] the
+    {!Messaging.Reliable} sublayer runs over the faulty channels
+    (retransmission timer [retransmit_timeout] ticks), so the endpoints
+    again see exactly-once FIFO streams; the run's
+    [metrics.delivery] then carries the protocol counters. When no
+    simulation event is enabled but messages are still in flight, the
+    runner advances the transport clock one tick per step — runs stay
+    deterministic and seed-reproducible.
 
     With [batch_size > 1] (the batched-update extension of Section 7),
     each source event atomically executes up to that many updates and
@@ -92,6 +108,10 @@ val run_mixed :
   ?batch_size:int ->
   ?local_literal_eval:bool ->
   ?unordered_delivery:int ->
+  ?fault:Messaging.Fault.profile ->
+  ?fault_seed:int ->
+  ?reliable:bool ->
+  ?retransmit_timeout:int ->
   ?max_steps:int ->
   ?oracle:oracle ->
   assignments:(R.Viewdef.t * Algorithm.creator) list ->

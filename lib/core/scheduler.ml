@@ -66,10 +66,24 @@ let pick t e =
      | Worst_case ->
        by_priority [ Apply_update; Warehouse_receive; Source_receive ]
      | Round_robin ->
-       let n = List.length choices in
-       let a = List.nth choices (t.rotation mod n) in
-       t.rotation <- t.rotation + 1;
-       Some a
+       (* Rotate over the fixed action order, skipping disabled actions —
+          indexing the cursor into the filtered enabled list would make
+          the rotation depend on how many actions happen to be enabled,
+          so the cursor would not actually advance over the actions. *)
+       let order = [| Apply_update; Source_receive; Warehouse_receive |] in
+       let n = Array.length order in
+       let rec probe k =
+         if k = n then None
+         else
+           let idx = (t.rotation + k) mod n in
+           let a = order.(idx) in
+           if action_enabled e a then begin
+             t.rotation <- idx + 1;
+             Some a
+           end
+           else probe (k + 1)
+       in
+       probe 0
      | Random _ ->
        let n = List.length choices in
        Some (List.nth choices (Random.State.int t.rng n))

@@ -103,6 +103,10 @@ let handle_message t = function
     handle_answer t ~gid:id answer
   | Messaging.Message.Query _ ->
     invalid_arg "Warehouse.handle_message: warehouses do not receive queries"
+  | Messaging.Message.Data _ | Messaging.Message.Ack _ ->
+    invalid_arg
+      "Warehouse.handle_message: protocol frames belong to the reliability \
+       sublayer"
 
 let quiesce t =
   let r = ref no_reaction in

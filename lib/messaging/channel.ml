@@ -1,64 +1,129 @@
+module Fqueue = Relational.Fqueue
+
 type stats = {
   mutable messages : int;
   mutable bytes : int;
+  mutable dropped : int;
+  mutable duplicated : int;
 }
-
-type discipline =
-  | Fifo
-  | Unordered of Random.State.t
 
 type t = {
   name : string;
-  mutable pending_msgs : Message.t list;  (* oldest first *)
-  discipline : discipline;
+  fault : Fault.profile;
+  rng : Random.State.t;
+  mutable now : int;
+  mutable next_stamp : int;
+  (* Fault-free channels live entirely in [queue] — O(1) amortized send
+     and receive. Faulty channels keep [(ready_at, stamp, msg)] sorted by
+     that pair: the head is the earliest-deliverable message, and stamps
+     break ties in send order. Faulty runs are small, so the O(n) sorted
+     insert is irrelevant. *)
+  mutable queue : Message.t Fqueue.t;
+  mutable delayed : (int * int * Message.t) list;
   stats : stats;
 }
 
-let create ?unordered_seed name =
-  let discipline =
-    match unordered_seed with
-    | None -> Fifo
-    | Some seed -> Unordered (Random.State.make [| seed |])
-  in
-  { name; pending_msgs = []; discipline; stats = { messages = 0; bytes = 0 } }
+let create ?(fault = Fault.none) ?(seed = 0) name =
+  {
+    name;
+    fault;
+    rng = Random.State.make [| seed |];
+    now = 0;
+    next_stamp = 0;
+    queue = Fqueue.empty;
+    delayed = [];
+    stats = { messages = 0; bytes = 0; dropped = 0; duplicated = 0 };
+  }
+
+let fault t = t.fault
+
+let rec insert_sorted entry = function
+  | [] -> [ entry ]
+  | ((r, s, _) as hd) :: rest ->
+    let er, es, _ = entry in
+    if (er, es) < (r, s) then entry :: hd :: rest
+    else hd :: insert_sorted entry rest
+
+(* One physical transmission: metered, then possibly dropped, then
+   enqueued with its own delay. *)
+let transmit t msg =
+  t.stats.messages <- t.stats.messages + 1;
+  t.stats.bytes <- t.stats.bytes + Message.byte_size msg;
+  if t.fault.Fault.drop > 0.0 && Random.State.float t.rng 1.0 < t.fault.Fault.drop
+  then t.stats.dropped <- t.stats.dropped + 1
+  else if Fault.is_none t.fault then t.queue <- Fqueue.push t.queue msg
+  else begin
+    let delay =
+      if t.fault.Fault.delay = 0 then 0
+      else Random.State.int t.rng (t.fault.Fault.delay + 1)
+    in
+    let stamp = t.next_stamp in
+    t.next_stamp <- stamp + 1;
+    t.delayed <- insert_sorted (t.now + delay, stamp, msg) t.delayed
+  end
 
 let send t msg =
-  t.pending_msgs <- t.pending_msgs @ [ msg ];
-  t.stats.messages <- t.stats.messages + 1;
-  t.stats.bytes <- t.stats.bytes + Message.byte_size msg
+  transmit t msg;
+  if
+    t.fault.Fault.duplicate > 0.0
+    && Random.State.float t.rng 1.0 < t.fault.Fault.duplicate
+  then begin
+    t.stats.duplicated <- t.stats.duplicated + 1;
+    transmit t msg
+  end
 
-let take_nth n l =
-  let rec go i acc = function
-    | [] -> invalid_arg "take_nth"
-    | x :: rest ->
-      if i = n then (x, List.rev_append acc rest) else go (i + 1) (x :: acc) rest
+let ready t =
+  let rec go acc = function
+    | ((r, _, _) as e) :: rest when r <= t.now -> go (e :: acc) rest
+    | _ -> List.rev acc
   in
-  go 0 [] l
+  go [] t.delayed
 
 let receive t =
-  match t.pending_msgs with
-  | [] -> None
-  | msgs -> (
-    match t.discipline with
-    | Fifo ->
-      let msg = List.hd msgs in
-      t.pending_msgs <- List.tl msgs;
+  if Fault.is_none t.fault then
+    match Fqueue.pop t.queue with
+    | None -> None
+    | Some (msg, rest) ->
+      t.queue <- rest;
       Some msg
-    | Unordered rng ->
-      let msg, rest = take_nth (Random.State.int rng (List.length msgs)) msgs in
-      t.pending_msgs <- rest;
-      Some msg)
+  else
+    match ready t with
+    | [] -> None
+    | deliverable ->
+      let _, stamp, msg =
+        if t.fault.Fault.reorder then
+          List.nth deliverable
+            (Random.State.int t.rng (List.length deliverable))
+        else List.hd deliverable
+      in
+      t.delayed <- List.filter (fun (_, s, _) -> s <> stamp) t.delayed;
+      Some msg
 
-let peek t = match t.pending_msgs with [] -> None | m :: _ -> Some m
+let peek t =
+  if Fault.is_none t.fault then Fqueue.peek t.queue
+  else match ready t with [] -> None | (_, _, msg) :: _ -> Some msg
 
-let is_empty t = t.pending_msgs = []
+let has_ready t =
+  if Fault.is_none t.fault then not (Fqueue.is_empty t.queue)
+  else match t.delayed with (r, _, _) :: _ -> r <= t.now | [] -> false
 
-let pending t = List.length t.pending_msgs
+let is_empty t = Fqueue.is_empty t.queue && t.delayed = []
+
+let pending t = Fqueue.length t.queue + List.length t.delayed
+
+let tick t = t.now <- t.now + 1
+
+let now t = t.now
 
 let messages_sent t = t.stats.messages
 
 let bytes_sent t = t.stats.bytes
 
+let dropped t = t.stats.dropped
+
+let duplicated t = t.stats.duplicated
+
 let pp ppf t =
-  Format.fprintf ppf "%s: %d pending, %d sent (%d bytes)" t.name (pending t)
-    t.stats.messages t.stats.bytes
+  Format.fprintf ppf "%s [%a]: %d pending, %d sent (%d bytes, %d dropped, %d duplicated)"
+    t.name Fault.pp t.fault (pending t) t.stats.messages t.stats.bytes
+    t.stats.dropped t.stats.duplicated

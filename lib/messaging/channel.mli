@@ -1,36 +1,66 @@
-(** A loss-free message channel. By default delivery is FIFO — the model
-    the paper assumes ("messages are delivered in order and are processed
-    in order").
+(** A message channel with an optional fault profile.
 
-    A channel can instead be created with {e unordered} delivery
-    ([?unordered_seed]), which violates that assumption on purpose: the
-    fault-injection tests use it to demonstrate that ECA's correctness
-    really does depend on in-order delivery, not just on compensation.
+    By default delivery is exactly-once FIFO — the model the paper
+    assumes ("messages are delivered in order and are processed in
+    order"). A {!Fault.profile} makes the channel lossy, duplicating,
+    delaying and/or reordering (seeded, reproducible); the {!Reliable}
+    sublayer can then be layered on top to win the paper's model back.
+
+    Channels carry a logical clock, advanced by {!tick} from the
+    simulation scheduler: a transmission with a sampled delay of [d]
+    ticks becomes deliverable [d] ticks after it was sent. Fault-free
+    channels ignore the clock.
 
     Channels also meter traffic: message and byte counters feed the M and
-    B metrics of the performance study. *)
+    B metrics of the performance study. They count {e physical}
+    transmissions — duplicates injected by the profile and retransmits
+    from the reliability sublayer included — so the same counters measure
+    the wire overhead of reliability. *)
 
 type t
 
-val create : ?unordered_seed:int -> string -> t
-(** FIFO by default; with [unordered_seed], each receive picks a
-    uniformly random pending message (seeded, reproducible). *)
+val create : ?fault:Fault.profile -> ?seed:int -> string -> t
+(** Exactly-once FIFO by default ([Fault.none]); faults and their
+    randomness are controlled entirely by [fault] and [seed]. *)
 
 val send : t -> Message.t -> unit
-(** Enqueue and account for the message's size. *)
+(** Put one transmission on the wire (two if the profile duplicates it);
+    each is metered, then possibly dropped, then delayed per the
+    profile. *)
 
 val receive : t -> Message.t option
-(** Dequeue per the channel's delivery discipline. *)
+(** Dequeue among the currently deliverable messages: the oldest one, or
+    a uniformly random one when the profile reorders. [None] when nothing
+    is deliverable — the channel may still hold delayed messages (see
+    {!is_empty} vs {!has_ready}). *)
 
 val peek : t -> Message.t option
-(** The message FIFO delivery would return next. *)
+(** The message in-order delivery would return next, without removing. *)
+
+val has_ready : t -> bool
+(** A receive would succeed now. *)
 
 val is_empty : t -> bool
+(** Nothing pending at all, delayed messages included. *)
+
 val pending : t -> int
 
+val tick : t -> unit
+(** Advance the channel clock one tick (delayed messages ripen). *)
+
+val now : t -> int
+val fault : t -> Fault.profile
+
 val messages_sent : t -> int
-(** Total messages ever sent (including already delivered ones). *)
+(** Total physical transmissions ever sent (delivered, pending, dropped
+    and duplicated alike). *)
 
 val bytes_sent : t -> int
+
+val dropped : t -> int
+(** Transmissions lost to the fault profile. *)
+
+val duplicated : t -> int
+(** Extra copies injected by the fault profile. *)
 
 val pp : Format.formatter -> t -> unit

@@ -12,21 +12,30 @@ type t =
       answer : R.Bag.t;
       cost : Storage.Cost.t;
     }
+  | Data of {
+      seq : int;
+      payload : t;
+    }
+  | Ack of { cum : int }
 
-let byte_size = function
+let rec byte_size = function
   | Update_note u -> R.Update.byte_size u
   | Batch_note us ->
     8 + List.fold_left (fun acc u -> acc + R.Update.byte_size u) 0 us
   | Query { query; _ } -> 8 + R.Query.byte_size query
   | Answer { answer; _ } -> 8 + R.Bag.byte_size answer
+  | Data { payload; _ } -> 8 + byte_size payload
+  | Ack _ -> 8
 
 let kind_name = function
   | Update_note _ -> "update"
   | Batch_note _ -> "batch"
   | Query _ -> "query"
   | Answer _ -> "answer"
+  | Data _ -> "data"
+  | Ack _ -> "ack"
 
-let pp ppf = function
+let rec pp ppf = function
   | Update_note u -> Format.fprintf ppf "Update %a" R.Update.pp u
   | Batch_note us ->
     Format.fprintf ppf "Batch [%s]"
@@ -34,3 +43,5 @@ let pp ppf = function
   | Query { id; query } -> Format.fprintf ppf "Query Q%d = %a" id R.Query.pp query
   | Answer { id; answer; _ } ->
     Format.fprintf ppf "Answer A%d = %a" id R.Bag.pp answer
+  | Data { seq; payload } -> Format.fprintf ppf "Data #%d (%a)" seq pp payload
+  | Ack { cum } -> Format.fprintf ppf "Ack <=%d" cum

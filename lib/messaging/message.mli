@@ -20,6 +20,16 @@ type t =
       answer : Relational.Bag.t;
       cost : Storage.Cost.t;  (** what the source spent producing it *)
     }
+  | Data of {
+      seq : int;
+      payload : t;
+    }
+      (** a {!Reliable} protocol frame: the payload message carried under
+          a per-stream sequence number. Never reaches the warehouse or
+          source — the sublayer unwraps it. *)
+  | Ack of { cum : int }
+      (** a {!Reliable} cumulative acknowledgement: every [Data] frame
+          with [seq <= cum] has been received in order. *)
 
 val byte_size : t -> int
 val kind_name : t -> string

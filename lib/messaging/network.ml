@@ -1,31 +1,68 @@
+type transport =
+  | Direct
+  | Via_reliable of Reliable.t
+
 type t = {
   to_warehouse : Channel.t;
   to_source : Channel.t;
+  transport : transport;
 }
-
-let create ?unordered_seed () =
-  {
-    to_warehouse = Channel.create ?unordered_seed "source->warehouse";
-    to_source =
-      Channel.create
-        ?unordered_seed:(Option.map (fun s -> s + 1) unordered_seed)
-        "warehouse->source";
-  }
 
 type direction =
   | To_warehouse
   | To_source
 
+let create ?(fault = Fault.none) ?(seed = 0) ?(reliable = false) ?timeout () =
+  let to_warehouse = Channel.create ~fault ~seed "source->warehouse" in
+  let to_source = Channel.create ~fault ~seed:(seed + 1) "warehouse->source" in
+  let transport =
+    if reliable then
+      Via_reliable (Reliable.create ?timeout ~to_warehouse ~to_source ())
+    else Direct
+  in
+  { to_warehouse; to_source; transport }
+
 let channel t = function
   | To_warehouse -> t.to_warehouse
   | To_source -> t.to_source
 
-let send t dir msg = Channel.send (channel t dir) msg
+let rdir = function
+  | To_warehouse -> Reliable.To_warehouse
+  | To_source -> Reliable.To_source
 
-let receive t dir = Channel.receive (channel t dir)
+let send t dir msg =
+  match t.transport with
+  | Direct -> Channel.send (channel t dir) msg
+  | Via_reliable r -> Reliable.send r (rdir dir) msg
 
-let quiescent t =
-  Channel.is_empty t.to_warehouse && Channel.is_empty t.to_source
+let receive t dir =
+  match t.transport with
+  | Direct -> Channel.receive (channel t dir)
+  | Via_reliable r -> Reliable.receive r (rdir dir)
+
+let can_receive t dir =
+  match t.transport with
+  | Direct -> Channel.has_ready (channel t dir)
+  | Via_reliable r -> Reliable.has_ready r (rdir dir)
+
+let tick t =
+  match t.transport with
+  | Direct ->
+    Channel.tick t.to_warehouse;
+    Channel.tick t.to_source
+  | Via_reliable r -> Reliable.tick r
+
+let idle t =
+  match t.transport with
+  | Direct -> Channel.is_empty t.to_warehouse && Channel.is_empty t.to_source
+  | Via_reliable r -> Reliable.idle r
+
+let quiescent = idle
+
+let reliability t =
+  match t.transport with
+  | Direct -> None
+  | Via_reliable r -> Some (Reliable.stats r)
 
 let total_messages t =
   Channel.messages_sent t.to_warehouse + Channel.messages_sent t.to_source
@@ -33,5 +70,14 @@ let total_messages t =
 let total_bytes t =
   Channel.bytes_sent t.to_warehouse + Channel.bytes_sent t.to_source
 
+let total_dropped t =
+  Channel.dropped t.to_warehouse + Channel.dropped t.to_source
+
+let total_duplicated t =
+  Channel.duplicated t.to_warehouse + Channel.duplicated t.to_source
+
 let pp ppf t =
-  Format.fprintf ppf "%a@.%a" Channel.pp t.to_warehouse Channel.pp t.to_source
+  Format.fprintf ppf "%a@.%a" Channel.pp t.to_warehouse Channel.pp t.to_source;
+  match t.transport with
+  | Direct -> ()
+  | Via_reliable r -> Format.fprintf ppf "@.%a" Reliable.pp r

@@ -42,6 +42,23 @@ let keyed spec =
     updates = Generator.keyed_updates spec ~db;
   }
 
+(* The fault-profile matrix: one axis per channel misbehavior, plus the
+   combined profile the acceptance experiments run — loss, duplication,
+   delay and reordering at once. Rates are high enough that every fault
+   class actually fires on the short Example-6 streams. *)
+let fault_profiles =
+  [
+    ("clean", Messaging.Fault.none);
+    ("lossy", Messaging.Fault.make ~drop:0.2 ());
+    ("duplicating", Messaging.Fault.make ~duplicate:0.3 ());
+    ("delaying", Messaging.Fault.make ~delay:3 ());
+    ("reordering", Messaging.Fault.make ~reorder:true ());
+    ("chaos",
+     Messaging.Fault.make ~drop:0.15 ~duplicate:0.2 ~delay:2 ~reorder:true ());
+  ]
+
+let chaos_profile = List.assoc "chaos" fault_profiles
+
 (* Physical configurations matching Appendix D's two extremes. *)
 let catalog_scenario1 ?(k_per_block = 20) () =
   Storage.Catalog.make ~mode:Storage.Catalog.Indexed_memory

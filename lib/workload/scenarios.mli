@@ -21,6 +21,13 @@ val keyed_view : unit -> R.View.t
 
 val keyed : Spec.t -> setup
 
+val fault_profiles : (string * Messaging.Fault.profile) list
+(** The delivery-fault matrix the reliability experiments sweep: clean,
+    each fault class in isolation, and the combined "chaos" profile. *)
+
+val chaos_profile : Messaging.Fault.profile
+(** Loss + duplication + delay + reordering at once. *)
+
 val catalog_scenario1 : ?k_per_block:int -> unit -> Storage.Catalog.t
 (** Indexed, ample memory; the exact Example-6 index set. *)
 

@@ -19,6 +19,7 @@ let () =
       ("csv-json", Test_csv_json.suite);
       ("runner", Test_runner.suite);
       ("faults", Test_faults.suite);
+      ("reliable", Test_reliable.suite);
       ("compound-views", Test_compound.suite);
       ("staleness", Test_staleness.suite);
       ("misc-coverage", Test_misc_coverage.suite);

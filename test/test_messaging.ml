@@ -56,6 +56,99 @@ let network_directions () =
   check_bool "quiescent after drain" true (M.Network.quiescent net);
   check_int "totals" 1 (M.Network.total_messages net)
 
+(* ------------------------------------------------------------------ *)
+(* Fault profiles at the channel level                                  *)
+(* ------------------------------------------------------------------ *)
+
+let drain ch =
+  (* pump ticks until nothing remains, collecting first-column ids *)
+  let got = ref [] in
+  let guard = ref 0 in
+  while not (M.Channel.is_empty ch) do
+    incr guard;
+    if !guard > 10_000 then Alcotest.fail "drain: channel never emptied";
+    (match M.Channel.receive ch with
+     | Some (M.Message.Update_note u) -> (
+       match R.Tuple.get u.R.Update.tuple 0 with
+       | R.Value.Int i -> got := i :: !got
+       | _ -> Alcotest.fail "unexpected value")
+     | Some _ -> Alcotest.fail "unexpected message"
+     | None -> M.Channel.tick ch)
+  done;
+  List.rev !got
+
+let fault_profile_validation () =
+  check_bool "none is none" true (M.Fault.is_none M.Fault.none);
+  check_bool "reorder_only is a fault" false (M.Fault.is_none M.Fault.reorder_only);
+  (match M.Fault.make ~drop:1.0 () with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "drop = 1.0 must be rejected (no delivery possible)");
+  (match M.Fault.make ~delay:(-1) () with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "negative delay must be rejected")
+
+let drops_are_counted () =
+  let ch =
+    M.Channel.create ~fault:(M.Fault.make ~drop:0.5 ()) ~seed:7 "lossy"
+  in
+  for i = 1 to 100 do
+    M.Channel.send ch (note i)
+  done;
+  let got = drain ch in
+  check_int "sent counts every send" 100 (M.Channel.messages_sent ch);
+  check_int "dropped + delivered = sent" 100
+    (M.Channel.dropped ch + List.length got);
+  check_bool "some were dropped" true (M.Channel.dropped ch > 0);
+  check_bool "some survived" true (got <> [])
+
+let duplicates_are_counted () =
+  let ch =
+    M.Channel.create ~fault:(M.Fault.make ~duplicate:1.0 ()) ~seed:1 "dup"
+  in
+  M.Channel.send ch (note 1);
+  M.Channel.send ch (note 2);
+  Alcotest.(check (list int)) "every message arrives twice, in order"
+    [ 1; 1; 2; 2 ] (drain ch);
+  check_int "duplications counted" 2 (M.Channel.duplicated ch);
+  check_int "wire count includes the copies" 4 (M.Channel.messages_sent ch)
+
+let delay_ripens_with_ticks () =
+  let ch =
+    M.Channel.create ~fault:(M.Fault.make ~delay:2 ()) ~seed:5 "slow" in
+  M.Channel.send ch (note 1);
+  check_bool "pending immediately" true (M.Channel.pending ch > 0);
+  (* after enough ticks the message must be ready, whatever latency
+     (uniform in [0; delay]) the rng assigned *)
+  M.Channel.tick ch;
+  M.Channel.tick ch;
+  check_bool "ready after [delay] ticks" true (M.Channel.has_ready ch);
+  Alcotest.(check (list int)) "delivered" [ 1 ] (drain ch)
+
+let reorder_is_seed_deterministic () =
+  let sequence seed =
+    let ch = M.Channel.create ~fault:M.Fault.reorder_only ~seed "shuffle" in
+    for i = 1 to 20 do
+      M.Channel.send ch (note i)
+    done;
+    drain ch
+  in
+  Alcotest.(check (list int)) "same seed, same shuffle"
+    (sequence 42) (sequence 42);
+  check_bool "reordering actually happens" true
+    (sequence 42 <> List.init 20 (fun i -> i + 1));
+  Alcotest.(check (list int)) "a permutation, nothing lost"
+    (List.init 20 (fun i -> i + 1))
+    (List.sort compare (sequence 42))
+
+let frame_sizes () =
+  let d = M.Message.Data { seq = 3; payload = note 1 } in
+  let a = M.Message.Ack { cum = 3 } in
+  check_int "data frame = header + payload" (8 + M.Message.byte_size (note 1))
+    (M.Message.byte_size d);
+  check_int "ack frame is header-sized" 8 (M.Message.byte_size a);
+  Alcotest.(check string) "data kind" "data" (M.Message.kind_name d);
+  Alcotest.(check string) "ack kind" "ack" (M.Message.kind_name a)
+
 let suite =
   [
     Alcotest.test_case "FIFO order" `Quick fifo_order;
@@ -63,4 +156,12 @@ let suite =
     Alcotest.test_case "stats accumulate" `Quick stats_accumulate;
     Alcotest.test_case "message sizes" `Quick message_sizes;
     Alcotest.test_case "network directions" `Quick network_directions;
+    Alcotest.test_case "fault profile validation" `Quick
+      fault_profile_validation;
+    Alcotest.test_case "drops are counted" `Quick drops_are_counted;
+    Alcotest.test_case "duplicates are counted" `Quick duplicates_are_counted;
+    Alcotest.test_case "delay ripens with ticks" `Quick delay_ripens_with_ticks;
+    Alcotest.test_case "reorder is seed-deterministic" `Quick
+      reorder_is_seed_deterministic;
+    Alcotest.test_case "protocol frame sizes" `Quick frame_sizes;
   ]

@@ -53,6 +53,27 @@ let round_robin_rotates () =
   check_int "three distinct actions in a cycle" 3
     (List.length (List.sort_uniq String.compare names))
 
+let round_robin_skips_disabled () =
+  (* Regression: the cursor must rotate over the FIXED action order,
+     skipping disabled actions — not index into the filtered enabled
+     list (which silently restarted the rotation whenever the enabled
+     set changed, starving warehouse-receive under some workloads). *)
+  let t = S.create S.Round_robin in
+  let pick e = Option.map S.action_name (S.pick t e) in
+  let check msg want got = Alcotest.(check (option string)) msg (Some want) got in
+  check "starts at apply-update" "apply-update" (pick all_enabled);
+  check "then source-receive" "source-receive" (pick all_enabled);
+  check "disabled warehouse is skipped, wraps around" "apply-update"
+    (pick { all_enabled with S.can_warehouse = false });
+  check "rotation resumes after the skip" "source-receive" (pick all_enabled);
+  check "warehouse gets its turn" "warehouse-receive" (pick all_enabled);
+  check "full cycle" "apply-update" (pick all_enabled);
+  check "sole enabled action wins regardless of cursor" "source-receive"
+    (pick { S.can_update = false; can_source = true; can_warehouse = false });
+  check "cursor moved past the forced pick" "warehouse-receive"
+    (pick all_enabled);
+  check "and wraps again" "apply-update" (pick all_enabled)
+
 let random_is_deterministic_per_seed () =
   let sequence seed =
     let t = S.create (S.Random seed) in
@@ -95,6 +116,8 @@ let suite =
     Alcotest.test_case "worst-case priorities" `Quick worst_case_priorities;
     Alcotest.test_case "nothing enabled" `Quick nothing_enabled;
     Alcotest.test_case "round robin rotates" `Quick round_robin_rotates;
+    Alcotest.test_case "round robin skips disabled actions" `Quick
+      round_robin_skips_disabled;
     Alcotest.test_case "random determinism" `Quick
       random_is_deterministic_per_seed;
     Alcotest.test_case "explicit script consumption" `Quick
