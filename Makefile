@@ -1,7 +1,7 @@
 # Convenience targets; `dune build` / `dune runtest` remain the source of
 # truth (ROADMAP.md tier 1).
 
-.PHONY: all build test bench smoke clean
+.PHONY: all build test bench bench-par smoke clean
 
 all: build
 
@@ -12,22 +12,33 @@ test:
 	dune runtest
 
 # Full benchmark suite including the Bechamel wall-clock section.
+# Sequential unless PAR is set in the environment.
 bench:
 	dune build bench/main.exe
 	./_build/default/bench/main.exe
 
+# Full benchmark fanned out over the domain pool: every core unless PAR
+# overrides it (PAR=1 is the sequential path; the emitted runs array is
+# identical either way, modulo per-run wall clocks).
+bench-par:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe $${PAR:+--par=$$PAR}
+
 # One-stop pre-commit gate: build everything, run the test suite (plus
 # the fault-injection/reliability suites explicitly, so a filtered or
-# cached runtest can never silently skip them), run the quick benchmark,
-# and fail if its wall clock regressed more than 2x against the
-# committed BENCH_results.json baseline. The baseline is copied aside
-# first because the bench overwrites it in place.
+# cached runtest can never silently skip them), check that the parallel
+# bench is deterministic (PAR=1 and PAR=4 emit identical runs arrays),
+# run the quick benchmark, and fail if its summed per-run wall clock
+# regressed more than 2x against the committed BENCH_results.json
+# baseline. The baseline is copied aside first because the bench
+# overwrites it in place.
 smoke:
 	dune build @all
 	dune runtest
 	dune exec test/main.exe -- test faults
 	dune exec test/main.exe -- test reliable
 	dune build bench/main.exe
+	sh scripts/check_determinism.sh ./_build/default/bench/main.exe 4
 	@if [ -f BENCH_results.json ]; then \
 	  cp BENCH_results.json /tmp/BENCH_baseline.json; \
 	else \

@@ -24,6 +24,34 @@ let params = CM.Params.default
 let s_bytes = params.CM.Params.s
 
 (* ------------------------------------------------------------------ *)
+(* Parallelism knob                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* `--par=N` on the command line, else the PAR environment variable, else
+   every core the machine offers. `PAR=1` (or `--par=1`) is the
+   sequential path: no domains are spawned and every run executes in
+   section order, exactly as before the pool existed. The figure matrix
+   and the reliability ablation fan out over the pool; all recording and
+   printing stays sequential, so the emitted artifacts are identical
+   (modulo measured wall-clock noise) at any worker count. *)
+let workers =
+  let from_argv =
+    Array.fold_left
+      (fun acc arg ->
+        match String.index_opt arg '=' with
+        | Some i when String.sub arg 0 (i + 1) = "--par=" ->
+          Parallel.Pool.parse_workers
+            (String.sub arg (i + 1) (String.length arg - i - 1))
+        | _ -> acc)
+      None Sys.argv
+  in
+  match from_argv with
+  | Some n -> n
+  | None -> Parallel.Pool.default_workers ()
+
+let pool = Parallel.Pool.create ~workers ()
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable results                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -81,20 +109,65 @@ let json_escape s =
 
 (* Wall clock of `bench/main.exe quick` at the pre-plan-compilation seed
    (list-based bags, per-call term analysis, recomputing oracle), kept in
-   the emitted JSON so before/after is visible in the committed artifact. *)
-let seed_quick_wall_clock_s = 8.984
+   the emitted JSON so before/after is visible in the committed artifact.
+   Read from the committed bench/baseline.json rather than hardcoded, so
+   the number cannot silently rot apart from the artifact that defines
+   it; when the file is missing (e.g. running from another directory) the
+   field is simply omitted from the output. *)
+let scan_json_float ~field path =
+  let contains line sub =
+    let n = String.length sub and m = String.length line in
+    let rec go i = i + n <= m && (String.sub line i n = sub || go (i + 1)) in
+    go 0
+  in
+  if not (Sys.file_exists path) then None
+  else
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let needle = Printf.sprintf "\"%s\"" field in
+        let rec loop () =
+          match input_line ic with
+          | exception End_of_file -> None
+          | line -> (
+            match String.index_opt line ':' with
+            | Some i when contains (String.sub line 0 i) needle ->
+              let v =
+                String.trim (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              let v =
+                match String.index_opt v ',' with
+                | Some j -> String.sub v 0 j
+                | None -> v
+              in
+              float_of_string_opt (String.trim v)
+            | _ -> loop ())
+        in
+        loop ())
+
+let seed_quick_wall_clock_s =
+  scan_json_float ~field:"seed_quick_wall_clock_s" "bench/baseline.json"
 
 let write_json ~path ~mode ~total_wall_s =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
+      let sum_run_wall_s =
+        List.fold_left (fun acc r -> acc +. r.r_wall_s) 0.0 !json_runs
+      in
       Printf.fprintf oc "{\n";
-      Printf.fprintf oc "  \"schema_version\": 2,\n";
+      Printf.fprintf oc "  \"schema_version\": 3,\n";
       Printf.fprintf oc "  \"mode\": \"%s\",\n" (json_escape mode);
+      Printf.fprintf oc "  \"workers\": %d,\n" workers;
       Printf.fprintf oc "  \"total_wall_clock_s\": %.3f,\n" total_wall_s;
-      Printf.fprintf oc "  \"seed_quick_wall_clock_s\": %.3f,\n"
-        seed_quick_wall_clock_s;
+      (* Summed per-run wall clock: the work done, independent of how many
+         domains it was spread over — what the perf guard compares. *)
+      Printf.fprintf oc "  \"sum_run_wall_clock_s\": %.3f,\n" sum_run_wall_s;
+      (match seed_quick_wall_clock_s with
+      | Some s -> Printf.fprintf oc "  \"seed_quick_wall_clock_s\": %.3f,\n" s
+      | None -> ());
       Printf.fprintf oc "  \"runs\": [";
       List.iteri
         (fun i r ->
@@ -148,7 +221,21 @@ let record ?delivery ~algorithm ~wall_s m =
     }
     :: !json_runs
 
-let run_example6 ?(scenario = 1) ?(schedule = Core.Scheduler.Best_case)
+(* Execution is split from recording so the figure matrix can run on the
+   domain pool: [exec_*] performs the simulated run and returns everything
+   observable (no printing, no shared mutation beyond domain-local plan
+   caches), and [record_exec] — always called sequentially, in section
+   order — appends to [json_runs] and prints. The runs array therefore
+   comes out in exactly the sequential order at any worker count. *)
+type exec_result = {
+  x_label : string;      (* algorithm + period/schedule qualifiers *)
+  x_algorithm : string;  (* bare algorithm name, for diagnostics *)
+  x_wall_s : float;
+  x_measured : measured;
+  x_diverged : string option;  (* Some strongest-label when not convergent *)
+}
+
+let exec_example6 ?(scenario = 1) ?(schedule = Core.Scheduler.Best_case)
     ?rv_period ~algorithm spec =
   let { W.Scenarios.db; view; updates } = W.Scenarios.example6 spec in
   let catalog =
@@ -164,39 +251,105 @@ let run_example6 ?(scenario = 1) ?(schedule = Core.Scheduler.Best_case)
   let wall_s = Unix.gettimeofday () -. t0 in
   let m = result.Core.Runner.metrics in
   let report = List.assoc "V" result.Core.Runner.reports in
-  if not report.Core.Consistency.convergent then
-    Printf.printf "!! %s did not converge (%s)\n" algorithm
-      (Core.Consistency.strongest_label report);
-  let measured =
-    {
-      m_messages = Core.Metrics.messages m;
-      m_tuples = m.Core.Metrics.answer_tuples;
-      m_bytes = Core.Metrics.bytes_for ~s:s_bytes m;
-      m_io = m.Core.Metrics.source_io;
-    }
-  in
-  record ~algorithm:(algo_label ?rv_period ~schedule algorithm) ~wall_s
-    measured;
-  measured
+  {
+    x_label = algo_label ?rv_period ~schedule algorithm;
+    x_algorithm = algorithm;
+    x_wall_s = wall_s;
+    x_measured =
+      {
+        m_messages = Core.Metrics.messages m;
+        m_tuples = m.Core.Metrics.answer_tuples;
+        m_bytes = Core.Metrics.bytes_for ~s:s_bytes m;
+        m_io = m.Core.Metrics.source_io;
+      };
+    x_diverged =
+      (if report.Core.Consistency.convergent then None
+       else Some (Core.Consistency.strongest_label report));
+  }
+
+let record_exec r =
+  (match r.x_diverged with
+  | Some label ->
+    Printf.printf "!! %s did not converge (%s)\n" r.x_algorithm label
+  | None -> ());
+  record ~algorithm:r.x_label ~wall_s:r.x_wall_s r.x_measured;
+  r.x_measured
 
 let spec_for ?(c = 100) ?(k = 3) ?(seed = 42) () =
   W.Spec.make ~c ~j:4 ~k_updates:k ~seed ()
 
 (* The four corners of every figure: RV recomputing once / every update,
    ECA under the no-contention / full-contention interleavings. *)
-let corners ?scenario ~c ~k () =
+type corner_key = { ck_scenario : int; ck_c : int; ck_k : int }
+
+let exec_corner { ck_scenario = scenario; ck_c = c; ck_k = k } =
   let spec = spec_for ~c ~k () in
-  let rv_best = run_example6 ?scenario ~algorithm:"rv" ~rv_period:k spec in
-  let rv_worst = run_example6 ?scenario ~algorithm:"rv" ~rv_period:1 spec in
-  let eca_best =
-    run_example6 ?scenario ~schedule:Core.Scheduler.Best_case ~algorithm:"eca"
-      spec
+  [|
+    exec_example6 ~scenario ~algorithm:"rv" ~rv_period:k spec;
+    exec_example6 ~scenario ~algorithm:"rv" ~rv_period:1 spec;
+    exec_example6 ~scenario ~schedule:Core.Scheduler.Best_case
+      ~algorithm:"eca" spec;
+    exec_example6 ~scenario ~schedule:Core.Scheduler.Worst_case
+      ~algorithm:"eca" spec;
+  |]
+
+(* Filled by [prefetch_corners] when the pool is parallel; [corners]
+   falls back to in-place execution on a miss (always, when PAR=1). *)
+let corner_memo : (corner_key, exec_result array) Hashtbl.t =
+  Hashtbl.create 64
+
+let corners ?(scenario = 1) ~c ~k () =
+  let key = { ck_scenario = scenario; ck_c = c; ck_k = k } in
+  let runs =
+    match Hashtbl.find_opt corner_memo key with
+    | Some runs -> runs
+    | None -> exec_corner key
   in
-  let eca_worst =
-    run_example6 ?scenario ~schedule:Core.Scheduler.Worst_case ~algorithm:"eca"
-      spec
-  in
-  (rv_best, rv_worst, eca_best, eca_worst)
+  let m = Array.map record_exec runs in
+  (m.(0), m.(1), m.(2), m.(3))
+
+(* ------------------------------------------------------------------ *)
+(* The corner matrix (shared by the sections and the prefetch)          *)
+(* ------------------------------------------------------------------ *)
+
+(* Every sweep a figure/table section runs, named once so the parallel
+   prefetch and the sequential sections can never drift apart. *)
+let messages_c = 50
+let messages_ks = [ 1; 5; 10; 30 ]
+let fig_6_2_cs = [ 1; 2; 5; 8; 10; 12; 15; 20 ]
+let fig_6_3_ks = [ 1; 15; 30; 45; 60; 90; 120 ]
+let fig_io_ks = [ 1; 3; 5; 7; 9; 11 ]
+let crossover_measured_ks = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+let compensation_ks = [ 3; 15; 30; 60 ]
+
+let corner_matrix () =
+  List.sort_uniq compare
+    (List.map (fun k -> { ck_scenario = 1; ck_c = messages_c; ck_k = k })
+       messages_ks
+    @ List.map (fun c -> { ck_scenario = 1; ck_c = c; ck_k = 3 }) fig_6_2_cs
+    @ List.map (fun k -> { ck_scenario = 1; ck_c = 100; ck_k = k }) fig_6_3_ks
+    @ List.concat_map
+        (fun s ->
+          List.map (fun k -> { ck_scenario = s; ck_c = 100; ck_k = k })
+            fig_io_ks)
+        [ 1; 2 ]
+    @ List.map (fun k -> { ck_scenario = 1; ck_c = 100; ck_k = k })
+        crossover_measured_ks
+    @ List.map (fun k -> { ck_scenario = 1; ck_c = 100; ck_k = k })
+        compensation_ks)
+
+(* Fan the deduplicated corner matrix out over the pool. Sections then
+   consume memo hits in their own (sequential) order, so the emitted runs
+   differ from PAR=1 only in measured wall clock — with the footnote that
+   a corner requested by two sections is executed once here but recorded
+   by both, where the sequential path re-executes it. *)
+let prefetch_corners () =
+  if Parallel.Pool.size pool > 1 then begin
+    let keys = Array.of_list (corner_matrix ()) in
+    let results = Parallel.Pool.map pool exec_corner keys in
+    Array.iteri (fun i runs -> Hashtbl.replace corner_memo keys.(i) runs)
+      results
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -225,13 +378,13 @@ let messages () =
     "ECA" "meas RV_k" "meas RV_1" "meas ECA";
   List.iter
     (fun k ->
-      let rv_best, rv_worst, eca_best, _ = corners ~c:50 ~k () in
+      let rv_best, rv_worst, eca_best, _ = corners ~c:messages_c ~k () in
       Printf.printf "%4d %12d %12d %8d | %10d %10d %10d\n" k
         (CM.Messages.rv ~k ~period:k)
         (CM.Messages.rv ~k ~period:1)
         (CM.Messages.eca ~k) rv_best.m_messages rv_worst.m_messages
         eca_best.m_messages)
-    [ 1; 5; 10; 30 ]
+    messages_ks
 
 (* ------------------------------------------------------------------ *)
 (* Figures                                                             *)
@@ -255,7 +408,7 @@ let fig_6_2_rows () =
         Printf.sprintf "%.0f" (CM.Transfer.eca_worst p);
         string_of_int rv_b.m_bytes; string_of_int rv_w.m_bytes;
         string_of_int eca_b.m_bytes; string_of_int eca_w.m_bytes ])
-    [ 1; 2; 5; 8; 10; 12; 15; 20 ]
+    fig_6_2_cs
 
 let fig_6_3_rows () =
   List.map
@@ -268,7 +421,7 @@ let fig_6_3_rows () =
         Printf.sprintf "%.0f" (CM.Transfer.eca_worst_k params ~k);
         string_of_int rv_b.m_bytes; string_of_int rv_w.m_bytes;
         string_of_int eca_b.m_bytes; string_of_int eca_w.m_bytes ])
-    [ 1; 15; 30; 45; 60; 90; 120 ]
+    fig_6_3_ks
 
 let fig_io_rows ~scenario_id ~scenario () =
   List.map
@@ -283,7 +436,7 @@ let fig_io_rows ~scenario_id ~scenario () =
         Printf.sprintf "%.0f" (CM.Io_model.eca_worst_k scenario params ~k);
         string_of_int rv_b.m_io; string_of_int rv_w.m_io;
         string_of_int eca_b.m_io; string_of_int eca_w.m_io ])
-    [ 1; 3; 5; 7; 9; 11 ]
+    fig_io_ks
 
 let print_rows rows =
   List.iter
@@ -370,7 +523,7 @@ let crossovers () =
     (float_of_int eca.m_io, float_of_int rv.m_io)
   in
   let table =
-    List.map (fun k -> (k, measured_io k)) [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+    List.map (fun k -> (k, measured_io k)) crossover_measured_ks
   in
   (match List.find_opt (fun (_, (eca, rv)) -> eca >= rv) table with
    | Some (k, _) ->
@@ -396,7 +549,7 @@ let ablation_compensation () =
         eca_w.m_bytes
         (eca_w.m_bytes - eca_b.m_bytes)
         analytic)
-    [ 3; 15; 30; 60 ]
+    compensation_ks
 
 let run_keyed ~algorithm ~schedule ?(insert_ratio = 0.5) k =
   let spec = W.Spec.make ~c:100 ~j:4 ~k_updates:k ~insert_ratio ~seed:7 () in
@@ -638,7 +791,10 @@ let ablation_reliability () =
   let spec = spec_for ~c:50 ~k:20 ~seed:11 () in
   let { W.Scenarios.db; view; updates } = W.Scenarios.example6 spec in
   let truth = R.Eval.view (R.Db.apply_all db updates) view in
-  let one ~fault ~reliable label =
+  (* The profile × {raw, reliable} matrix fans out over the pool — every
+     cell is an independent seeded run — and is then recorded/printed
+     sequentially in matrix order, as before. *)
+  let exec_cell (name, fault, reliable) =
     let t0 = Unix.gettimeofday () in
     let result =
       Core.Runner.run
@@ -649,44 +805,47 @@ let ablation_reliability () =
     in
     let wall_s = Unix.gettimeofday () -. t0 in
     let m = result.Core.Runner.metrics in
-    let d = m.Core.Metrics.delivery in
     let ok = R.Bag.equal truth (List.assoc "V" result.Core.Runner.final_mvs) in
-    record ~delivery:d ~algorithm:label ~wall_s
-      {
-        m_messages = Core.Metrics.messages m;
-        m_tuples = m.Core.Metrics.answer_tuples;
-        m_bytes = Core.Metrics.bytes_for ~s:s_bytes m;
-        m_io = m.Core.Metrics.source_io;
-      };
-    (m, d, ok)
+    (name, reliable, wall_s, m, ok)
   in
+  let matrix =
+    List.concat_map
+      (fun (name, fault) ->
+        List.map (fun reliable -> (name, fault, reliable)) [ false; true ])
+      W.Scenarios.fault_profiles
+  in
+  let cells = Parallel.Pool.map pool exec_cell (Array.of_list matrix) in
   Printf.printf "%-12s %-9s %8s %8s %10s %6s %6s %6s %6s %9s %8s\n" "profile"
     "channel" "logical" "wire" "wire bytes" "retx" "dups" "acks" "ticks"
     "overhead" "correct";
   let baseline = ref 0 in
-  List.iter
-    (fun (name, fault) ->
-      List.iter
-        (fun reliable ->
-          let label =
-            Printf.sprintf "eca[%s/%s]" name
-              (if reliable then "reliable" else "raw")
-          in
-          let m, d, ok = one ~fault ~reliable label in
-          if name = "clean" && not reliable then
-            baseline := d.Core.Metrics.wire_bytes;
-          Printf.printf "%-12s %-9s %8d %8d %10d %6d %6d %6d %6d %8.2fx %8s\n"
-            name
-            (if reliable then "reliable" else "raw")
-            (Core.Metrics.messages m)
-            d.Core.Metrics.wire_messages d.Core.Metrics.wire_bytes
-            d.Core.Metrics.retransmits d.Core.Metrics.dups_dropped
-            d.Core.Metrics.acks d.Core.Metrics.ticks
-            (float_of_int d.Core.Metrics.wire_bytes
-            /. float_of_int (max 1 !baseline))
-            (if ok then "yes" else "NO"))
-        [ false; true ])
-    W.Scenarios.fault_profiles
+  Array.iter
+    (fun (name, reliable, wall_s, m, ok) ->
+      let d = m.Core.Metrics.delivery in
+      let label =
+        Printf.sprintf "eca[%s/%s]" name
+          (if reliable then "reliable" else "raw")
+      in
+      record ~delivery:d ~algorithm:label ~wall_s
+        {
+          m_messages = Core.Metrics.messages m;
+          m_tuples = m.Core.Metrics.answer_tuples;
+          m_bytes = Core.Metrics.bytes_for ~s:s_bytes m;
+          m_io = m.Core.Metrics.source_io;
+        };
+      if name = "clean" && not reliable then
+        baseline := d.Core.Metrics.wire_bytes;
+      Printf.printf "%-12s %-9s %8d %8d %10d %6d %6d %6d %6d %8.2fx %8s\n"
+        name
+        (if reliable then "reliable" else "raw")
+        (Core.Metrics.messages m)
+        d.Core.Metrics.wire_messages d.Core.Metrics.wire_bytes
+        d.Core.Metrics.retransmits d.Core.Metrics.dups_dropped
+        d.Core.Metrics.acks d.Core.Metrics.ticks
+        (float_of_int d.Core.Metrics.wire_bytes
+        /. float_of_int (max 1 !baseline))
+        (if ok then "yes" else "NO"))
+    cells
 
 let ablation_compound_views () =
   header "Extension: union/difference views (Section 7; k=30, worst case)";
@@ -770,21 +929,23 @@ let bechamel_section () =
     ]
   in
   (* One Test.make per regenerated artifact: times one representative
-     measured data point of each table/figure. *)
+     measured data point of each table/figure. These go through
+     [exec_corner] directly — never the memo (which would time a table
+     lookup) and never [record_exec] (Bechamel iterations must not leak
+     into the runs array; iteration counts are time-adaptive and would
+     make the emitted JSON nondeterministic). *)
+  let corner_point scenario c k () =
+    ignore (exec_corner { ck_scenario = scenario; ck_c = c; ck_k = k })
+  in
   let figure_tests =
     [
       Test.make ~name:"table1"
         (Staged.stage (fun () -> ignore (W.Scenarios.example6 (spec_for ()))));
-      Test.make ~name:"sec6.1-messages"
-        (Staged.stage (fun () -> ignore (corners ~c:50 ~k:5 ())));
-      Test.make ~name:"fig6.2-point"
-        (Staged.stage (fun () -> ignore (corners ~c:10 ~k:3 ())));
-      Test.make ~name:"fig6.3-point"
-        (Staged.stage (fun () -> ignore (corners ~c:100 ~k:15 ())));
-      Test.make ~name:"fig6.4-point"
-        (Staged.stage (fun () -> ignore (corners ~scenario:1 ~c:100 ~k:5 ())));
-      Test.make ~name:"fig6.5-point"
-        (Staged.stage (fun () -> ignore (corners ~scenario:2 ~c:100 ~k:5 ())));
+      Test.make ~name:"sec6.1-messages" (Staged.stage (corner_point 1 50 5));
+      Test.make ~name:"fig6.2-point" (Staged.stage (corner_point 1 10 3));
+      Test.make ~name:"fig6.3-point" (Staged.stage (corner_point 1 100 15));
+      Test.make ~name:"fig6.4-point" (Staged.stage (corner_point 1 100 5));
+      Test.make ~name:"fig6.5-point" (Staged.stage (corner_point 2 100 5));
     ]
   in
   let groups =
@@ -826,6 +987,9 @@ let () =
    | _ -> ());
   let quick = Array.exists (String.equal "quick") Sys.argv in
   let t_start = Unix.gettimeofday () in
+  Printf.printf "workers: %d%s\n" workers
+    (if workers = 1 then " (sequential)" else "");
+  prefetch_corners ();
   table1 ();
   messages ();
   figure_6_2 ();
@@ -846,9 +1010,10 @@ let () =
   ablation_reliability ();
   ablation_compound_views ();
   if not quick then bechamel_section ();
+  Parallel.Pool.shutdown pool;
   let total_wall_s = Unix.gettimeofday () -. t_start in
   let path = "BENCH_results.json" in
   write_json ~path ~mode:(if quick then "quick" else "full") ~total_wall_s;
-  Printf.printf "\nwrote %d runs to %s (total_wall_clock_s %.3f)\n"
-    (List.length !json_runs) path total_wall_s;
+  Printf.printf "\nwrote %d runs to %s (total_wall_clock_s %.3f, workers %d)\n"
+    (List.length !json_runs) path total_wall_s workers;
   print_newline ()

@@ -1,0 +1,148 @@
+(* Fixed-size domain pool: a mutex-protected job queue drained by
+   [workers - 1] persistent domains plus the caller of [map]. Plain
+   stdlib concurrency (Domain / Mutex / Condition / Atomic) — no
+   dependencies beyond what OCaml 5 ships. *)
+
+type t = {
+  workers : int;
+  mutex : Mutex.t;          (* guards [queue] and [stop] *)
+  nonempty : Condition.t;   (* signalled on push and on shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let parse_workers s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Some n
+  | Some _ | None -> None
+
+let default_workers () =
+  match Sys.getenv_opt "PAR" with
+  | Some s -> (
+    match parse_workers s with
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Block until a job or shutdown; [None] means the pool is stopping and
+   the queue is drained, so the worker can exit. *)
+let next_job pool =
+  Mutex.lock pool.mutex;
+  let rec wait () =
+    if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+    else if pool.stop then None
+    else begin
+      Condition.wait pool.nonempty pool.mutex;
+      wait ()
+    end
+  in
+  let job = wait () in
+  Mutex.unlock pool.mutex;
+  job
+
+let rec worker_loop pool =
+  match next_job pool with
+  | Some job ->
+    job ();
+    worker_loop pool
+  | None -> ()
+
+let create ?workers () =
+  let workers =
+    max 1 (match workers with Some n -> n | None -> default_workers ())
+  in
+  let pool =
+    {
+      workers;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      domains = [];
+    }
+  in
+  pool.domains <-
+    List.init (workers - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = pool.workers
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let with_pool ?workers f =
+  let pool = create ?workers () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* A non-blocking pop for the caller, which must not sleep on [nonempty]
+   (it would steal a wakeup a worker needs, and it has its own completion
+   condition to wait on instead). *)
+let try_job pool =
+  Mutex.lock pool.mutex;
+  let job =
+    if Queue.is_empty pool.queue then None else Some (Queue.pop pool.queue)
+  in
+  Mutex.unlock pool.mutex;
+  job
+
+let map (type b) pool f input =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else if pool.workers <= 1 then Array.map f input
+  else begin
+    let results : b option array = Array.make n None in
+    let errors : exn option array = Array.make n None in
+    (* Completion is its own monitor: [remaining] is only touched under
+       [done_mutex], so the final decrement and the caller's wait cannot
+       miss each other. Results/errors slots are each written by exactly
+       one job before that decrement and read by the caller after the
+       wait — the two mutex edges order them correctly. *)
+    let remaining = ref n in
+    let done_mutex = Mutex.create () in
+    let done_cond = Condition.create () in
+    let job i () =
+      (match f input.(i) with
+      | v -> results.(i) <- Some v
+      | exception e -> errors.(i) <- Some e);
+      Mutex.lock done_mutex;
+      remaining := !remaining - 1;
+      if !remaining = 0 then Condition.broadcast done_cond;
+      Mutex.unlock done_mutex
+    in
+    Mutex.lock pool.mutex;
+    for i = 0 to n - 1 do
+      Queue.push (job i) pool.queue
+    done;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.mutex;
+    (* The caller is the pool's n-th lane: help drain the queue, then
+       wait for the stragglers running on other domains. *)
+    let rec help () =
+      match try_job pool with
+      | Some job ->
+        job ();
+        help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock done_mutex;
+    while !remaining > 0 do
+      Condition.wait done_cond done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map
+      (function
+        | Some v -> v
+        | None -> invalid_arg "Pool.map: missing result")
+      results
+  end
+
+let map_list pool f xs =
+  Array.to_list (map pool f (Array.of_list xs))

@@ -1,0 +1,53 @@
+(** A fixed-size pool of worker domains for embarrassingly parallel maps.
+
+    The evaluation matrix (bench figures, ablation grids, seed sweeps) is
+    made of fully independent simulator runs; this pool fans them out over
+    OCaml 5 domains while keeping the results array in input order, so the
+    callers' emitted artifacts stay identical to a sequential run.
+
+    Concurrency model: [create ~workers:n] spawns [n - 1] persistent
+    worker domains; the caller of {!map} acts as the n-th worker, so
+    [workers = 1] spawns no domains at all and runs jobs in submission
+    order on the calling domain — exactly the sequential path. Work items
+    must not depend on each other, and {!map} must not be called from
+    inside a work item (the pool is a flat queue, not a fork-join tree;
+    nesting can deadlock when every worker blocks on a child map). *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** [create ~workers ()] builds a pool of [workers] total lanes
+    ([workers - 1] spawned domains plus the caller during {!map}).
+    [workers] defaults to {!default_workers}; values below 1 are clamped
+    to 1. *)
+
+val size : t -> int
+(** Total parallelism of the pool (the [workers] it was created with). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f input] applies [f] to every element, possibly on several
+    domains, and returns the results {e in input order}. If one or more
+    applications raise, the exception of the lowest-index failing element
+    is re-raised in the caller once all items have settled — the same
+    exception a sequential left-to-right map would have surfaced.
+    [f] runs without any pool-level locking: it must be domain-safe. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists, preserving order. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent. The pool must be idle
+    (no {!map} in flight). *)
+
+val with_pool : ?workers:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards
+    even if [f] raises. *)
+
+val parse_workers : string -> int option
+(** Parse a [PAR]-style knob: a positive decimal integer. Returns [None]
+    on anything else (empty, garbage, zero, negative). *)
+
+val default_workers : unit -> int
+(** The [PAR] environment variable when set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. [PAR=1] therefore
+    forces the sequential path everywhere a pool defaults its size. *)

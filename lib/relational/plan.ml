@@ -207,23 +207,102 @@ end
 
 module Cache = Hashtbl.Make (Key)
 
-let cache : t Cache.t = Cache.create 64
-
 (* Distinct skeletons are per *view shape*, not per update, so the cache
    stays tiny in practice. The bound is a safety valve for adversarial
    long-running processes that keep minting fresh view shapes. *)
 let max_cached_plans = 1024
 
+(* The cache is domain-local (Domain.DLS): each domain compiles into and
+   hits its own table, so concurrent simulator runs on a domain pool
+   never contend on — or corrupt — shared Hashtbl state. The price is
+   one compilation per skeleton per domain that evaluates it, which is
+   negligible next to the evaluations the plan amortizes. Counters are
+   atomics registered in a global list so [cache_stats] can aggregate
+   across domains without tearing; slots of finished domains stay in the
+   registry, keeping the totals cumulative for the whole process. *)
+type slot = {
+  table : t Cache.t;
+  live : int Atomic.t;       (* mirrors Cache.length, readable cross-domain *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;     (* = compilations through the cache *)
+  evictions : int Atomic.t;  (* whole-table resets from the size bound *)
+}
+
+let slots : slot list ref = ref []
+let slots_mutex = Mutex.create ()
+
+let slot_key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          table = Cache.create 64;
+          live = Atomic.make 0;
+          hits = Atomic.make 0;
+          misses = Atomic.make 0;
+          evictions = Atomic.make 0;
+        }
+      in
+      Mutex.lock slots_mutex;
+      slots := s :: !slots;
+      Mutex.unlock slots_mutex;
+      s)
+
 let of_term (t : Term.t) =
+  let s = Domain.DLS.get slot_key in
   let key = Key.of_term t in
-  match Cache.find_opt cache key with
-  | Some plan -> plan
+  match Cache.find_opt s.table key with
+  | Some plan ->
+    Atomic.incr s.hits;
+    plan
   | None ->
     let plan = compile t in
-    if Cache.length cache >= max_cached_plans then Cache.reset cache;
-    Cache.add cache key plan;
+    Atomic.incr s.misses;
+    if Cache.length s.table >= max_cached_plans then begin
+      Cache.reset s.table;
+      Atomic.set s.live 0;
+      Atomic.incr s.evictions
+    end;
+    Cache.add s.table key plan;
+    Atomic.incr s.live;
     plan
 
-let cache_stats () = Cache.length cache
+type stats = {
+  domains : int;
+  plans : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
 
-let clear_cache () = Cache.reset cache
+let stats_of_slot s =
+  {
+    domains = 1;
+    plans = Atomic.get s.live;
+    hits = Atomic.get s.hits;
+    misses = Atomic.get s.misses;
+    evictions = Atomic.get s.evictions;
+  }
+
+let per_domain_stats () =
+  Mutex.lock slots_mutex;
+  let ss = !slots in
+  Mutex.unlock slots_mutex;
+  List.rev_map stats_of_slot ss
+
+let cache_stats () =
+  List.fold_left
+    (fun acc s ->
+      {
+        domains = acc.domains + s.domains;
+        plans = acc.plans + s.plans;
+        hits = acc.hits + s.hits;
+        misses = acc.misses + s.misses;
+        evictions = acc.evictions + s.evictions;
+      })
+    { domains = 0; plans = 0; hits = 0; misses = 0; evictions = 0 }
+    (per_domain_stats ())
+
+let clear_cache () =
+  let s = Domain.DLS.get slot_key in
+  Cache.reset s.table;
+  Atomic.set s.live 0

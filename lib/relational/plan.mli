@@ -56,9 +56,32 @@ val compile : Term.t -> t
 (** Compile without consulting the cache. *)
 
 val of_term : Term.t -> t
-(** Cached compilation keyed by the term skeleton. *)
+(** Cached compilation keyed by the term skeleton. The cache is
+    domain-local ([Domain.DLS]): each domain owns a private table with
+    the same bound and eviction policy, so concurrent callers on
+    different domains never share mutable state. *)
 
-val cache_stats : unit -> int
-(** Number of cached plans (distinct term skeletons seen). *)
+(** Aggregated cache counters. [domains] counts every domain that has
+    touched the cache during the process (slots persist after a domain
+    finishes, so totals are cumulative); [plans] is the live cached-plan
+    count, [misses] the compilations that went through the cache. All
+    counters are atomics — reading them concurrently with cache traffic
+    on other domains cannot tear. *)
+type stats = {
+  domains : int;
+  plans : int;
+  hits : int;
+  misses : int;
+  evictions : int;  (** whole-table resets from the size bound *)
+}
+
+val cache_stats : unit -> stats
+(** Totals summed over every domain's cache. *)
+
+val per_domain_stats : unit -> stats list
+(** One entry per domain that has used the cache (each with
+    [domains = 1]), in domain-creation order. *)
 
 val clear_cache : unit -> unit
+(** Reset the {e calling} domain's cache (other domains' tables are
+    theirs alone). Counters other than [plans] are left cumulative. *)

@@ -3,36 +3,57 @@
 #
 # Usage: perf_guard.sh BASELINE_JSON CURRENT_JSON
 #
-# Compares the "total_wall_clock_s" field of two BENCH_results.json files
-# (schema in EXPERIMENTS.md) and fails when the current run is more than
-# 2x slower than the committed baseline. Machine noise on loaded CI boxes
-# is real, so the threshold is deliberately loose: it catches algorithmic
-# regressions (accidental quadratic loops, lost caching), not jitter.
+# Compares the "sum_run_wall_clock_s" field of two BENCH_results.json
+# files (schema 3, see EXPERIMENTS.md) and fails when the current run is
+# more than 2x slower than the committed baseline. The summed per-run
+# wall clock is compared — not the process total — because it measures
+# the work done and is invariant under the PAR worker count, whereas
+# total_wall_clock_s shrinks with parallel fan-out. Machine noise on
+# loaded CI boxes is real, so the threshold is deliberately loose: it
+# catches algorithmic regressions (accidental quadratic loops, lost
+# caching), not jitter.
 set -eu
 
 baseline_file=$1
 current_file=$2
 
 extract() {
-  # The writer emits the field on its own line: "total_wall_clock_s": 1.234,
-  # [|| true] so a missing field reaches the explicit check below instead of
-  # tripping set -e inside the pipeline.
-  grep -o '"total_wall_clock_s": *[0-9.]*' "$1" 2>/dev/null \
+  # The writer emits each field on its own line: "field": 1.234,
+  # [|| true] so a missing field reaches the explicit check below instead
+  # of tripping set -e inside the pipeline.
+  grep -o "\"$2\": *[0-9.]*" "$1" 2>/dev/null \
     | grep -o '[0-9.]*$' || true
 }
 
-baseline=$(extract "$baseline_file")
-current=$(extract "$current_file")
+schema_baseline=$(extract "$baseline_file" schema_version)
+schema_current=$(extract "$current_file" schema_version)
+
+if [ -z "$schema_baseline" ] || [ -z "$schema_current" ]; then
+  echo "perf_guard: could not read schema_version from both files" >&2
+  exit 2
+fi
+
+if [ "$schema_baseline" != "$schema_current" ]; then
+  echo "perf_guard: schema mismatch — baseline is schema $schema_baseline," \
+    "current is schema $schema_current." >&2
+  echo "perf_guard: regenerate the committed baseline with the current" \
+    "bench (dune exec bench/main.exe -- quick) before comparing." >&2
+  exit 2
+fi
+
+baseline=$(extract "$baseline_file" sum_run_wall_clock_s)
+current=$(extract "$current_file" sum_run_wall_clock_s)
 
 if [ -z "$baseline" ] || [ -z "$current" ]; then
-  echo "perf_guard: could not read total_wall_clock_s" >&2
+  echo "perf_guard: could not read sum_run_wall_clock_s (schema >= 3" \
+    "required; found schema $schema_current)" >&2
   exit 2
 fi
 
 # ratio check in awk (POSIX sh has no float arithmetic)
 awk -v b="$baseline" -v c="$current" 'BEGIN {
   ratio = c / b;
-  printf "perf_guard: baseline %.3fs, current %.3fs (%.2fx)\n", b, c, ratio;
+  printf "perf_guard: baseline %.3fs, current %.3fs (%.2fx, summed per-run wall clock)\n", b, c, ratio;
   if (ratio > 2.0) {
     printf "perf_guard: FAIL — quick bench regressed more than 2x\n";
     exit 1;

@@ -84,3 +84,14 @@ let check_bool = Alcotest.(check bool)
 
 (* Deterministic RNG for property generators that need raw randomness. *)
 let rng seed = Random.State.make [| seed |]
+
+(* Shared domain pool for the seed-sweep suites (the 40-seed chaos
+   matrices in test_faults/test_reliable). Sized by PAR (PAR=1 = the
+   sequential path, no domains spawned); created on first use so suites
+   that never sweep pay nothing. [par_map] preserves input order and
+   re-raises the first failure, so Alcotest checks may run inside the
+   mapped function — but prefer returning data and checking sequentially
+   when the check message depends on accumulated state. *)
+let pool = lazy (Parallel.Pool.create ())
+
+let par_map f xs = Parallel.Pool.map_list (Lazy.force pool) f xs

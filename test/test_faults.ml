@@ -22,25 +22,28 @@ let run_with ?unordered_delivery ~algorithm ~seed () =
   let truth = R.Eval.view (R.Db.apply_all db updates) view in
   R.Bag.equal truth (List.assoc "V" result.Core.Runner.final_mvs)
 
+(* The 40-seed sweeps fan out over the shared domain pool (Helpers.par_map,
+   sized by PAR); results come back in seed order, so pass/fail sets and
+   messages are identical to the sequential sweep. *)
 let eca_breaks_without_fifo () =
   (* some seed among these must expose the violation *)
   let seeds = List.init 40 (fun i -> i) in
   let broken =
-    List.exists
-      (fun seed ->
-        not (run_with ~unordered_delivery:(seed * 7) ~algorithm:"eca" ~seed ()))
-      seeds
+    List.exists not
+      (par_map
+         (fun seed ->
+           run_with ~unordered_delivery:(seed * 7) ~algorithm:"eca" ~seed ())
+         seeds)
   in
   check_bool "out-of-order delivery breaks ECA somewhere" true broken
 
 let eca_fine_with_fifo_same_streams () =
   List.iter
-    (fun seed ->
-      check_bool
-        (Printf.sprintf "fifo seed %d" seed)
-        true
-        (run_with ~algorithm:"eca" ~seed ()))
-    (List.init 40 (fun i -> i))
+    (fun (seed, ok) ->
+      check_bool (Printf.sprintf "fifo seed %d" seed) true ok)
+    (par_map
+       (fun seed -> (seed, run_with ~algorithm:"eca" ~seed ()))
+       (List.init 40 (fun i -> i)))
 
 let rv_tolerates_reordering_less_catastrophically () =
   (* one-shot RV's final answer replaces the whole view, so it survives
@@ -51,10 +54,13 @@ let rv_tolerates_reordering_less_catastrophically () =
      [eca_breaks_without_fifo]'s sweep). The breaking-seed set is
      deterministic: seeded reordering, seeded schedule. *)
   let breaking =
-    List.filter
-      (fun seed ->
-        not (run_with ~unordered_delivery:(seed * 13) ~algorithm:"rv" ~seed ()))
-      (List.init 40 (fun i -> i))
+    List.filter_map
+      (fun (seed, ok) -> if ok then None else Some seed)
+      (par_map
+         (fun seed ->
+           ( seed,
+             run_with ~unordered_delivery:(seed * 13) ~algorithm:"rv" ~seed () ))
+         (List.init 40 (fun i -> i)))
   in
   Alcotest.(check (list int))
     "reordering breaks RV exactly at seed 27" [ 27 ] breaking

@@ -62,13 +62,14 @@ let exactly_once_fifo ~fault ~seed ~n =
   check_bool "transport idle once drained" true (M.Network.idle net)
 
 let every_profile_delivers_exactly_once () =
-  List.iter
-    (fun (name, fault) ->
-      List.iter
-        (fun seed -> exactly_once_fifo ~fault ~seed ~n:12)
-        [ 0; 1; 7; 42 ];
-      ignore name)
-    Workload.Scenarios.fault_profiles
+  (* profile × seed cells are independent; fan the matrix over the pool
+     (failures propagate from Helpers.par_map in matrix order). *)
+  ignore
+    (par_map
+       (fun ((_name, fault), seed) -> exactly_once_fifo ~fault ~seed ~n:12)
+       (List.concat_map
+          (fun profile -> List.map (fun seed -> (profile, seed)) [ 0; 1; 7; 42 ])
+          Workload.Scenarios.fault_profiles))
 
 let duplicates_are_dropped () =
   let fault = M.Fault.make ~duplicate:1.0 () in
@@ -155,11 +156,18 @@ let seeds = List.init 40 (fun i -> i)
 let family_correct_over_reliable_chaos () =
   List.iter
     (fun (algorithm, runner) ->
+      (* the 40-seed sweep runs on the domain pool; checks and counter
+         accumulation stay sequential, in seed order *)
+      let swept =
+        par_map
+          (fun seed ->
+            let ok, (result : Core.Runner.result) = runner ~algorithm ~seed in
+            (seed, ok, result.Core.Runner.metrics.Core.Metrics.delivery))
+          seeds
+      in
       let retransmits = ref 0 and dups = ref 0 and dropped = ref 0 in
       List.iter
-        (fun seed ->
-          let ok, (result : Core.Runner.result) = runner ~algorithm ~seed in
-          let d = result.Core.Runner.metrics.Core.Metrics.delivery in
+        (fun (seed, ok, d) ->
           retransmits := !retransmits + d.Core.Metrics.retransmits;
           dups := !dups + d.Core.Metrics.dups_dropped;
           dropped := !dropped + d.Core.Metrics.msgs_dropped;
@@ -167,7 +175,7 @@ let family_correct_over_reliable_chaos () =
             (Printf.sprintf "%s over reliable+chaos matches oracle (seed %d)"
                algorithm seed)
             true ok)
-        seeds;
+        swept;
       (* The faults must actually have fired, or the 40 passes above
          prove nothing. *)
       check_bool (algorithm ^ ": losses occurred") true (!dropped > 0);
@@ -188,10 +196,10 @@ let family_correct_over_reliable_chaos () =
 
 let chaos_without_reliable_still_breaks_eca () =
   let broken =
-    List.exists
-      (fun seed ->
-        not (fst (run_example6 ~fault:chaos ~algorithm:"eca" ~seed ())))
-      seeds
+    List.exists not
+      (par_map
+         (fun seed -> fst (run_example6 ~fault:chaos ~algorithm:"eca" ~seed ()))
+         seeds)
   in
   check_bool "raw chaos channels break ECA somewhere" true broken
 
