@@ -25,8 +25,10 @@ bench-par:
 	./_build/default/bench/main.exe $${PAR:+--par=$$PAR}
 
 # One-stop pre-commit gate: build everything, run the test suite (plus
-# the fault-injection/reliability suites explicitly, so a filtered or
-# cached runtest can never silently skip them), check that the parallel
+# the fault-injection/reliability suites, the golden-trace equivalence
+# check pinning Runner/Federation to the engine byte-for-byte, and the
+# engine suite, all explicitly, so a filtered or cached runtest can
+# never silently skip them), check that the parallel
 # bench is deterministic (PAR=1 and PAR=4 emit identical runs arrays),
 # run the quick benchmark, and fail if its summed per-run wall clock
 # regressed more than 2x against the committed BENCH_results.json
@@ -37,6 +39,8 @@ smoke:
 	dune runtest
 	dune exec test/main.exe -- test faults
 	dune exec test/main.exe -- test reliable
+	dune exec test/main.exe -- test golden
+	dune exec test/main.exe -- test engine
 	dune build bench/main.exe
 	sh scripts/check_determinism.sh ./_build/default/bench/main.exe 4
 	@if [ -f BENCH_results.json ]; then \

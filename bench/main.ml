@@ -71,6 +71,9 @@ type json_run = {
   (* transport-level delivery stats; Some only for runs over faulty
      channels / the reliable sublayer (the reliability ablation) *)
   r_delivery : Core.Metrics.delivery option;
+  (* per-edge breakdown of the same counters, one entry per source site;
+     non-empty only for federated runs (schema v4) *)
+  r_site_delivery : (string * Core.Metrics.delivery) list;
 }
 
 let json_runs : json_run list ref = ref []
@@ -81,8 +84,8 @@ let header title =
   Printf.printf "\n================ %s ================\n" title
 
 let schedule_label = function
-  | Core.Scheduler.Best_case -> "[best]"
-  | Core.Scheduler.Worst_case -> "[worst]"
+  | Core.Scheduler.Best_case | Core.Scheduler.Drain_first -> "[best]"
+  | Core.Scheduler.Worst_case | Core.Scheduler.Updates_first -> "[worst]"
   | Core.Scheduler.Round_robin -> "[rr]"
   | Core.Scheduler.Random seed -> Printf.sprintf "[rand=%d]" seed
   | Core.Scheduler.Explicit _ -> "[explicit]"
@@ -158,7 +161,7 @@ let write_json ~path ~mode ~total_wall_s =
         List.fold_left (fun acc r -> acc +. r.r_wall_s) 0.0 !json_runs
       in
       Printf.fprintf oc "{\n";
-      Printf.fprintf oc "  \"schema_version\": 3,\n";
+      Printf.fprintf oc "  \"schema_version\": 4,\n";
       Printf.fprintf oc "  \"mode\": \"%s\",\n" (json_escape mode);
       Printf.fprintf oc "  \"workers\": %d,\n" workers;
       Printf.fprintf oc "  \"total_wall_clock_s\": %.3f,\n" total_wall_s;
@@ -179,19 +182,36 @@ let write_json ~path ~mode ~total_wall_s =
             "\"wall_clock_s\": %.6f, \"messages\": %d, \"answer_tuples\": %d, \
              \"bytes\": %d, \"source_io\": %d"
             r.r_wall_s r.r_messages r.r_tuples r.r_bytes r.r_io;
+          let delivery_fields d =
+            Printf.fprintf oc
+              "{ \"ticks\": %d, \"retransmits\": %d, \
+               \"dups_dropped\": %d, \"acks\": %d, \"msgs_dropped\": %d, \
+               \"msgs_duplicated\": %d, \"delivered\": %d, \
+               \"wire_messages\": %d, \"wire_bytes\": %d }"
+              d.Core.Metrics.ticks d.Core.Metrics.retransmits
+              d.Core.Metrics.dups_dropped d.Core.Metrics.acks
+              d.Core.Metrics.msgs_dropped d.Core.Metrics.msgs_duplicated
+              d.Core.Metrics.delivered d.Core.Metrics.wire_messages
+              d.Core.Metrics.wire_bytes
+          in
           (match r.r_delivery with
            | None -> ()
            | Some d ->
-             Printf.fprintf oc
-               ", \"delivery\": { \"ticks\": %d, \"retransmits\": %d, \
-                \"dups_dropped\": %d, \"acks\": %d, \"msgs_dropped\": %d, \
-                \"msgs_duplicated\": %d, \"delivered\": %d, \
-                \"wire_messages\": %d, \"wire_bytes\": %d }"
-               d.Core.Metrics.ticks d.Core.Metrics.retransmits
-               d.Core.Metrics.dups_dropped d.Core.Metrics.acks
-               d.Core.Metrics.msgs_dropped d.Core.Metrics.msgs_duplicated
-               d.Core.Metrics.delivered d.Core.Metrics.wire_messages
-               d.Core.Metrics.wire_bytes);
+             Printf.fprintf oc ", \"delivery\": ";
+             delivery_fields d);
+          (match r.r_site_delivery with
+           | [] -> ()
+           | sites ->
+             Printf.fprintf oc ", \"site_delivery\": [";
+             List.iteri
+               (fun j (site, d) ->
+                 Printf.fprintf oc "%s{ \"site\": \"%s\", \"delivery\": "
+                   (if j = 0 then "" else ", ")
+                   (json_escape site);
+                 delivery_fields d;
+                 Printf.fprintf oc " }")
+               sites;
+             Printf.fprintf oc "]");
           Printf.fprintf oc " }")
         (List.rev !json_runs);
       Printf.fprintf oc "\n  ]\n}\n")
@@ -207,7 +227,7 @@ type measured = {
   m_io : int;
 }
 
-let record ?delivery ~algorithm ~wall_s m =
+let record ?delivery ?(site_delivery = []) ~algorithm ~wall_s m =
   json_runs :=
     {
       r_figure = !current_section;
@@ -218,6 +238,7 @@ let record ?delivery ~algorithm ~wall_s m =
       r_bytes = m.m_bytes;
       r_io = m.m_io;
       r_delivery = delivery;
+      r_site_delivery = site_delivery;
     }
     :: !json_runs
 
@@ -899,6 +920,121 @@ let ablation_compound_views () =
     [ ("union", vd_union); ("difference", vd_diff) ]
 
 (* ------------------------------------------------------------------ *)
+(* Federation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Three independent copies of the Example-6 scenario, relations renamed
+   apart so each source owns a disjoint schema, update streams interleaved
+   round-robin — "ECA applied to each view separately" (Section 7) over
+   the site-graph engine, crossed with scheduling policies and with
+   chaos-profile edges raw/reliable. *)
+
+let fed_prefix_schema p (s : R.Schema.t) =
+  R.Schema.make ~key:s.R.Schema.key (p ^ s.R.Schema.name) s.R.Schema.columns
+
+let fed_prefix_db p db =
+  List.fold_left
+    (fun acc rel ->
+      R.Db.add_relation ~contents:(R.Db.contents db rel) acc
+        (fed_prefix_schema p (R.Db.schema db rel)))
+    R.Db.empty (R.Db.relation_names db)
+
+let fed_view p =
+  R.View.natural_join
+    ~name:(p ^ "V")
+    ~extra_cond:
+      (R.Predicate.Cmp
+         ( R.Predicate.Gt,
+           R.Predicate.Col (R.Attr.qualified (p ^ "r1") "W"),
+           R.Predicate.Col (R.Attr.qualified (p ^ "r3") "Z") ))
+    ~proj:[ R.Attr.qualified (p ^ "r1") "W"; R.Attr.qualified (p ^ "r3") "Z" ]
+    (List.map (fed_prefix_schema p) W.Generator.chain_schemas)
+
+let rec fed_interleave lists =
+  match List.filter (fun l -> l <> []) lists with
+  | [] -> []
+  | ls -> List.map List.hd ls @ fed_interleave (List.map List.tl ls)
+
+let fed_workload () =
+  let mk i p =
+    let spec = W.Spec.make ~c:30 ~j:3 ~k_updates:10 ~insert_ratio:0.5
+        ~seed:(40 + i) ()
+    in
+    let { W.Scenarios.db; view = _; updates } = W.Scenarios.example6 spec in
+    ( fed_prefix_db p db,
+      fed_view p,
+      List.map
+        (fun (u : R.Update.t) -> { u with R.Update.rel = p ^ u.R.Update.rel })
+        updates )
+  in
+  let parts = List.mapi mk [ "a_"; "b_"; "c_" ] in
+  ( List.mapi (fun i (db, _, _) -> (Printf.sprintf "s%d" i, None, db)) parts,
+    List.map (fun (_, v, _) -> v) parts,
+    fed_interleave (List.map (fun (_, _, us) -> us) parts) )
+
+let bench_federation () =
+  header "Federation: ECA per view over 3 sources (Section 7; k=3x10)";
+  let sources, views, updates = fed_workload () in
+  let exec_cell (label, policy, fault, reliable) =
+    let t0 = Unix.gettimeofday () in
+    let result =
+      Core.Federation.run ~policy ?fault ~fault_seed:17 ~reliable
+        ~creator:(Core.Registry.creator_exn "eca")
+        ~sources ~views ~updates ()
+    in
+    (label, Unix.gettimeofday () -. t0, result)
+  in
+  let matrix =
+    [
+      ("eca[fed/drain]", Core.Scheduler.Drain_first, None, false);
+      ("eca[fed/updates-first]", Core.Scheduler.Updates_first, None, false);
+      ("eca[fed/rr]", Core.Scheduler.Round_robin, None, false);
+      ("eca[fed/rand=11]", Core.Scheduler.Random 11, None, false);
+      ( "eca[fed/chaos/raw]",
+        Core.Scheduler.Random 11,
+        Some W.Scenarios.chaos_profile,
+        false );
+      ( "eca[fed/chaos/reliable]",
+        Core.Scheduler.Random 11,
+        Some W.Scenarios.chaos_profile,
+        true );
+    ]
+  in
+  (* Cells are independent runs over value-copied inputs: fan them out,
+     record in matrix order (same discipline as the reliability matrix). *)
+  let cells = Parallel.Pool.map pool exec_cell (Array.of_list matrix) in
+  Printf.printf "%-24s %8s %8s %8s %10s %6s %9s %s\n" "cell" "messages"
+    "tuples" "IO" "wire msgs" "retx" "strong/3" "per-edge wire msgs";
+  Array.iter
+    (fun (label, wall_s, (result : Core.Federation.result)) ->
+      let m = result.Core.Federation.metrics in
+      let d = m.Core.Metrics.delivery in
+      record ~delivery:d ~site_delivery:m.Core.Metrics.site_delivery
+        ~algorithm:label ~wall_s
+        {
+          m_messages = Core.Metrics.messages m;
+          m_tuples = m.Core.Metrics.answer_tuples;
+          m_bytes = Core.Metrics.bytes_for ~s:s_bytes m;
+          m_io = m.Core.Metrics.source_io;
+        };
+      let strong =
+        List.length
+          (List.filter
+             (fun (_, r) -> r.Core.Consistency.strongly_consistent)
+             result.Core.Federation.reports)
+      in
+      Printf.printf "%-24s %8d %8d %8d %10d %6d %8d/3 %s\n" label
+        (Core.Metrics.messages m)
+        m.Core.Metrics.answer_tuples m.Core.Metrics.source_io
+        d.Core.Metrics.wire_messages d.Core.Metrics.retransmits strong
+        (String.concat " "
+           (List.map
+              (fun (site, sd) ->
+                Printf.sprintf "%s:%d" site sd.Core.Metrics.wire_messages)
+              m.Core.Metrics.site_delivery)))
+    cells
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1009,6 +1145,7 @@ let () =
   ablation_skew ();
   ablation_reliability ();
   ablation_compound_views ();
+  bench_federation ();
   if not quick then bechamel_section ();
   Parallel.Pool.shutdown pool;
   let total_wall_s = Unix.gettimeofday () -. t_start in

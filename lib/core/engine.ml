@@ -1,0 +1,490 @@
+module R = Relational
+
+exception Engine_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Engine_error s)) fmt
+
+let src = Logs.Src.create "vmw.engine" ~doc:"site-graph simulation engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type site_spec = {
+  name : string;
+  db : R.Db.t;
+  catalog : Storage.Catalog.t option;
+  fault : Messaging.Fault.profile;
+  fault_seed : int;
+  reliable : bool;
+  retransmit_timeout : int option;
+}
+
+let site ?catalog ?(fault = Messaging.Fault.none) ?(fault_seed = 0)
+    ?(reliable = false) ?retransmit_timeout ~name db =
+  { name; db; catalog; fault; fault_seed; reliable; retransmit_timeout }
+
+type oracle =
+  | Incremental
+  | Recompute
+
+type result = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+  reports : (string * Consistency.report) list;
+  final_mvs : (string * R.Bag.t) list;
+  final_source_views : (string * R.Bag.t) list;
+  negative_installs : (string * R.Bag.t) list;
+  sources : (string * Source_site.Source.t) list;
+  warehouse_anomalies : string list;
+}
+
+(* One node of the running site graph: a source plus its private edge to
+   the warehouse (a channel pair with its own fault profile / reliability
+   sublayer / retransmit clock). *)
+type site_state = {
+  spec_name : string;
+  source : Source_site.Source.t;
+  net : Messaging.Network.t;
+  mutable ticks : int;  (* transport-clock advances on this edge *)
+}
+
+let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
+    ?local_literal_eval ?(allow_cross_source = false) ?(max_steps = 2_000_000)
+    ?(oracle = Incremental) ~creator ~sites:specs ~views ~updates () =
+  if batch_size < 1 then raise (Engine_error "batch_size must be at least 1");
+  if specs = [] then
+    raise (Engine_error "a site graph needs at least one source");
+  let sites =
+    Array.of_list
+      (List.map
+         (fun s ->
+           {
+             spec_name = s.name;
+             source = Source_site.Source.create ?catalog:s.catalog s.db;
+             net =
+               Messaging.Network.create ~name:s.name ~fault:s.fault
+                 ~seed:s.fault_seed ~reliable:s.reliable
+                 ?timeout:s.retransmit_timeout ();
+             ticks = 0;
+           })
+         specs)
+  in
+  let n = Array.length sites in
+  (* Every relation belongs to exactly one source — the paper's federated
+     setting assumes autonomous sources with disjoint schemas. *)
+  let owner = Hashtbl.create 16 in
+  Array.iteri
+    (fun i st ->
+      List.iter
+        (fun rel ->
+          if Hashtbl.mem owner rel then
+            error "relation %s is owned by two sources" rel;
+          Hashtbl.replace owner rel i)
+        (R.Db.relation_names (Source_site.Source.db st.source)))
+    sites;
+  (* Bind each view to the unique source owning all its relations. With a
+     single source every view trivially binds to it — including views
+     whose queries mention no base relation at all, preserving the
+     historical single-source driver's leniency. *)
+  let view_site =
+    List.map
+      (fun (v : R.Viewdef.t) ->
+        if n = 1 then (v.R.Viewdef.name, Some 0)
+        else
+          let site_indices =
+            List.sort_uniq Int.compare
+              (List.map
+                 (fun rel ->
+                   match Hashtbl.find_opt owner rel with
+                   | Some i -> i
+                   | None ->
+                     error "view %s uses unowned relation %s"
+                       v.R.Viewdef.name rel)
+                 (R.Viewdef.relation_names v))
+          in
+          match site_indices with
+          | [ i ] -> (v.R.Viewdef.name, Some i)
+          | _ when allow_cross_source -> (v.R.Viewdef.name, None)
+          | _ ->
+            error
+              "view %s spans several sources; cross-source views need \
+               coordinated compensation and are future work here as in the \
+               paper (opt into the demonstrably unsafe fetch-join strategy \
+               with ~allow_cross_source)"
+              v.R.Viewdef.name)
+      views
+  in
+  let merged_db () =
+    Array.fold_left
+      (fun db st ->
+        let sdb = Source_site.Source.db st.source in
+        List.fold_left
+          (fun db rel ->
+            R.Db.add_relation ~contents:(R.Db.contents sdb rel) db
+              (R.Db.schema sdb rel))
+          db (R.Db.relation_names sdb))
+      R.Db.empty sites
+  in
+  let configs =
+    List.map2
+      (fun (v : R.Viewdef.t) (_, where) ->
+        let db =
+          match where with
+          | Some i -> Source_site.Source.db sites.(i).source
+          | None -> merged_db ()
+        in
+        Algorithm.Config.of_db ~rv_period ?local_literal_eval v db)
+      views view_site
+  in
+  let warehouse = Warehouse.of_creator ~creator ~configs in
+  let sched = Scheduler.create schedule in
+  (* Oracle state: the current source-view contents, one entry per view in
+     [views] order, advanced as updates execute at the sources. A
+     site-bound view is judged against its owning source's state; a
+     cross-source view against the merged global state. *)
+  let snapshot_view (v : R.Viewdef.t) =
+    match List.assoc v.R.Viewdef.name view_site with
+    | Some i -> R.Viewdef.eval (Source_site.Source.db sites.(i).source) v
+    | None -> R.Viewdef.eval (merged_db ()) v
+  in
+  let initial_views =
+    List.map
+      (fun (v : R.Viewdef.t) -> (v.R.Viewdef.name, snapshot_view v))
+      views
+  in
+  let trace = Trace.create ~initial_views in
+  let snapshots = ref initial_views in
+  let advance_snapshots i u =
+    snapshots :=
+      List.map2
+        (fun (v : R.Viewdef.t) (name, snap) ->
+          match List.assoc name view_site with
+          | Some j when j <> i -> (name, snap)  (* another source: unchanged *)
+          | Some _ ->
+            let delta = R.Viewdef.delta v u in
+            if R.Query.is_empty delta then (name, snap)
+            else
+              ( name,
+                R.Bag.plus snap
+                  (R.Eval.query (Source_site.Source.db sites.(i).source) delta)
+              )
+          | None ->
+            (* Cross-source views are an opt-in anomaly demonstration, not
+               a performance path: recompute from the merged state. *)
+            (name, R.Viewdef.eval (merged_db ()) v))
+        views !snapshots
+  in
+  let recompute_snapshots () =
+    snapshots :=
+      List.map
+        (fun (v : R.Viewdef.t) -> (v.R.Viewdef.name, snapshot_view v))
+        views
+  in
+  (* The views whose oracle state an update at site [i] can change — the
+     site's own views plus every cross-source view. Only these appear in
+     the trace entry, so per-source state sequences stay per-source. *)
+  let affected_views i =
+    List.filter
+      (fun (name, _) ->
+        match List.assoc name view_site with Some j -> j = i | None -> true)
+      !snapshots
+  in
+  let site_of_update (u : R.Update.t) =
+    if n = 1 then 0
+    else
+      match Hashtbl.find_opt owner u.R.Update.rel with
+      | Some i -> i
+      | None -> error "no source owns relation %s" u.R.Update.rel
+  in
+  let site_of_query q =
+    if n = 1 then 0
+    else
+      match R.Query.base_relations q with
+      | rel :: _ -> (
+        match Hashtbl.find_opt owner rel with
+        | Some i -> i
+        | None -> error "no source owns relation %s" rel)
+      | [] -> 0  (* all-literal queries can go anywhere; pick the first *)
+  in
+  let pending = ref updates in
+  let next_seq = ref 0 in
+  let m = ref Metrics.zero in
+  let bump f = m := f !m in
+  (* An installed view state with net-negative counts witnesses an
+     over-deletion anomaly; correct algorithms never produce one. *)
+  let negative_installs = ref [] in
+  let watch_installs installs =
+    List.iter
+      (fun (name, states) ->
+        List.iter
+          (fun mv ->
+            if R.Bag.has_negative mv then begin
+              Log.warn (fun f ->
+                  f "view %s installed a negative state: %s" name
+                    (R.Bag.to_string mv));
+              negative_installs := (name, mv) :: !negative_installs
+            end)
+          states)
+      installs
+  in
+  let ship_queries queries =
+    List.iter
+      (fun (gid, q) ->
+        let i = site_of_query q in
+        let msg = Messaging.Message.Query { id = gid; query = q } in
+        Log.debug (fun f -> f "ship %a" Messaging.Message.pp msg);
+        bump (fun m ->
+            {
+              m with
+              Metrics.queries_sent = m.Metrics.queries_sent + 1;
+              query_bytes =
+                m.Metrics.query_bytes + Messaging.Message.byte_size msg;
+            });
+        Messaging.Network.send sites.(i).net Messaging.Network.To_source msg)
+      queries
+  in
+  let apply_update () =
+    (* One atomic source event: execute up to [batch_size] consecutive
+       updates of one source, then notify the warehouse once. A batch
+       never spans sources — each notification travels one edge. *)
+    match !pending with
+    | [] -> raise (Engine_error "apply_update with empty workload")
+    | first :: _ ->
+      let i = site_of_update first in
+      let rec take k acc =
+        if k = 0 then List.rev acc
+        else
+          match !pending with
+          | [] -> List.rev acc
+          | u :: rest ->
+            if site_of_update u <> i then List.rev acc
+            else begin
+              pending := rest;
+              incr next_seq;
+              let u =
+                if u.R.Update.seq = 0 then R.Update.with_seq !next_seq u else u
+              in
+              take (k - 1) (u :: acc)
+            end
+      in
+      let batch = take batch_size [] in
+      List.iter
+        (fun u ->
+          Source_site.Source.execute_update sites.(i).source u;
+          match oracle with
+          | Incremental -> advance_snapshots i u
+          | Recompute -> ())
+        batch;
+      (match oracle with
+       | Incremental -> ()
+       | Recompute -> recompute_snapshots ());
+      let note =
+        match batch with
+        | [ u ] -> Messaging.Message.Update_note u
+        | us -> Messaging.Message.Batch_note us
+      in
+      Messaging.Network.send sites.(i).net Messaging.Network.To_warehouse note;
+      bump (fun m ->
+          { m with Metrics.updates = m.Metrics.updates + List.length batch });
+      Trace.record trace
+        (Trace.Source_update
+           { updates = batch; source_views = affected_views i })
+  in
+  let source_receive i =
+    match
+      Messaging.Network.receive sites.(i).net Messaging.Network.To_source
+    with
+    | None -> raise (Engine_error "source_receive on empty channel")
+    | Some (Messaging.Message.Query { id; query }) ->
+      let answer, cost =
+        Source_site.Source.answer_query sites.(i).source ~id query
+      in
+      bump (fun m ->
+          {
+            m with
+            Metrics.source_io = m.Metrics.source_io + cost.Storage.Cost.io;
+          });
+      Messaging.Network.send sites.(i).net Messaging.Network.To_warehouse
+        (Messaging.Message.Answer { id; answer; cost });
+      Trace.record trace (Trace.Source_answer { gid = id; answer; cost })
+    | Some
+        ( Messaging.Message.Update_note _ | Messaging.Message.Batch_note _
+        | Messaging.Message.Answer _ | Messaging.Message.Data _
+        | Messaging.Message.Ack _ ) ->
+      raise (Engine_error "source received a non-query message")
+  in
+  let warehouse_receive i =
+    match
+      Messaging.Network.receive sites.(i).net Messaging.Network.To_warehouse
+    with
+    | None -> raise (Engine_error "warehouse_receive on empty channel")
+    | Some msg ->
+      (match msg with
+       | Messaging.Message.Answer { cost; _ } ->
+         bump (fun m ->
+             {
+               m with
+               Metrics.answers_received = m.Metrics.answers_received + 1;
+               answer_tuples =
+                 m.Metrics.answer_tuples + cost.Storage.Cost.answer_tuples;
+               answer_bytes =
+                 m.Metrics.answer_bytes + cost.Storage.Cost.answer_bytes;
+             })
+       | _ -> ());
+      let reaction = Warehouse.handle_message warehouse msg in
+      ship_queries reaction.Warehouse.queries;
+      watch_installs reaction.Warehouse.installs;
+      (match msg with
+       | Messaging.Message.Update_note u ->
+         Trace.record trace
+           (Trace.Warehouse_note
+              {
+                updates = [ u ];
+                queries = reaction.Warehouse.queries;
+                installs = reaction.Warehouse.installs;
+              })
+       | Messaging.Message.Batch_note us ->
+         Trace.record trace
+           (Trace.Warehouse_note
+              {
+                updates = us;
+                queries = reaction.Warehouse.queries;
+                installs = reaction.Warehouse.installs;
+              })
+       | Messaging.Message.Answer { id; _ } ->
+         Trace.record trace
+           (Trace.Warehouse_answer
+              { gid = id; installs = reaction.Warehouse.installs })
+       | Messaging.Message.Query _ | Messaging.Message.Data _
+       | Messaging.Message.Ack _ ->
+         (* Misrouted: the warehouse recorded it as an anomaly and
+            produced no reaction — nothing to trace. *)
+         ())
+  in
+  let multi () =
+    {
+      Scheduler.update_ready = !pending <> [];
+      source_ready =
+        Array.map
+          (fun st ->
+            Messaging.Network.can_receive st.net Messaging.Network.To_source)
+          sites;
+      warehouse_ready =
+        Array.map
+          (fun st ->
+            Messaging.Network.can_receive st.net Messaging.Network.To_warehouse)
+          sites;
+    }
+  in
+  let ticks = ref 0 in
+  let rec loop () =
+    bump (fun m -> { m with Metrics.steps = m.Metrics.steps + 1 });
+    if (!m).Metrics.steps > max_steps then
+      raise (Engine_error "simulation exceeded max_steps");
+    match Scheduler.pick_multi sched (multi ()) with
+    | Some Scheduler.Apply ->
+      apply_update ();
+      loop ()
+    | Some (Scheduler.Site_source i) ->
+      source_receive i;
+      loop ()
+    | Some (Scheduler.Site_warehouse i) ->
+      warehouse_receive i;
+      loop ()
+    | None ->
+      if
+        Array.exists (fun st -> not (Messaging.Network.idle st.net)) sites
+      then begin
+        (* Messages are in flight but not yet deliverable — delayed
+           transmissions ripening, or reliability-layer frames awaiting
+           acks/retransmission. Advance the transport clock of every busy
+           edge one tick and re-examine; the tick is a scheduler decision,
+           so faulty runs stay deterministic. Idle edges are left alone:
+           their clocks only matter relative to their own traffic. *)
+        Array.iter
+          (fun st ->
+            if not (Messaging.Network.idle st.net) then begin
+              Messaging.Network.tick st.net;
+              st.ticks <- st.ticks + 1
+            end)
+          sites;
+        incr ticks;
+        loop ()
+      end
+      else begin
+        let reaction = Warehouse.quiesce warehouse in
+        ship_queries reaction.Warehouse.queries;
+        watch_installs reaction.Warehouse.installs;
+        if
+          reaction.Warehouse.queries <> [] || reaction.Warehouse.installs <> []
+        then begin
+          Trace.record trace
+            (Trace.Quiesce_probe
+               {
+                 queries = reaction.Warehouse.queries;
+                 installs = reaction.Warehouse.installs;
+               });
+          loop ()
+        end
+      end
+  in
+  loop ();
+  let site_delivery =
+    Array.to_list
+      (Array.map
+         (fun st ->
+           let d =
+             match Messaging.Network.reliability st.net with
+             | Some s ->
+               {
+                 Metrics.no_delivery with
+                 Metrics.retransmits = s.Messaging.Reliable.retransmits;
+                 dups_dropped = s.Messaging.Reliable.dups_dropped;
+                 acks = s.Messaging.Reliable.acks_sent;
+                 delivered = s.Messaging.Reliable.delivered;
+                 latency_total = s.Messaging.Reliable.latency_total;
+                 latency_max = s.Messaging.Reliable.latency_max;
+               }
+             | None -> Metrics.no_delivery
+           in
+           ( st.spec_name,
+             {
+               d with
+               Metrics.ticks = st.ticks;
+               msgs_dropped = Messaging.Network.total_dropped st.net;
+               msgs_duplicated = Messaging.Network.total_duplicated st.net;
+               wire_messages = Messaging.Network.total_messages st.net;
+               wire_bytes = Messaging.Network.total_bytes st.net;
+             } ))
+         sites)
+  in
+  let delivery =
+    {
+      (List.fold_left
+         (fun acc (_, d) -> Metrics.add_delivery acc d)
+         Metrics.no_delivery site_delivery)
+      with
+      Metrics.ticks = !ticks;
+    }
+  in
+  bump (fun m -> { m with Metrics.delivery; site_delivery });
+  let reports =
+    List.map
+      (fun (v : R.Viewdef.t) ->
+        let name = v.R.Viewdef.name in
+        ( name,
+          Consistency.check
+            ~source_states:(Trace.source_states trace name)
+            ~warehouse_states:(Trace.warehouse_states trace name) ))
+      views
+  in
+  {
+    trace;
+    metrics = !m;
+    reports;
+    final_mvs = Warehouse.mvs warehouse;
+    final_source_views = !snapshots;
+    negative_installs = List.rev !negative_installs;
+    sources =
+      Array.to_list (Array.map (fun st -> (st.spec_name, st.source)) sites);
+    warehouse_anomalies = Warehouse.anomalies warehouse;
+  }

@@ -1,0 +1,110 @@
+(** The site-graph simulation engine: one warehouse, N autonomous
+    sources, one event loop.
+
+    Nodes are {!Source_site.Source}s plus a single warehouse; each source
+    is connected by its own edge — a {!Messaging.Network} channel pair
+    with its own optional fault profile, reliability sublayer and
+    retransmit clock. One atomic-event loop generalizes the single-source
+    semantics of the paper: every iteration executes exactly one source
+    update (plus its notification), one query answered at a source, or
+    one message processed at the warehouse, under a {!Scheduler.policy}
+    multiplexing the enabled events across sites. When nothing is enabled
+    but messages are in flight, every busy edge's transport clock
+    advances one tick; when the graph is fully drained the warehouse gets
+    a quiescence probe (where RV flushes a partial period), and the run
+    ends when the probe produces no new work.
+
+    {!Runner.run} (one source, historical interface) and
+    {!Federation.run} (N sources) are thin wrappers over {!run}; the
+    golden-trace suite pins their output byte-for-byte across the
+    refactor.
+
+    Relations are owned by exactly one source; views bind to the unique
+    source owning all their relations and are judged against that
+    source's state sequence. Views spanning several sources are rejected
+    unless [~allow_cross_source:true] opts into the naive fetch-join
+    demonstration, judged against the merged global state. With a single
+    source, every view binds to it unconditionally — the historical
+    single-source driver's leniency. *)
+
+module R := Relational
+
+exception Engine_error of string
+
+type site_spec = {
+  name : string;  (** labels the edge's channels and the result entries *)
+  db : R.Db.t;
+  catalog : Storage.Catalog.t option;
+  fault : Messaging.Fault.profile;
+  fault_seed : int;
+  reliable : bool;
+  retransmit_timeout : int option;
+}
+
+val site :
+  ?catalog:Storage.Catalog.t ->
+  ?fault:Messaging.Fault.profile ->
+  ?fault_seed:int ->
+  ?reliable:bool ->
+  ?retransmit_timeout:int ->
+  name:string ->
+  R.Db.t ->
+  site_spec
+(** A source node: clean exactly-once FIFO edge by default; [fault]
+    makes both directions of this edge misbehave (seeded by
+    [fault_seed]), [reliable] runs the {!Messaging.Reliable} sublayer
+    over them. *)
+
+(** How the consistency oracle maintains the per-update source-view
+    states recorded in the trace. [Incremental] (the default) applies
+    each update's delta query to the previous snapshot; [Recompute]
+    re-evaluates every affected view — kept as a cross-checking escape
+    hatch. *)
+type oracle =
+  | Incremental
+  | Recompute
+
+type result = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+      (** global counters; [metrics.site_delivery] carries the per-edge
+          transport breakdown in site order *)
+  reports : (string * Consistency.report) list;  (** per view *)
+  final_mvs : (string * R.Bag.t) list;
+  final_source_views : (string * R.Bag.t) list;
+  negative_installs : (string * R.Bag.t) list;
+      (** installed view states carrying net-negative counts — witnesses
+          of over-deletion anomalies *)
+  sources : (string * Source_site.Source.t) list;  (** in site order *)
+  warehouse_anomalies : string list;
+      (** misrouted messages the warehouse absorbed (see
+          {!Warehouse.anomalies}) *)
+}
+
+val run :
+  ?schedule:Scheduler.policy ->
+  ?rv_period:int ->
+  ?batch_size:int ->
+  ?local_literal_eval:bool ->
+  ?allow_cross_source:bool ->
+  ?max_steps:int ->
+  ?oracle:oracle ->
+  creator:Algorithm.creator ->
+  sites:site_spec list ->
+  views:R.Viewdef.t list ->
+  updates:R.Update.t list ->
+  unit ->
+  result
+(** Replays the update stream over the site graph. Each update routes to
+    the source owning its relation and executes there; updates with
+    [seq = 0] are numbered in global stream order. With [batch_size > 1]
+    one source event atomically executes up to that many {e consecutive
+    same-source} updates and sends a single batched notification — a
+    batch never spans sources. Queries route to the source owning their
+    base relations. Initial materialized views are computed from the
+    site databases (the paper's "initially correct" assumption).
+
+    @raise Engine_error when a relation is owned by two sources, a view
+    uses an unowned relation or spans several sources without
+    [~allow_cross_source], an update or query targets an unowned
+    relation, a protocol invariant breaks, or [max_steps] is exceeded. *)

@@ -2,304 +2,57 @@ module R = Relational
 
 exception Federation_error of string
 
-let error fmt = Format.kasprintf (fun s -> raise (Federation_error s)) fmt
-
-type site = {
-  site_name : string;
-  source : Source_site.Source.t;
-  to_warehouse : Messaging.Channel.t;
-  to_source : Messaging.Channel.t;
-}
-
-type policy =
-  | Drain_first  (** answer and deliver everything before the next update *)
-  | Updates_first  (** all updates enter the system before any answer *)
+(* The federation vocabulary is now the scheduler's: [Drain_first] and
+   [Updates_first] live on as deprecated aliases of the two extreme
+   policies, re-exported here so historical callers keep compiling. *)
+type policy = Scheduler.policy =
+  | Best_case
+  | Worst_case
+  | Round_robin
   | Random of int
-
-type action =
-  | Apply_next_update
-  | Site_receive of int
-  | Warehouse_receive of int
+  | Explicit of Scheduler.action list
+  | Drain_first
+  | Updates_first
 
 type result = {
   reports : (string * Consistency.report) list;
   final_mvs : (string * R.Bag.t) list;
   final_source_views : (string * R.Bag.t) list;
   metrics : Metrics.t;
+  trace : Trace.t;
+  negative_installs : (string * R.Bag.t) list;
 }
 
 (* A federation: several autonomous sources, each owning a disjoint set of
    relations, plus one warehouse hosting views that each range over the
    relations of a single source — the setting of Section 7's first
    adaptation, where ECA applies to each view separately and no
-   cross-source coordination is needed. *)
-type t = {
-  sites : site array;
-  owner : (string, int) Hashtbl.t;  (* relation -> site index *)
-  warehouse : Warehouse.t;
-  view_site : (string * int option) list;
-      (* view name -> owning site; None for (opted-in) cross-source views *)
-  gid_site : (int, int) Hashtbl.t;  (* query gid -> site index *)
-}
-
-let site_of_relation t rel =
-  match Hashtbl.find_opt t.owner rel with
-  | Some i -> i
-  | None -> error "no source owns relation %s" rel
-
-let create ?(allow_cross_source = false) ~creator ~sources ~views () =
+   cross-source coordination is needed. A thin wrapper over {!Engine}
+   with one site per source; each site's edge gets its own fault RNG
+   stream ([fault_seed + 2i] — a network pair consumes two seeds). *)
+let run ?(policy = Drain_first) ?allow_cross_source ?rv_period ?batch_size
+    ?fault ?(fault_seed = 0) ?reliable ?retransmit_timeout ?max_steps ?oracle
+    ~creator ~sources ~views ~updates () =
   let sites =
-    Array.of_list
-      (List.map
-         (fun (site_name, catalog, db) ->
-           {
-             site_name;
-             source = Source_site.Source.create ?catalog db;
-             to_warehouse =
-               Messaging.Channel.create (site_name ^ "->warehouse");
-             to_source = Messaging.Channel.create ("warehouse->" ^ site_name);
-           })
-         sources)
+    List.mapi
+      (fun i (name, catalog, db) ->
+        Engine.site ?catalog ?fault ~fault_seed:(fault_seed + (2 * i))
+          ?reliable ?retransmit_timeout ~name db)
+      sources
   in
-  let owner = Hashtbl.create 16 in
-  Array.iteri
-    (fun i site ->
-      List.iter
-        (fun rel ->
-          if Hashtbl.mem owner rel then
-            error "relation %s is owned by two sources" rel;
-          Hashtbl.replace owner rel i)
-        (R.Db.relation_names (Source_site.Source.db site.source)))
-    sites;
-  (* Bind each view to the unique source owning all its relations. *)
-  let view_site =
-    List.map
-      (fun (v : R.View.t) ->
-        let site_indices =
-          List.sort_uniq Int.compare
-            (List.map
-               (fun rel ->
-                 match Hashtbl.find_opt owner rel with
-                 | Some i -> i
-                 | None -> error "view %s uses unowned relation %s" v.R.View.name rel)
-               (R.View.relation_names v))
-        in
-        match site_indices with
-        | [ i ] -> (v.R.View.name, Some i)
-        | _ when allow_cross_source -> (v.R.View.name, None)
-        | _ ->
-          error
-            "view %s spans several sources; cross-source views need \
-             coordinated compensation and are future work here as in the \
-             paper (opt into the demonstrably unsafe fetch-join strategy \
-             with ~allow_cross_source)"
-            v.R.View.name)
-      views
-  in
-  let merged_db () =
-    Array.fold_left
-      (fun db site ->
-        let sdb = Source_site.Source.db site.source in
-        List.fold_left
-          (fun db rel ->
-            R.Db.add_relation ~contents:(R.Db.contents sdb rel) db
-              (R.Db.schema sdb rel))
-          db (R.Db.relation_names sdb))
-      R.Db.empty sites
-  in
-  let configs =
-    List.map
-      (fun (v : R.View.t) ->
-        match List.assoc v.R.View.name view_site with
-        | Some i ->
-          Algorithm.Config.of_view_db v (Source_site.Source.db sites.(i).source)
-        | None -> Algorithm.Config.of_view_db v (merged_db ()))
-      views
-  in
-  {
-    sites;
-    owner;
-    warehouse = Warehouse.of_creator ~creator ~configs;
-    view_site;
-    gid_site = Hashtbl.create 64;
-  }
-
-let merged_db t =
-  Array.fold_left
-    (fun db site ->
-      let sdb = Source_site.Source.db site.source in
-      List.fold_left
-        (fun db rel ->
-          R.Db.add_relation ~contents:(R.Db.contents sdb rel) db
-            (R.Db.schema sdb rel))
-        db (R.Db.relation_names sdb))
-    R.Db.empty t.sites
-
-let snapshot t (view : R.View.t) =
-  match List.assoc view.R.View.name t.view_site with
-  | Some i -> R.Eval.view (Source_site.Source.db t.sites.(i).source) view
-  | None -> R.Eval.view (merged_db t) view
-
-let run ?(policy = Drain_first) ?allow_cross_source
-    ?(max_steps = 2_000_000) ~creator ~sources ~views ~updates () =
-  let t = create ?allow_cross_source ~creator ~sources ~views () in
-  let rng =
-    Random.State.make [| (match policy with Random s -> s | _ -> 0) |]
-  in
-  let pending = ref updates in
-  let metrics = ref Metrics.zero in
-  let bump f = metrics := f !metrics in
-  (* per-view state histories for the checkers *)
-  let source_states = Hashtbl.create 8 and warehouse_states = Hashtbl.create 8 in
-  let push tbl name v =
-    Hashtbl.replace tbl name
-      (v :: (Option.value (Hashtbl.find_opt tbl name) ~default:[]))
-  in
-  List.iter
-    (fun (v : R.View.t) ->
-      push source_states v.R.View.name (snapshot t v);
-      push warehouse_states v.R.View.name
-        (Option.get (Warehouse.mv t.warehouse v.R.View.name)))
-    views;
-  let ship reaction =
-    List.iter
-      (fun (gid, q) ->
-        (* route the query to the site that owns the view's relations *)
-        let site_idx =
-          match R.Query.base_relations q with
-          | rel :: _ -> site_of_relation t rel
-          | [] ->
-            (* all-literal queries can go anywhere; pick the first site *)
-            0
-        in
-        Hashtbl.replace t.gid_site gid site_idx;
-        bump (fun m -> { m with Metrics.queries_sent = m.Metrics.queries_sent + 1 });
-        Messaging.Channel.send t.sites.(site_idx).to_source
-          (Messaging.Message.Query { id = gid; query = q }))
-      reaction.Warehouse.queries;
-    List.iter
-      (fun (name, states) ->
-        List.iter (fun mv -> push warehouse_states name mv) states)
-      reaction.Warehouse.installs
-  in
-  let apply_next_update () =
-    match !pending with
-    | [] -> error "no update to apply"
-    | u :: rest ->
-      pending := rest;
-      let i = site_of_relation t u.R.Update.rel in
-      Source_site.Source.execute_update t.sites.(i).source u;
-      Messaging.Channel.send t.sites.(i).to_warehouse
-        (Messaging.Message.Update_note u);
-      bump (fun m -> { m with Metrics.updates = m.Metrics.updates + 1 });
-      List.iter
-        (fun (v : R.View.t) ->
-          match List.assoc v.R.View.name t.view_site with
-          | Some j when j <> i -> ()  (* another source's view: unchanged *)
-          | Some _ | None -> push source_states v.R.View.name (snapshot t v))
-        views
-  in
-  let site_receive i =
-    match Messaging.Channel.receive t.sites.(i).to_source with
-    | Some (Messaging.Message.Query { id; query }) ->
-      let answer, cost =
-        Source_site.Source.answer_query t.sites.(i).source ~id query
-      in
-      bump (fun m ->
-          {
-            m with
-            Metrics.source_io = m.Metrics.source_io + cost.Storage.Cost.io;
-          });
-      Messaging.Channel.send t.sites.(i).to_warehouse
-        (Messaging.Message.Answer { id; answer; cost })
-    | Some _ | None -> error "site %d had no query to answer" i
-  in
-  let warehouse_receive i =
-    match Messaging.Channel.receive t.sites.(i).to_warehouse with
-    | Some (Messaging.Message.Answer { id; answer; cost } as msg) ->
-      bump (fun m ->
-          {
-            m with
-            Metrics.answers_received = m.Metrics.answers_received + 1;
-            answer_tuples =
-              m.Metrics.answer_tuples + cost.Storage.Cost.answer_tuples;
-            answer_bytes = m.Metrics.answer_bytes + Messaging.Message.byte_size msg;
-          });
-      ship (Warehouse.handle_answer t.warehouse ~gid:id answer)
-    | Some (Messaging.Message.Update_note u) ->
-      ship (Warehouse.handle_update t.warehouse u)
-    | Some (Messaging.Message.Batch_note us) ->
-      ship (Warehouse.handle_batch t.warehouse us)
-    | Some
-        ( Messaging.Message.Query _ | Messaging.Message.Data _
-        | Messaging.Message.Ack _ )
-    | None ->
-      error "warehouse had nothing to receive from site %d" i
-  in
-  let enabled () =
-    let acc = ref [] in
-    Array.iteri
-      (fun i site ->
-        if not (Messaging.Channel.is_empty site.to_source) then
-          acc := Site_receive i :: !acc;
-        if not (Messaging.Channel.is_empty site.to_warehouse) then
-          acc := Warehouse_receive i :: !acc)
-      t.sites;
-    let acc = List.rev !acc in
-    if !pending <> [] then acc @ [ Apply_next_update ] else acc
-  in
-  let pick actions =
-    match policy with
-    | Drain_first -> (
-      (* anything but a new update first *)
-      match List.filter (fun a -> a <> Apply_next_update) actions with
-      | a :: _ -> a
-      | [] -> List.hd actions)
-    | Updates_first -> (
-      if List.mem Apply_next_update actions then Apply_next_update
-      else
-        match
-          List.filter (function Warehouse_receive _ -> true | _ -> false) actions
-        with
-        | a :: _ -> a
-        | [] -> List.hd actions)
-    | Random _ -> List.nth actions (Random.State.int rng (List.length actions))
-  in
-  let steps = ref 0 in
-  let rec loop () =
-    incr steps;
-    if !steps > max_steps then error "federation exceeded max_steps";
-    match enabled () with
-    | [] ->
-      (* quiescence probe: lets RV flush a partial period and timing
-         wrappers flush deferred buffers, exactly as in the single-source
-         runner *)
-      let reaction = Warehouse.quiesce t.warehouse in
-      ship reaction;
-      if reaction.Warehouse.queries <> [] || reaction.Warehouse.installs <> []
-      then loop ()
-    | actions ->
-      (match pick actions with
-       | Apply_next_update -> apply_next_update ()
-       | Site_receive i -> site_receive i
-       | Warehouse_receive i -> warehouse_receive i);
-      loop ()
-  in
-  loop ();
-  let reports =
-    List.map
-      (fun (v : R.View.t) ->
-        let name = v.R.View.name in
-        ( name,
-          Consistency.check
-            ~source_states:(List.rev (Hashtbl.find source_states name))
-            ~warehouse_states:(List.rev (Hashtbl.find warehouse_states name)) ))
-      views
-  in
-  {
-    reports;
-    final_mvs = Warehouse.mvs t.warehouse;
-    final_source_views =
-      List.map (fun (v : R.View.t) -> (v.R.View.name, snapshot t v)) views;
-    metrics = { !metrics with Metrics.steps = !steps };
-  }
+  match
+    Engine.run ~schedule:policy ?rv_period ?batch_size ?allow_cross_source
+      ?max_steps ?oracle ~creator ~sites
+      ~views:(List.map R.Viewdef.simple views)
+      ~updates ()
+  with
+  | r ->
+    {
+      reports = r.Engine.reports;
+      final_mvs = r.Engine.final_mvs;
+      final_source_views = r.Engine.final_source_views;
+      metrics = r.Engine.metrics;
+      trace = r.Engine.trace;
+      negative_installs = r.Engine.negative_installs;
+    }
+  | exception Engine.Engine_error msg -> raise (Federation_error msg)

@@ -16,31 +16,57 @@
     against the merged global state).
 
     Consistency is judged per view against its owning source's state
-    sequence; interleavings across sources are controlled by the policy. *)
+    sequence; interleavings across sources are controlled by the policy.
+
+    A thin wrapper over the site-graph {!Engine} — which means the
+    federated path now carries the full single-source feature matrix:
+    per-edge fault profiles and reliable delivery, batched notifications,
+    the event trace and the negative-install anomaly watch. *)
 
 module R := Relational
 
 exception Federation_error of string
 
-type policy =
-  | Drain_first
-      (** deliver and answer everything in flight before the next update *)
-  | Updates_first
-      (** push every update into the system before answering queries —
-          maximal cross-update contention at every site *)
+type policy = Scheduler.policy =
+  | Best_case
+  | Worst_case
+  | Round_robin
   | Random of int  (** uniform among enabled events, seeded *)
+  | Explicit of Scheduler.action list
+  | Drain_first
+      (** deprecated alias of [Best_case]: deliver and answer everything
+          in flight before the next update *)
+  | Updates_first
+      (** deprecated alias of [Worst_case]: push every update into the
+          system before answering queries — maximal cross-update
+          contention at every site *)
+(** Re-export of {!Scheduler.policy}: federated runs are scheduled with
+    the same vocabulary as single-source ones. *)
 
 type result = {
   reports : (string * Consistency.report) list;
   final_mvs : (string * R.Bag.t) list;
   final_source_views : (string * R.Bag.t) list;
   metrics : Metrics.t;
+      (** [metrics.site_delivery] breaks the transport counters down per
+          source edge *)
+  trace : Trace.t;  (** the full event trace, as in single-source runs *)
+  negative_installs : (string * R.Bag.t) list;
+      (** installed view states carrying net-negative counts — witnesses
+          of over-deletion anomalies *)
 }
 
 val run :
   ?policy:policy ->
   ?allow_cross_source:bool ->
+  ?rv_period:int ->
+  ?batch_size:int ->
+  ?fault:Messaging.Fault.profile ->
+  ?fault_seed:int ->
+  ?reliable:bool ->
+  ?retransmit_timeout:int ->
   ?max_steps:int ->
+  ?oracle:Engine.oracle ->
   creator:Algorithm.creator ->
   sources:(string * Storage.Catalog.t option * R.Db.t) list ->
   views:R.View.t list ->
@@ -50,6 +76,13 @@ val run :
 (** [run ~creator ~sources ~views ~updates ()] replays the update stream,
     routing each update to the source owning its relation, and returns
     per-view consistency verdicts.
+
+    With [fault] set, every source edge misbehaves per the profile; edge
+    [i] seeds its RNG streams from [fault_seed + 2i], so the edges fail
+    independently. [~reliable:true] runs the {!Messaging.Reliable}
+    sublayer over each edge. [batch_size > 1] batches consecutive
+    same-source updates into one notification.
+
     @raise Federation_error when a relation is owned by two sources, a
     view spans several sources, or an update targets an unowned
     relation. *)

@@ -110,6 +110,43 @@ let trace_entry = function
         ("queries_sent", arr (List.map (fun (gid, _) -> string_of_int gid) queries));
       ]
 
+(* The federation summary pins the behavior-defining observables of a
+   federated run: per-view final states, source truth and consistency
+   verdicts, plus the event/traffic counters whose values are fixed by
+   the event order alone. Byte-accounting fields (answer_bytes,
+   query_bytes) are deliberately excluded: their definition was unified
+   with the single-source runner's cost-based accounting when both
+   drivers moved onto the shared engine. *)
+let federation_summary (r : Federation.result) =
+  let m = r.Federation.metrics in
+  obj
+    [
+      ( "views",
+        obj
+          (List.map
+             (fun (name, mv) ->
+               ( name,
+                 obj
+                   [
+                     ("final", bag mv);
+                     ( "source_truth",
+                       bag (List.assoc name r.Federation.final_source_views) );
+                     ("report", report (List.assoc name r.Federation.reports));
+                   ] ))
+             r.Federation.final_mvs) );
+      ( "counts",
+        obj
+          [
+            ("updates", string_of_int m.Metrics.updates);
+            ("messages", string_of_int (Metrics.messages m));
+            ("queries_sent", string_of_int m.Metrics.queries_sent);
+            ("answers_received", string_of_int m.Metrics.answers_received);
+            ("answer_tuples", string_of_int m.Metrics.answer_tuples);
+            ("source_io", string_of_int m.Metrics.source_io);
+            ("steps", string_of_int m.Metrics.steps);
+          ] );
+    ]
+
 let result (r : Runner.result) =
   obj
     [

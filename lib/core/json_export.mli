@@ -21,3 +21,11 @@ val trace_entry : Trace.entry -> string
 val result : Runner.result -> string
 (** The whole run as one JSON object:
     [{"metrics": …, "views": {…}, "trace": […]}]. *)
+
+val federation_summary : Federation.result -> string
+(** The behavior-defining observables of a federated run as one JSON
+    object: [{"views": {…}, "counts": {…}}]. Per-view final states,
+    source truth and consistency verdicts, plus the counters fixed by
+    the event order (updates, messages, answer tuples, IO, steps). Used
+    by the golden-trace equivalence suite to pin driver behavior across
+    refactors. *)

@@ -22,6 +22,7 @@ type t = {
   source_io : int;
   steps : int;
   delivery : delivery;
+  site_delivery : (string * delivery) list;
 }
 
 let no_delivery =
@@ -50,6 +51,26 @@ let zero =
     source_io = 0;
     steps = 0;
     delivery = no_delivery;
+    site_delivery = [];
+  }
+
+(* Component-wise sum of two edges' counters; [latency_max] is a maximum,
+   not a sum. Used to fold per-site transport counters into the global
+   delivery block — the global [ticks] is not a sum (one scheduler tick
+   advances every edge's clock at once), so callers overwrite it. *)
+let add_delivery a b =
+  {
+    ticks = a.ticks + b.ticks;
+    retransmits = a.retransmits + b.retransmits;
+    dups_dropped = a.dups_dropped + b.dups_dropped;
+    acks = a.acks + b.acks;
+    msgs_dropped = a.msgs_dropped + b.msgs_dropped;
+    msgs_duplicated = a.msgs_duplicated + b.msgs_duplicated;
+    delivered = a.delivered + b.delivered;
+    latency_total = a.latency_total + b.latency_total;
+    latency_max = max a.latency_max b.latency_max;
+    wire_messages = a.wire_messages + b.wire_messages;
+    wire_bytes = a.wire_bytes + b.wire_bytes;
   }
 
 (* The paper's M metric: query and answer messages only — update
@@ -90,4 +111,14 @@ let pp ppf t =
     t.updates (messages t) t.queries_sent t.answers_received t.answer_tuples
     t.answer_bytes t.query_bytes t.source_io t.steps;
   if delivery_active t.delivery then
-    Format.fprintf ppf " [%a]" pp_delivery t.delivery
+    Format.fprintf ppf " [%a]" pp_delivery t.delivery;
+  (* Per-site lines only when there is more than one edge — single-source
+     runs print exactly as they always have. *)
+  match t.site_delivery with
+  | [] | [ _ ] -> ()
+  | sites ->
+    List.iter
+      (fun (name, d) ->
+        if delivery_active d then
+          Format.fprintf ppf "@.  %s: [%a]" name pp_delivery d)
+      sites

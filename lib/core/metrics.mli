@@ -35,10 +35,19 @@ type t = {
   source_io : int;  (** I/Os charged by the source's planner *)
   steps : int;  (** simulation events executed *)
   delivery : delivery;  (** transport counters; {!no_delivery} when clean *)
+  site_delivery : (string * delivery) list;
+      (** the same counters broken down per source edge, in site order —
+          one entry per source; [delivery] is their fold (with the global
+          tick count). Empty only in hand-built values. *)
 }
 
 val zero : t
 val no_delivery : delivery
+
+val add_delivery : delivery -> delivery -> delivery
+(** Component-wise sum ([latency_max] is a max). The global tick count is
+    not a sum — one scheduler tick advances every edge at once — so
+    callers folding per-edge counters overwrite [ticks] afterwards. *)
 
 val messages : t -> int
 (** The paper's M: queries + answers (notifications excluded, as in

@@ -12,10 +12,6 @@ type result = {
   source : Source_site.Source.t;
 }
 
-let src = Logs.Src.create "vmw.runner" ~doc:"warehouse simulation runner"
-
-module Log = (val Logs.src_log src : Logs.LOG)
-
 let snapshot_defs views db =
   List.map
     (fun (v : R.Viewdef.t) -> (v.R.Viewdef.name, R.Viewdef.eval db v))
@@ -24,24 +20,19 @@ let snapshot_defs views db =
 let snapshot_views views db =
   snapshot_defs (List.map R.Viewdef.simple views) db
 
-(* How the consistency oracle maintains the per-update source-view states
-   it records in the trace. [Incremental] applies each update's delta query
-   to the previous snapshot — O(delta) per update instead of re-running
-   every view over the full database. This is exact: a view ranges over
-   distinct relations (enforced by [View.make]), so the substituted delta
-   query T⟨U⟩ evaluated on the post-update state is precisely
-   V(D∘u) − V(D). [Recompute] keeps the old full re-evaluation as a
-   cross-check escape hatch. *)
-type oracle =
+type oracle = Engine.oracle =
   | Incremental
   | Recompute
 
-let run_defs ?(catalog = Storage.Catalog.make ())
-    ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
-    ?local_literal_eval ?unordered_delivery ?fault ?fault_seed
-    ?(reliable = false) ?retransmit_timeout ?(max_steps = 2_000_000)
-    ?(oracle = Incremental) ~creator ~views ~db ~updates () =
-  if batch_size < 1 then raise (Run_error "batch_size must be at least 1");
+(* The historical single-source interface, now the one-site special case
+   of the site-graph engine. The scheduler's single-site vocabulary is
+   defined as the one-source specialization of the multi-site one, so
+   every policy behaves identically through either driver — the golden
+   suite pins this byte-for-byte. *)
+let run_defs ?catalog ?(schedule = Scheduler.Best_case) ?(rv_period = 1)
+    ?(batch_size = 1) ?local_literal_eval ?unordered_delivery ?fault
+    ?fault_seed ?(reliable = false) ?retransmit_timeout ?max_steps ?oracle
+    ~creator ~views ~db ~updates () =
   (* [unordered_delivery] predates fault profiles and survives as sugar
      for the reorder-only profile it used to hard-code. *)
   let fault_profile, net_seed =
@@ -50,278 +41,30 @@ let run_defs ?(catalog = Storage.Catalog.make ())
     | None, Some seed -> (Messaging.Fault.reorder_only, seed)
     | None, None -> (Messaging.Fault.none, Option.value fault_seed ~default:0)
   in
-  let configs =
-    List.map
-      (fun view ->
-        Algorithm.Config.of_db ~rv_period ?local_literal_eval view db)
-      views
+  let catalog =
+    match catalog with Some c -> c | None -> Storage.Catalog.make ()
   in
-  let warehouse = Warehouse.of_creator ~creator ~configs in
-  let source = Source_site.Source.create ~catalog db in
-  let net =
-    Messaging.Network.create ~fault:fault_profile ~seed:net_seed ~reliable
-      ?timeout:retransmit_timeout ()
+  let sites =
+    [
+      Engine.site ~catalog ~fault:fault_profile ~fault_seed:net_seed ~reliable
+        ?retransmit_timeout ~name:"source" db;
+    ]
   in
-  let sched = Scheduler.create schedule in
-  let initial_views = snapshot_defs views db in
-  let trace = Trace.create ~initial_views in
-  (* Oracle state: the current source-view contents, one entry per view in
-     [views] order, advanced as updates execute at the source. *)
-  let snapshots = ref initial_views in
-  let advance_snapshots u =
-    snapshots :=
-      List.map2
-        (fun (v : R.Viewdef.t) (name, snap) ->
-          let delta = R.Viewdef.delta v u in
-          if R.Query.is_empty delta then (name, snap)
-          else
-            ( name,
-              R.Bag.plus snap
-                (R.Eval.query (Source_site.Source.db source) delta) ))
-        views !snapshots
-  in
-  let pending_updates = ref updates in
-  let next_seq = ref 0 in
-  let m = ref Metrics.zero in
-  let bump f = m := f !m in
-  (* An installed view state with net-negative counts witnesses an
-     over-deletion anomaly; correct algorithms never produce one. *)
-  let negative_installs = ref [] in
-  let watch_installs installs =
-    List.iter
-      (fun (name, states) ->
-        List.iter
-          (fun mv ->
-            if R.Bag.has_negative mv then begin
-              Log.warn (fun f ->
-                  f "view %s installed a negative state: %s" name
-                    (R.Bag.to_string mv));
-              negative_installs := (name, mv) :: !negative_installs
-            end)
-          states)
-      installs
-  in
-  let ship_queries queries =
-    List.iter
-      (fun (gid, q) ->
-        let msg = Messaging.Message.Query { id = gid; query = q } in
-        Log.debug (fun f -> f "ship %a" Messaging.Message.pp msg);
-        bump (fun m ->
-            {
-              m with
-              Metrics.queries_sent = m.Metrics.queries_sent + 1;
-              query_bytes = m.Metrics.query_bytes + Messaging.Message.byte_size msg;
-            });
-        Messaging.Network.send net Messaging.Network.To_source msg)
-      queries
-  in
-  let apply_update () =
-    (* One atomic source event: execute up to [batch_size] updates, then
-       notify the warehouse once. *)
-    let rec take n acc =
-      if n = 0 then List.rev acc
-      else
-        match !pending_updates with
-        | [] -> List.rev acc
-        | u :: rest ->
-          pending_updates := rest;
-          incr next_seq;
-          let u =
-            if u.R.Update.seq = 0 then R.Update.with_seq !next_seq u else u
-          in
-          take (n - 1) (u :: acc)
-    in
-    match take batch_size [] with
-    | [] -> raise (Run_error "apply_update with empty workload")
-    | batch ->
-      List.iter
-        (fun u ->
-          Source_site.Source.execute_update source u;
-          match oracle with
-          | Incremental -> advance_snapshots u
-          | Recompute -> ())
-        batch;
-      (match oracle with
-       | Incremental -> ()
-       | Recompute ->
-         snapshots := snapshot_defs views (Source_site.Source.db source));
-      let note =
-        match batch with
-        | [ u ] -> Messaging.Message.Update_note u
-        | us -> Messaging.Message.Batch_note us
-      in
-      Messaging.Network.send net Messaging.Network.To_warehouse note;
-      bump (fun m ->
-          { m with Metrics.updates = m.Metrics.updates + List.length batch });
-      Trace.record trace
-        (Trace.Source_update { updates = batch; source_views = !snapshots })
-  in
-  let source_receive () =
-    match Messaging.Network.receive net Messaging.Network.To_source with
-    | None -> raise (Run_error "source_receive on empty channel")
-    | Some (Messaging.Message.Query { id; query }) ->
-      let answer, cost = Source_site.Source.answer_query source ~id query in
-      bump (fun m ->
-          {
-            m with
-            Metrics.source_io = m.Metrics.source_io + cost.Storage.Cost.io;
-          });
-      Messaging.Network.send net Messaging.Network.To_warehouse
-        (Messaging.Message.Answer { id; answer; cost });
-      Trace.record trace (Trace.Source_answer { gid = id; answer; cost })
-    | Some
-        ( Messaging.Message.Update_note _ | Messaging.Message.Batch_note _
-        | Messaging.Message.Answer _ | Messaging.Message.Data _
-        | Messaging.Message.Ack _ ) ->
-      raise (Run_error "source received a non-query message")
-  in
-  let warehouse_receive () =
-    match Messaging.Network.receive net Messaging.Network.To_warehouse with
-    | None -> raise (Run_error "warehouse_receive on empty channel")
-    | Some (Messaging.Message.Update_note u as msg) ->
-      let reaction = Warehouse.handle_message warehouse msg in
-      ship_queries reaction.Warehouse.queries;
-      watch_installs reaction.Warehouse.installs;
-      Trace.record trace
-        (Trace.Warehouse_note
-           {
-             updates = [ u ];
-             queries = reaction.Warehouse.queries;
-             installs = reaction.Warehouse.installs;
-           })
-    | Some (Messaging.Message.Batch_note us as msg) ->
-      let reaction = Warehouse.handle_message warehouse msg in
-      ship_queries reaction.Warehouse.queries;
-      watch_installs reaction.Warehouse.installs;
-      Trace.record trace
-        (Trace.Warehouse_note
-           {
-             updates = us;
-             queries = reaction.Warehouse.queries;
-             installs = reaction.Warehouse.installs;
-           })
-    | Some (Messaging.Message.Answer { id; answer; cost } as msg) ->
-      bump (fun m ->
-          {
-            m with
-            Metrics.answers_received = m.Metrics.answers_received + 1;
-            answer_tuples =
-              m.Metrics.answer_tuples + cost.Storage.Cost.answer_tuples;
-            answer_bytes =
-              m.Metrics.answer_bytes + cost.Storage.Cost.answer_bytes;
-          });
-      ignore answer;
-      let reaction = Warehouse.handle_message warehouse msg in
-      ship_queries reaction.Warehouse.queries;
-      watch_installs reaction.Warehouse.installs;
-      Trace.record trace
-        (Trace.Warehouse_answer
-           { gid = id; installs = reaction.Warehouse.installs })
-    | Some (Messaging.Message.Query _) ->
-      raise (Run_error "warehouse received a query message")
-    | Some (Messaging.Message.Data _ | Messaging.Message.Ack _) ->
-      raise (Run_error "warehouse received an unwrapped protocol frame")
-  in
-  let enabled () =
+  match
+    Engine.run ~schedule ~rv_period ~batch_size ?local_literal_eval ?max_steps
+      ?oracle ~creator ~sites ~views ~updates ()
+  with
+  | r ->
     {
-      Scheduler.can_update = !pending_updates <> [];
-      can_source =
-        Messaging.Network.can_receive net Messaging.Network.To_source;
-      can_warehouse =
-        Messaging.Network.can_receive net Messaging.Network.To_warehouse;
+      trace = r.Engine.trace;
+      metrics = r.Engine.metrics;
+      reports = r.Engine.reports;
+      final_mvs = r.Engine.final_mvs;
+      final_source_views = r.Engine.final_source_views;
+      negative_installs = r.Engine.negative_installs;
+      source = snd (List.hd r.Engine.sources);
     }
-  in
-  let ticks = ref 0 in
-  let rec loop () =
-    bump (fun m -> { m with Metrics.steps = m.Metrics.steps + 1 });
-    if (!m).Metrics.steps > max_steps then
-      raise (Run_error "simulation exceeded max_steps");
-    match Scheduler.pick sched (enabled ()) with
-    | Some Scheduler.Apply_update ->
-      apply_update ();
-      loop ()
-    | Some Scheduler.Source_receive ->
-      source_receive ();
-      loop ()
-    | Some Scheduler.Warehouse_receive ->
-      warehouse_receive ();
-      loop ()
-    | None ->
-      if not (Messaging.Network.idle net) then begin
-        (* Messages are in flight but not yet deliverable — delayed
-           transmissions ripening, or reliability-layer frames awaiting
-           acks/retransmission. Advance the transport clock one tick and
-           re-examine; the tick is a scheduler decision, so faulty runs
-           stay deterministic. *)
-        Messaging.Network.tick net;
-        incr ticks;
-        loop ()
-      end
-      else begin
-        let reaction = Warehouse.quiesce warehouse in
-        ship_queries reaction.Warehouse.queries;
-        watch_installs reaction.Warehouse.installs;
-        if
-          reaction.Warehouse.queries <> []
-          || reaction.Warehouse.installs <> []
-        then begin
-          Trace.record trace
-            (Trace.Quiesce_probe
-               {
-                 queries = reaction.Warehouse.queries;
-                 installs = reaction.Warehouse.installs;
-               });
-          loop ()
-        end
-      end
-  in
-  loop ();
-  bump (fun m ->
-      let r =
-        match Messaging.Network.reliability net with
-        | Some s ->
-          {
-            Metrics.no_delivery with
-            Metrics.retransmits = s.Messaging.Reliable.retransmits;
-            dups_dropped = s.Messaging.Reliable.dups_dropped;
-            acks = s.Messaging.Reliable.acks_sent;
-            delivered = s.Messaging.Reliable.delivered;
-            latency_total = s.Messaging.Reliable.latency_total;
-            latency_max = s.Messaging.Reliable.latency_max;
-          }
-        | None -> Metrics.no_delivery
-      in
-      {
-        m with
-        Metrics.delivery =
-          {
-            r with
-            Metrics.ticks = !ticks;
-            msgs_dropped = Messaging.Network.total_dropped net;
-            msgs_duplicated = Messaging.Network.total_duplicated net;
-            wire_messages = Messaging.Network.total_messages net;
-            wire_bytes = Messaging.Network.total_bytes net;
-          };
-      });
-  let reports =
-    List.map
-      (fun (v : R.Viewdef.t) ->
-        let name = v.R.Viewdef.name in
-        ( name,
-          Consistency.check
-            ~source_states:(Trace.source_states trace name)
-            ~warehouse_states:(Trace.warehouse_states trace name) ))
-      views
-  in
-  {
-    trace;
-    metrics = !m;
-    reports;
-    final_mvs = Warehouse.mvs warehouse;
-    final_source_views = !snapshots;
-    negative_installs = List.rev !negative_installs;
-    source;
-  }
+  | exception Engine.Engine_error msg -> raise (Run_error msg)
 
 let run ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout

@@ -1,14 +1,17 @@
-(** The simulation driver: wires one source, the FIFO network and a
-    warehouse together, replays an update stream under a chosen
-    interleaving policy, and returns the trace, the Section-6 metrics and
-    the Section-3 consistency verdicts.
+(** The single-source simulation driver: wires one source, the FIFO
+    network and a warehouse together, replays an update stream under a
+    chosen interleaving policy, and returns the trace, the Section-6
+    metrics and the Section-3 consistency verdicts.
 
     Every iteration executes exactly one atomic event — a source update
     (plus its notification), a query answered at the source, or one
     message processed at the warehouse — so the recorded state sequences
     are exactly the paper's event semantics. When nothing is enabled the
     warehouse gets a quiescence probe (this is where RV issues its final
-    recompute); the run ends when the probe produces no new work. *)
+    recompute); the run ends when the probe produces no new work.
+
+    This is a thin wrapper over the one-site special case of {!Engine};
+    the golden-trace suite pins the equivalence byte-for-byte. *)
 
 module R := Relational
 
@@ -35,7 +38,7 @@ type result = {
     [View.make]): the substituted delta query evaluated on the post-update
     state is precisely V(D∘u) − V(D). [Recompute] keeps the full
     re-evaluation as a cross-checking escape hatch. *)
-type oracle =
+type oracle = Engine.oracle =
   | Incremental
   | Recompute
 

@@ -9,6 +9,17 @@ type enabled = {
   can_warehouse : bool;
 }
 
+type event =
+  | Apply
+  | Site_source of int
+  | Site_warehouse of int
+
+type multi = {
+  update_ready : bool;
+  source_ready : bool array;
+  warehouse_ready : bool array;
+}
+
 exception Schedule_error of string
 
 type policy =
@@ -17,6 +28,8 @@ type policy =
   | Round_robin
   | Random of int
   | Explicit of action list
+  | Drain_first
+  | Updates_first
 
 type t = {
   policy : policy;
@@ -28,6 +41,16 @@ type t = {
 let create policy =
   let seed = match policy with Random s -> s | _ -> 0 in
   let script = match policy with Explicit l -> l | _ -> [] in
+  (* The federation aliases are exactly the two extreme cases generalized
+     to several sites: draining delivers and answers everything in flight
+     before the next update (Best_case), updates-first pushes the whole
+     stream into the system before any query is answered (Worst_case). *)
+  let policy =
+    match policy with
+    | Drain_first -> Best_case
+    | Updates_first -> Worst_case
+    | p -> p
+  in
   { policy; script; rotation = 0; rng = Random.State.make [| seed |] }
 
 let enabled_list e =
@@ -39,64 +62,138 @@ let enabled_list e =
       (e.can_warehouse, Warehouse_receive);
     ]
 
-let action_enabled e = function
-  | Apply_update -> e.can_update
-  | Source_receive -> e.can_source
-  | Warehouse_receive -> e.can_warehouse
-
 let action_name = function
   | Apply_update -> "apply-update"
   | Source_receive -> "source-receive"
   | Warehouse_receive -> "warehouse-receive"
 
+let sites m = Array.length m.source_ready
+
+let event_enabled m = function
+  | Apply -> m.update_ready
+  | Site_source i -> m.source_ready.(i)
+  | Site_warehouse i -> m.warehouse_ready.(i)
+
+(* The fixed event order over the site graph, generalizing the single-site
+   [Apply_update; Source_receive; Warehouse_receive]: the update stream
+   first, then each site's two receive events in site order. Round_robin
+   rotates over it; Random draws uniformly from its enabled sublist. *)
+let event_order m =
+  Array.init
+    ((2 * sites m) + 1)
+    (fun i ->
+      if i = 0 then Apply
+      else
+        let s = (i - 1) / 2 in
+        if (i - 1) mod 2 = 0 then Site_source s else Site_warehouse s)
+
+let enabled_events m =
+  Array.to_list (event_order m) |> List.filter (event_enabled m)
+
+let find_first m mk =
+  let n = sites m in
+  let rec go i = if i = n then None else
+      let ev = mk i in
+      if event_enabled m ev then Some ev else go (i + 1)
+  in
+  go 0
+
 (* Best case: drain every message before touching the next update — each
    query is answered before the next update occurs, so no compensation is
-   ever needed. Worst case: push every update into the system before any
-   query is answered — every query compensates every preceding update. *)
+   ever needed. Probes sites in order, source end before warehouse end.
+   Worst case: push every update into the system before any query is
+   answered — every query compensates every preceding update; warehouse
+   deliveries beat source answers so notifications pile up first. *)
+let best_case m =
+  let rec go i =
+    if i = sites m then if m.update_ready then Some Apply else None
+    else if m.source_ready.(i) then Some (Site_source i)
+    else if m.warehouse_ready.(i) then Some (Site_warehouse i)
+    else go (i + 1)
+  in
+  go 0
+
+let worst_case m =
+  if m.update_ready then Some Apply
+  else
+    match find_first m (fun i -> Site_warehouse i) with
+    | Some _ as ev -> ev
+    | None -> find_first m (fun i -> Site_source i)
+
+let scripted_event m a =
+  let missing () =
+    raise
+      (Schedule_error
+         (Printf.sprintf "scripted action %s is not enabled" (action_name a)))
+  in
+  match a with
+  | Apply_update -> if m.update_ready then Apply else missing ()
+  | Source_receive -> (
+    match find_first m (fun i -> Site_source i) with
+    | Some ev -> ev
+    | None -> missing ())
+  | Warehouse_receive -> (
+    match find_first m (fun i -> Site_warehouse i) with
+    | Some ev -> ev
+    | None -> missing ())
+
+let pick_multi t m =
+  if (not m.update_ready)
+     && (not (Array.exists Fun.id m.source_ready))
+     && not (Array.exists Fun.id m.warehouse_ready)
+  then None
+  else
+    match t.policy with
+    | Best_case | Drain_first -> best_case m
+    | Worst_case | Updates_first -> worst_case m
+    | Round_robin ->
+      (* Rotate over the fixed event order, skipping disabled events —
+         indexing the cursor into the filtered enabled list would make
+         the rotation depend on how many events happen to be enabled,
+         so the cursor would not actually advance over the events. *)
+      let order = event_order m in
+      let n = Array.length order in
+      let rec probe k =
+        if k = n then None
+        else
+          let idx = (t.rotation + k) mod n in
+          let ev = order.(idx) in
+          if event_enabled m ev then begin
+            t.rotation <- idx + 1;
+            Some ev
+          end
+          else probe (k + 1)
+      in
+      probe 0
+    | Random _ ->
+      let choices = enabled_events m in
+      let n = List.length choices in
+      Some (List.nth choices (Random.State.int t.rng n))
+    | Explicit _ -> (
+      match t.script with
+      | [] ->
+        (* Script exhausted: finish the run deterministically. *)
+        best_case m
+      | a :: rest ->
+        let ev = scripted_event m a in
+        t.script <- rest;
+        Some ev)
+
+(* The single-site interface is the site graph with one source: the event
+   order degenerates to [Apply; Site_source 0; Site_warehouse 0], which is
+   exactly the historical [Apply_update; Source_receive; Warehouse_receive]
+   rotation/choice order, so every policy — including the stateful ones —
+   behaves identically through either entry point. *)
 let pick t e =
-  match enabled_list e with
-  | [] -> None
-  | choices ->
-    let by_priority order =
-      List.find_opt (fun a -> action_enabled e a) order
-    in
-    (match t.policy with
-     | Best_case ->
-       by_priority [ Source_receive; Warehouse_receive; Apply_update ]
-     | Worst_case ->
-       by_priority [ Apply_update; Warehouse_receive; Source_receive ]
-     | Round_robin ->
-       (* Rotate over the fixed action order, skipping disabled actions —
-          indexing the cursor into the filtered enabled list would make
-          the rotation depend on how many actions happen to be enabled,
-          so the cursor would not actually advance over the actions. *)
-       let order = [| Apply_update; Source_receive; Warehouse_receive |] in
-       let n = Array.length order in
-       let rec probe k =
-         if k = n then None
-         else
-           let idx = (t.rotation + k) mod n in
-           let a = order.(idx) in
-           if action_enabled e a then begin
-             t.rotation <- idx + 1;
-             Some a
-           end
-           else probe (k + 1)
-       in
-       probe 0
-     | Random _ ->
-       let n = List.length choices in
-       Some (List.nth choices (Random.State.int t.rng n))
-     | Explicit _ -> (
-       match t.script with
-       | [] ->
-         (* Script exhausted: finish the run deterministically. *)
-         by_priority [ Source_receive; Warehouse_receive; Apply_update ]
-       | a :: rest ->
-         if not (action_enabled e a) then
-           raise
-             (Schedule_error
-                (Printf.sprintf "scripted action %s is not enabled"
-                   (action_name a)));
-         t.script <- rest;
-         Some a))
+  let m =
+    {
+      update_ready = e.can_update;
+      source_ready = [| e.can_source |];
+      warehouse_ready = [| e.can_warehouse |];
+    }
+  in
+  match pick_multi t m with
+  | None -> None
+  | Some Apply -> Some Apply_update
+  | Some (Site_source _) -> Some Source_receive
+  | Some (Site_warehouse _) -> Some Warehouse_receive

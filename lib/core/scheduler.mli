@@ -3,17 +3,22 @@
     The anomaly phenomenon — and the best/worst cases of the performance
     study — are entirely determined by how source updates interleave with
     query answering. The scheduler picks the next atomic event among the
-    currently enabled ones:
+    currently enabled ones. Over the general site graph (one warehouse,
+    N sources — see {!Engine}) the events are:
 
-    - [Apply_update]: the source executes the next workload update and
-      sends the notification (an [S_up] event);
-    - [Source_receive]: the source takes the next query off its channel
+    - [Apply]: the next workload update executes at its owning source,
+      which sends the notification (an [S_up] event);
+    - [Site_source i]: source [i] takes the next query off its channel
       and answers it (an [S_qu] event);
-    - [Warehouse_receive]: the warehouse processes the next incoming
-      message (a [W_up] or [W_ans] event).
+    - [Site_warehouse i]: the warehouse processes the next incoming
+      message from source [i] (a [W_up] or [W_ans] event).
 
-    FIFO channel order is preserved regardless of the policy, matching the
-    paper's delivery assumptions. *)
+    The historical single-site vocabulary ({!action}/{!enabled}/{!pick})
+    is the [N = 1] specialization and is implemented as exactly that, so
+    the two entry points cannot drift apart.
+
+    FIFO channel order is preserved per edge regardless of the policy,
+    matching the paper's delivery assumptions. *)
 
 type action =
   | Apply_update
@@ -26,28 +31,58 @@ type enabled = {
   can_warehouse : bool;
 }
 
+type event =
+  | Apply  (** execute the next workload update at its owning source *)
+  | Site_source of int  (** source [i] answers its next pending query *)
+  | Site_warehouse of int
+      (** the warehouse processes the next message from source [i] *)
+
+type multi = {
+  update_ready : bool;
+  source_ready : bool array;  (** per site, indexed as in the site graph *)
+  warehouse_ready : bool array;
+}
+(** The enabled-event sets of a site graph; the arrays must have equal
+    length (one slot per source). *)
+
 exception Schedule_error of string
 
 type policy =
   | Best_case
       (** drain all messages between updates: queries never overlap
-          updates; ECA behaves exactly like Algorithm 5.1 *)
+          updates; ECA behaves exactly like Algorithm 5.1. Sites are
+          probed in order, source end before warehouse end. *)
   | Worst_case
       (** all updates enter the system before any query is answered:
           every query compensates every preceding update *)
-  | Round_robin  (** rotate among the enabled actions *)
-  | Random of int  (** uniform among enabled actions, seeded *)
+  | Round_robin
+      (** rotate over the fixed event order — the update stream, then
+          each site's source and warehouse ends in site order *)
+  | Random of int  (** uniform among enabled events, seeded *)
   | Explicit of action list
       (** play exactly this action sequence (used by the paper-example
-          tests); raises {!Schedule_error} on a disabled action, and
-          falls back to [Best_case] when exhausted *)
+          tests); over several sites each action resolves to the first
+          site where it is enabled; raises {!Schedule_error} on a
+          disabled action, and falls back to [Best_case] when
+          exhausted *)
+  | Drain_first
+      (** deprecated federation alias of [Best_case] — deliver and
+          answer everything in flight before the next update *)
+  | Updates_first
+      (** deprecated federation alias of [Worst_case] — push every
+          update into the system before answering queries *)
 
 type t
 
 val create : policy -> t
 
 val pick : t -> enabled -> action option
-(** The next action, or [None] when nothing is enabled. *)
+(** The next action over a single-site graph, or [None] when nothing is
+    enabled. Equivalent to {!pick_multi} with one source. *)
+
+val pick_multi : t -> multi -> event option
+(** The next event over the site graph, or [None] when nothing is
+    enabled. *)
 
 val action_name : action -> string
 val enabled_list : enabled -> action list

@@ -10,6 +10,7 @@ type t = {
   routes : (int, int * int) Hashtbl.t;  (* gid -> (instance idx, local id) *)
   mutable next_gid : int;
   mutable installs_log : (string * R.Bag.t) list;  (* newest first *)
+  mutable anomalies : string list;  (* misrouted messages, newest first *)
 }
 
 type reaction = {
@@ -26,6 +27,7 @@ let create pairs =
     routes = Hashtbl.create 64;
     next_gid = 0;
     installs_log = [];
+    anomalies = [];
   }
 
 let of_creator ~creator ~configs =
@@ -96,17 +98,28 @@ let handle_answer t ~gid answer =
     Hashtbl.remove t.routes gid;
     lift t idx (t.hosted.(idx).inst.Algorithm.on_answer ~id:lid answer)
 
-let handle_message t = function
+(* Dispatch is total: a message of a kind the warehouse never legitimately
+   receives — a query echoed back, or a protocol frame leaking past the
+   reliability sublayer — is recorded as an anomaly and ignored rather
+   than crashing the site. A warehouse is a long-running service; one
+   misrouted message must not take down every hosted view. *)
+let anomaly t reason msg =
+  t.anomalies <-
+    Format.asprintf "%s: %a" reason Messaging.Message.pp msg :: t.anomalies;
+  no_reaction
+
+let handle_message t msg =
+  match msg with
   | Messaging.Message.Update_note u -> handle_update t u
   | Messaging.Message.Batch_note us -> handle_batch t us
   | Messaging.Message.Answer { id; answer; cost = _ } ->
     handle_answer t ~gid:id answer
   | Messaging.Message.Query _ ->
-    invalid_arg "Warehouse.handle_message: warehouses do not receive queries"
+    anomaly t "warehouses do not receive queries" msg
   | Messaging.Message.Data _ | Messaging.Message.Ack _ ->
-    invalid_arg
-      "Warehouse.handle_message: protocol frames belong to the reliability \
-       sublayer"
+    anomaly t "protocol frame leaked past the reliability sublayer" msg
+
+let anomalies t = List.rev t.anomalies
 
 let quiesce t =
   let r = ref no_reaction in

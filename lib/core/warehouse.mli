@@ -44,8 +44,15 @@ val handle_answer : t -> gid:int -> R.Bag.t -> reaction
 (** A [W_ans] event, routed to the owning instance. *)
 
 val handle_message : t -> Messaging.Message.t -> reaction
-(** Dispatch on the message kind.
-    @raise Invalid_argument on [Query] messages. *)
+(** Dispatch on the message kind. Total: message kinds the warehouse
+    never legitimately receives ([Query], and the [Data]/[Ack] frames
+    that belong to the reliability sublayer) are recorded as anomalies
+    (see {!anomalies}) and produce {!no_reaction} — a misrouted message
+    must not take down every hosted view. *)
+
+val anomalies : t -> string list
+(** Human-readable records of misrouted messages, oldest first; empty on
+    every well-formed run. *)
 
 val quiesce : t -> reaction
 (** Forward [on_quiesce] to all instances (RV's final recompute). *)

@@ -12,9 +12,10 @@ type direction =
   | To_warehouse
   | To_source
 
-let create ?(fault = Fault.none) ?(seed = 0) ?(reliable = false) ?timeout () =
-  let to_warehouse = Channel.create ~fault ~seed "source->warehouse" in
-  let to_source = Channel.create ~fault ~seed:(seed + 1) "warehouse->source" in
+let create ?(name = "source") ?(fault = Fault.none) ?(seed = 0)
+    ?(reliable = false) ?timeout () =
+  let to_warehouse = Channel.create ~fault ~seed (name ^ "->warehouse") in
+  let to_source = Channel.create ~fault ~seed:(seed + 1) ("warehouse->" ^ name) in
   let transport =
     if reliable then
       Via_reliable (Reliable.create ?timeout ~to_warehouse ~to_source ())

@@ -16,6 +16,7 @@ type direction =
   | To_source
 
 val create :
+  ?name:string ->
   ?fault:Fault.profile ->
   ?seed:int ->
   ?reliable:bool ->
@@ -25,7 +26,9 @@ val create :
 (** [fault] applies to both directions (the reverse channel derives its
     RNG seed from [seed + 1]); [timeout] is the reliability sublayer's
     retransmission timer in ticks (default 3, meaningful only with
-    [~reliable:true]). *)
+    [~reliable:true]). [name] labels the source end of the channel pair
+    ("[name]->warehouse" / "warehouse->[name]", default ["source"]) so a
+    site-graph with several sources gets distinguishable wires. *)
 
 val channel : t -> direction -> Channel.t
 (** The underlying wire channel — physical counters live here. With a

@@ -58,5 +58,13 @@ if ! diff -u "$tmp/out_seq" "$tmp/out_par" > "$tmp/out.diff"; then
   exit 1
 fi
 
+# The federated bench section must be present: it is the only section
+# exercising the per-site delivery breakdown (schema v4), so losing it
+# would silently shrink what this determinism check covers.
+if ! grep -q '"figure": "Federation' "$tmp/seq/BENCH_results.json"; then
+  echo "check_determinism: FAIL — federation section missing from bench output" >&2
+  exit 1
+fi
+
 runs=$(grep -c '"figure"' "$tmp/seq/BENCH_results.json" || true)
 echo "check_determinism: OK — $runs runs identical between PAR=1 and PAR=$par (modulo wall clocks)"

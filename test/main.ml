@@ -18,6 +18,8 @@ let () =
       ("timing", Test_timing.suite);
       ("csv-json", Test_csv_json.suite);
       ("runner", Test_runner.suite);
+      ("golden", Test_golden.suite);
+      ("engine", Test_engine.suite);
       ("faults", Test_faults.suite);
       ("reliable", Test_reliable.suite);
       ("compound-views", Test_compound.suite);

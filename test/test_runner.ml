@@ -88,18 +88,32 @@ let warehouse_routes_answers () =
     (Core.Warehouse.handle_answer wh ~gid:999 R.Bag.empty
      = Core.Warehouse.no_reaction)
 
-let warehouse_rejects_queries () =
+(* Dispatch is total: message kinds the warehouse never legitimately
+   receives are absorbed as recorded anomalies — a misrouted message must
+   not take down every hosted view (used to raise Invalid_argument). *)
+let warehouse_absorbs_misrouted_messages () =
   let db = small_db () in
   let wh =
     Core.Warehouse.of_creator ~creator:Core.Eca.instance
       ~configs:[ Core.Algorithm.Config.of_view_db (view_w ()) db ]
   in
-  match
-    Core.Warehouse.handle_message wh
-      (Messaging.Message.Query { id = 0; query = R.Query.empty })
-  with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "expected Invalid_argument"
+  let mv_before = Option.get (Core.Warehouse.mv wh "V") in
+  check_bool "a query produces no reaction" true
+    (Core.Warehouse.handle_message wh
+       (Messaging.Message.Query { id = 0; query = R.Query.empty })
+    = Core.Warehouse.no_reaction);
+  check_bool "a protocol frame produces no reaction" true
+    (Core.Warehouse.handle_message wh
+       (Messaging.Message.Ack { cum = 3 })
+    = Core.Warehouse.no_reaction);
+  check_int "both anomalies recorded" 2
+    (List.length (Core.Warehouse.anomalies wh));
+  check_bag "hosted state untouched" mv_before
+    (Option.get (Core.Warehouse.mv wh "V"));
+  (* legitimate traffic still flows after the anomaly *)
+  let reaction = Core.Warehouse.handle_update wh (ins "r2" [ 2; 3 ]) in
+  check_int "still reacts to updates" 1
+    (List.length reaction.Core.Warehouse.queries)
 
 let install_history_accumulates () =
   let db = small_db () in
@@ -273,8 +287,8 @@ let suite =
     Alcotest.test_case "trace entry order" `Quick trace_entry_order;
     Alcotest.test_case "warehouse routes answers" `Quick
       warehouse_routes_answers;
-    Alcotest.test_case "warehouse rejects queries" `Quick
-      warehouse_rejects_queries;
+    Alcotest.test_case "warehouse absorbs misrouted messages" `Quick
+      warehouse_absorbs_misrouted_messages;
     Alcotest.test_case "install history" `Quick install_history_accumulates;
     Alcotest.test_case "source event log" `Quick source_event_log;
     Alcotest.test_case "runner rejects bad batch size" `Quick
