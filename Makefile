@@ -39,6 +39,7 @@ smoke:
 	dune runtest
 	dune exec test/main.exe -- test faults
 	dune exec test/main.exe -- test reliable
+	dune exec test/main.exe -- test observe
 	dune exec test/main.exe -- test golden
 	dune exec test/main.exe -- test engine
 	dune build bench/main.exe

@@ -152,6 +152,11 @@ let scan_json_float ~field path =
 let seed_quick_wall_clock_s =
   scan_json_float ~field:"seed_quick_wall_clock_s" "bench/baseline.json"
 
+(* Pre-rendered JSON for the top-level "observe" object (schema v5),
+   filled by [ablation_observe]. Rendered once there so the writer stays
+   a dumb serializer. *)
+let observe_json : string option ref = ref None
+
 let write_json ~path ~mode ~total_wall_s =
   let oc = open_out path in
   Fun.protect
@@ -161,7 +166,7 @@ let write_json ~path ~mode ~total_wall_s =
         List.fold_left (fun acc r -> acc +. r.r_wall_s) 0.0 !json_runs
       in
       Printf.fprintf oc "{\n";
-      Printf.fprintf oc "  \"schema_version\": 4,\n";
+      Printf.fprintf oc "  \"schema_version\": 5,\n";
       Printf.fprintf oc "  \"mode\": \"%s\",\n" (json_escape mode);
       Printf.fprintf oc "  \"workers\": %d,\n" workers;
       Printf.fprintf oc "  \"total_wall_clock_s\": %.3f,\n" total_wall_s;
@@ -170,6 +175,9 @@ let write_json ~path ~mode ~total_wall_s =
       Printf.fprintf oc "  \"sum_run_wall_clock_s\": %.3f,\n" sum_run_wall_s;
       (match seed_quick_wall_clock_s with
       | Some s -> Printf.fprintf oc "  \"seed_quick_wall_clock_s\": %.3f,\n" s
+      | None -> ());
+      (match !observe_json with
+      | Some s -> Printf.fprintf oc "  \"observe\": %s,\n" s
       | None -> ());
       Printf.fprintf oc "  \"runs\": [";
       List.iteri
@@ -868,6 +876,118 @@ let ablation_reliability () =
         (if ok then "yes" else "NO"))
     cells
 
+let ablation_observe () =
+  header "Ablation: observability layer (ECA, reliable chaos, k=20)";
+  let spec = spec_for ~c:50 ~k:20 ~seed:11 () in
+  let { W.Scenarios.db; view; updates } = W.Scenarios.example6 spec in
+  let run ~observe () =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Core.Runner.run
+        ~schedule:(Core.Scheduler.Random 11)
+        ~fault:W.Scenarios.chaos_profile ~fault_seed:23 ~reliable:true ~observe
+        ~creator:(Core.Registry.creator_exn "eca")
+        ~views:[ view ] ~db ~updates ()
+    in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let t_off, off = run ~observe:false () in
+  let t_on, on = run ~observe:true () in
+  (* Spans off must cost nothing observable: same seeds, same schedule,
+     and — with the summary erased — the exact same exported bytes. *)
+  let scrubbed =
+    {
+      on with
+      Core.Runner.metrics =
+        { on.Core.Runner.metrics with Core.Metrics.observe = None };
+    }
+  in
+  let identical =
+    String.equal (Core.Json_export.result off) (Core.Json_export.result scrubbed)
+  in
+  (* Overhead as best-of-3 per path (the first pair above warmed the plan
+     caches), so one descheduled run does not dominate the ratio. *)
+  let best t0 f =
+    Float.min t0 (Float.min (fst (f ())) (fst (f ())))
+  in
+  let t_off = best t_off (run ~observe:false) in
+  let t_on = best t_on (run ~observe:true) in
+  let overhead = t_on /. Float.max 1e-9 t_off in
+  let measured (r : Core.Runner.result) =
+    let m = r.Core.Runner.metrics in
+    {
+      m_messages = Core.Metrics.messages m;
+      m_tuples = m.Core.Metrics.answer_tuples;
+      m_bytes = Core.Metrics.bytes_for ~s:s_bytes m;
+      m_io = m.Core.Metrics.source_io;
+    }
+  in
+  record ~algorithm:"eca[chaos/reliable/spans-off]" ~wall_s:t_off (measured off);
+  record ~algorithm:"eca[chaos/reliable/spans-on]" ~wall_s:t_on (measured on);
+  let o =
+    match on.Core.Runner.metrics.Core.Metrics.observe with
+    | Some o -> o
+    | None -> failwith "observed run produced no observe summary"
+  in
+  Printf.printf "spans-off output byte-identical to the unobserved run: %s\n"
+    (if identical then "yes" else "NO");
+  Printf.printf
+    "spans: %d (forced %d, dropped %d)  gauges: %d  compensations: %d  \
+     collect installs: %d (depth max %d)\n"
+    o.Core.Metrics.spans o.Core.Metrics.span_forced o.Core.Metrics.span_dropped
+    o.Core.Metrics.gauges o.Core.Metrics.compensations
+    o.Core.Metrics.collect_installs o.Core.Metrics.collect_depth_max;
+  Printf.printf "UQS residency: %d samples, mean %.2f engine steps\n"
+    o.Core.Metrics.uqs_residency.Core.Metrics.samples
+    (Core.Metrics.hist_mean o.Core.Metrics.uqs_residency);
+  List.iter
+    (fun (v, s) ->
+      Printf.printf
+        "staleness[%s]: final %d, max %d, quiesce max %d (%d samples)\n" v
+        s.Core.Metrics.stale_final s.Core.Metrics.stale_max
+        s.Core.Metrics.stale_quiesce_max s.Core.Metrics.stale_samples)
+    o.Core.Metrics.staleness;
+  (* check_determinism.sh strips this line: wall-clock ratios are noise
+     between any two runs. *)
+  Printf.printf "observe overhead (spans on / spans off): %.2fx\n" overhead;
+  if not identical then
+    failwith "observability layer changed the spans-off output";
+  let staleness_json =
+    String.concat ", "
+      (List.map
+         (fun (v, s) ->
+           Printf.sprintf
+             "{ \"view\": \"%s\", \"final\": %d, \"max\": %d, \
+              \"quiesce_max\": %d, \"samples\": %d }"
+             (json_escape v) s.Core.Metrics.stale_final s.Core.Metrics.stale_max
+             s.Core.Metrics.stale_quiesce_max s.Core.Metrics.stale_samples)
+         o.Core.Metrics.staleness)
+  in
+  observe_json :=
+    Some
+      (Printf.sprintf
+         "{\n\
+         \    \"byte_identical_off\": %b,\n\
+         \    \"overhead_x\": %.3f,\n\
+         \    \"spans\": %d,\n\
+         \    \"span_forced\": %d,\n\
+         \    \"span_dropped\": %d,\n\
+         \    \"gauges\": %d,\n\
+         \    \"compensations\": %d,\n\
+         \    \"collect_installs\": %d,\n\
+         \    \"collect_depth_max\": %d,\n\
+         \    \"uqs_residency_samples\": %d,\n\
+         \    \"uqs_residency_mean\": %.3f,\n\
+         \    \"staleness\": [ %s ]\n\
+         \  }"
+         identical overhead o.Core.Metrics.spans o.Core.Metrics.span_forced
+         o.Core.Metrics.span_dropped o.Core.Metrics.gauges
+         o.Core.Metrics.compensations o.Core.Metrics.collect_installs
+         o.Core.Metrics.collect_depth_max
+         o.Core.Metrics.uqs_residency.Core.Metrics.samples
+         (Core.Metrics.hist_mean o.Core.Metrics.uqs_residency)
+         staleness_json)
+
 let ablation_compound_views () =
   header "Extension: union/difference views (Section 7; k=30, worst case)";
   let spec = spec_for ~c:100 ~k:30 () in
@@ -1144,6 +1264,7 @@ let () =
   ablation_scan_sharing ();
   ablation_skew ();
   ablation_reliability ();
+  ablation_observe ();
   ablation_compound_views ();
   bench_federation ();
   if not quick then bechamel_section ();

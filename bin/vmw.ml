@@ -120,6 +120,16 @@ let load_arg =
            by the TABLE declaration); repeatable. Replaces any initial \
            INSERTs into that relation.")
 
+let trace_out_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE.jsonl"
+        ~doc:
+          "Write the observability span/gauge stream (DESIGN.md \u{00a7}4f) \
+           to $(docv) as JSON Lines. Implies collecting spans; without this \
+           flag the run is entirely uninstrumented.")
+
 let batch_arg =
   Cmdliner.Arg.(
     value & opt int 1
@@ -159,7 +169,7 @@ let catalog_for scenario =
   else Workload.Scenarios.catalog_scenario1 ()
 
 let run_script path algorithm schedule rv_period scenario trace json loads
-    batch_size timing =
+    batch_size timing trace_out =
   match
     let text = read_file path in
     let script = R.Parser.parse_script text in
@@ -177,7 +187,7 @@ let run_script path algorithm schedule rv_period scenario trace json loads
     in
     Core.Runner.run_defs
       ~catalog:(catalog_for scenario)
-      ~schedule ~rv_period ~batch_size
+      ~schedule ~rv_period ~batch_size ?trace_out
       ~creator:
         (Core.Timing.creator timing (Core.Registry.creator_exn algorithm))
       ~views:script.R.Script.views ~db ~updates:script.R.Script.updates ()
@@ -458,11 +468,11 @@ let run_cmd =
   let doc = "Replay a warehouse script and report the view and its verdict" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun p a s rv sc t j l b tm ->
-          exits_of (run_script p a s rv sc t j l b tm))
+      const (fun p a s rv sc t j l b tm to_ ->
+          exits_of (run_script p a s rv sc t j l b tm to_))
       $ script_arg $ algorithm_arg $ schedule_arg $ rv_period_arg
       $ scenario_arg $ trace_arg $ json_arg $ load_arg $ batch_arg
-      $ timing_arg)
+      $ timing_arg $ trace_out_arg)
 
 let demo_cmd =
   let doc = "Show the view-maintenance anomaly and ECA's fix" in

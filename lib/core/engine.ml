@@ -47,9 +47,39 @@ type site_state = {
   mutable ticks : int;  (* transport-clock advances on this edge *)
 }
 
+(* Mutable bookkeeping of the observability layer, live only when a
+   collector was passed in. Spans over in-flight messages are matched by
+   their protocol ids (update seq for notes, query gid for queries and
+   answers); duplicates delivered by a faulty edge find their span
+   already closed and are ignored, and messages lost forever are
+   force-closed at end of run. *)
+type obs_per_view = {
+  mutable ov_last_match : int;  (* clock of the last oracle match *)
+  mutable ov_samples : int;
+  mutable ov_sum : int;
+  mutable ov_max : int;
+  mutable ov_final : int;
+  mutable ov_quiesce_max : int;
+  mutable ov_collect_span : int option;  (* open Collect_install span *)
+  mutable ov_collect_depth : int;  (* answers currently parked *)
+}
+
+type obs_state = {
+  oc : Observe.Collector.t;
+  note_spans : (int * int, int) Hashtbl.t;  (* (site, first seq) -> span *)
+  query_spans : (int, int * int) Hashtbl.t;  (* gid -> (span, site) *)
+  answer_spans : (int, int) Hashtbl.t;  (* gid -> span *)
+  per_view : (string * obs_per_view) list;
+  edge_hist : Metrics.histogram array;  (* per site, message transit *)
+  uqs_hist : Metrics.histogram;  (* query ship -> answer processed *)
+  mutable compensations : int;
+  mutable collect_installs : int;
+  mutable collect_depth_max : int;
+}
+
 let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
     ?local_literal_eval ?(allow_cross_source = false) ?(max_steps = 2_000_000)
-    ?(oracle = Incremental) ~creator ~sites:specs ~views ~updates () =
+    ?(oracle = Incremental) ?observe ~creator ~sites:specs ~views ~updates () =
   if batch_size < 1 then raise (Engine_error "batch_size must be at least 1");
   if specs = [] then
     raise (Engine_error "a site graph needs at least one source");
@@ -209,6 +239,71 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
   let next_seq = ref 0 in
   let m = ref Metrics.zero in
   let bump f = m := f !m in
+  (* The spans' logical clock: the engine's step counter, bumped once per
+     scheduler decision before the event executes — deterministic across
+     PAR settings because the loop itself is single-threaded. *)
+  let now () = (!m).Metrics.steps in
+  let obs =
+    match observe with
+    | None -> None
+    | Some oc ->
+      Some
+        {
+          oc;
+          note_spans = Hashtbl.create 64;
+          query_spans = Hashtbl.create 64;
+          answer_spans = Hashtbl.create 64;
+          per_view =
+            List.map
+              (fun (v : R.Viewdef.t) ->
+                ( v.R.Viewdef.name,
+                  {
+                    ov_last_match = 0;
+                    ov_samples = 0;
+                    ov_sum = 0;
+                    ov_max = 0;
+                    ov_final = 0;
+                    ov_quiesce_max = 0;
+                    ov_collect_span = None;
+                    ov_collect_depth = 0;
+                  } ))
+              views;
+          edge_hist = Array.init n (fun _ -> Metrics.hist_create ());
+          uqs_hist = Metrics.hist_create ();
+          compensations = 0;
+          collect_installs = 0;
+          collect_depth_max = 0;
+        }
+  in
+  let with_obs f = match obs with None -> () | Some o -> f o in
+  (* The view/algorithm labels of a query gid, looked up while the
+     warehouse still routes it. *)
+  let gid_labels gid =
+    match Warehouse.gid_view warehouse gid with
+    | Some (view, algo) -> (view, algo)
+    | None -> ("", "")
+  in
+  (* Sample the per-view staleness gauge: ticks since the warehouse's
+     materialization last equalled the centralized oracle state. Sampled
+     after every state-changing event; [quiesce] marks drained-graph
+     probes, whose maximum is the strong-consistency witness. *)
+  let sample_staleness ?(quiesce = false) o =
+    let t = now () in
+    List.iter
+      (fun (name, ov) ->
+        (match (Warehouse.mv warehouse name, List.assoc_opt name !snapshots) with
+        | Some mv, Some snap when R.Bag.equal mv snap -> ov.ov_last_match <- t
+        | _ -> ());
+        let stale = t - ov.ov_last_match in
+        ov.ov_samples <- ov.ov_samples + 1;
+        ov.ov_sum <- ov.ov_sum + stale;
+        if stale > ov.ov_max then ov.ov_max <- stale;
+        ov.ov_final <- stale;
+        if quiesce && stale > ov.ov_quiesce_max then ov.ov_quiesce_max <- stale;
+        Observe.Collector.gauge o.oc ~name:"staleness" ~key:name ~now:t
+          ~value:stale)
+      o.per_view
+  in
   (* An installed view state with net-negative counts witnesses an
      over-deletion anomaly; correct algorithms never produce one. *)
   let negative_installs = ref [] in
@@ -239,6 +334,15 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
               query_bytes =
                 m.Metrics.query_bytes + Messaging.Message.byte_size msg;
             });
+        with_obs (fun o ->
+            (* Open for the whole round trip: this is the query's
+               residency in the algorithm's unanswered-query set. *)
+            let view, algo = gid_labels gid in
+            let sp =
+              Observe.Collector.open_span o.oc Observe.Span.Query_send ~view
+                ~algo ~site:sites.(i).spec_name ~ids:[ gid ] ~now:(now ()) ()
+            in
+            Hashtbl.replace o.query_spans gid (sp, i));
         Messaging.Network.send sites.(i).net Messaging.Network.To_source msg)
       queries
   in
@@ -285,6 +389,21 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
       Messaging.Network.send sites.(i).net Messaging.Network.To_warehouse note;
       bump (fun m ->
           { m with Metrics.updates = m.Metrics.updates + List.length batch });
+      with_obs (fun o ->
+          let seqs = List.map (fun u -> u.R.Update.seq) batch in
+          let site = sites.(i).spec_name in
+          Observe.Collector.instant o.oc Observe.Span.Source_apply ~site
+            ~ids:seqs ~now:(now ()) ();
+          (* The notification's flight, matched at the warehouse by the
+             batch's first update seq. *)
+          let sp =
+            Observe.Collector.open_span o.oc Observe.Span.Update_note ~site
+              ~ids:seqs ~now:(now ()) ()
+          in
+          (match seqs with
+          | s :: _ -> Hashtbl.replace o.note_spans (i, s) sp
+          | [] -> ());
+          sample_staleness o);
       Trace.record trace
         (Trace.Source_update
            { updates = batch; source_views = affected_views i })
@@ -303,6 +422,13 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
             m with
             Metrics.source_io = m.Metrics.source_io + cost.Storage.Cost.io;
           });
+      with_obs (fun o ->
+          let view, algo = gid_labels id in
+          let sp =
+            Observe.Collector.open_span o.oc Observe.Span.Answer_arrival ~view
+              ~algo ~site:sites.(i).spec_name ~ids:[ id ] ~now:(now ()) ()
+          in
+          Hashtbl.replace o.answer_spans id sp);
       Messaging.Network.send sites.(i).net Messaging.Network.To_warehouse
         (Messaging.Message.Answer { id; answer; cost });
       Trace.record trace (Trace.Source_answer { gid = id; answer; cost })
@@ -311,6 +437,58 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
         | Messaging.Message.Answer _ | Messaging.Message.Data _
         | Messaging.Message.Ack _ ) ->
       raise (Engine_error "source received a non-query message")
+  in
+  let algo_of_view name =
+    match List.assoc_opt name (Warehouse.algorithms warehouse) with
+    | Some a -> a
+    | None -> ""
+  in
+  (* A notification landed at the warehouse: close its flight span, then
+     derive one Compensation event per query still outstanding — those
+     are exactly the in-flight queries the algorithm must offset against
+     this update (Section 4's compensation). *)
+  let obs_note_arrival o i t seqs =
+    (match seqs with
+    | s :: _ -> (
+      match Hashtbl.find_opt o.note_spans (i, s) with
+      | Some sp ->
+        Hashtbl.remove o.note_spans (i, s);
+        (match Observe.Collector.close_span o.oc sp ~now:t with
+        | Some sp ->
+          Metrics.hist_add o.edge_hist.(i) (Observe.Span.duration sp)
+        | None -> ())
+      | None -> ())
+    | [] -> ());
+    let outstanding =
+      List.sort Int.compare
+        (Hashtbl.fold (fun gid _ acc -> gid :: acc) o.query_spans [])
+    in
+    List.iter
+      (fun gid ->
+        o.compensations <- o.compensations + 1;
+        let view, algo = gid_labels gid in
+        Observe.Collector.instant o.oc Observe.Span.Compensation ~view ~algo
+          ~site:sites.(i).spec_name
+          ~ids:(gid :: (match seqs with s :: _ -> [ s ] | [] -> []))
+          ~now:t ())
+      outstanding
+  in
+  (* Installs flush a view's parked answers: close its open
+     Collect_install span and reset the depth. *)
+  let obs_handle_installs o t installs =
+    List.iter
+      (fun (name, states) ->
+        o.collect_installs <- o.collect_installs + List.length states;
+        match List.assoc_opt name o.per_view with
+        | Some ov -> (
+          match ov.ov_collect_span with
+          | Some sp ->
+            ignore (Observe.Collector.close_span o.oc sp ~now:t);
+            ov.ov_collect_span <- None;
+            ov.ov_collect_depth <- 0
+          | None -> ())
+        | None -> ())
+      installs
   in
   let warehouse_receive i =
     match
@@ -330,9 +508,73 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
                  m.Metrics.answer_bytes + cost.Storage.Cost.answer_bytes;
              })
        | _ -> ());
+      (* The owning view of an incoming answer, read before
+         [handle_message] consumes the gid's route. *)
+      let answer_view =
+        match (obs, msg) with
+        | Some _, Messaging.Message.Answer { id; _ } -> (
+          match Warehouse.gid_view warehouse id with
+          | Some (view, _) -> Some view
+          | None -> None)
+        | _ -> None
+      in
+      with_obs (fun o ->
+          let t = now () in
+          match msg with
+          | Messaging.Message.Update_note u ->
+            obs_note_arrival o i t [ u.R.Update.seq ]
+          | Messaging.Message.Batch_note us ->
+            obs_note_arrival o i t (List.map (fun u -> u.R.Update.seq) us)
+          | Messaging.Message.Answer { id; _ } -> (
+            match Hashtbl.find_opt o.answer_spans id with
+            | Some sp ->
+              Hashtbl.remove o.answer_spans id;
+              (match Observe.Collector.close_span o.oc sp ~now:t with
+              | Some sp ->
+                Metrics.hist_add o.edge_hist.(i) (Observe.Span.duration sp)
+              | None -> ())
+            | None -> ())
+          | _ -> ());
       let reaction = Warehouse.handle_message warehouse msg in
       ship_queries reaction.Warehouse.queries;
       watch_installs reaction.Warehouse.installs;
+      with_obs (fun o ->
+          let t = now () in
+          (* The answer has been processed: its query's UQS residency
+             ends here, whether the result installed or parked. *)
+          (match msg with
+          | Messaging.Message.Answer { id; _ } -> (
+            match Hashtbl.find_opt o.query_spans id with
+            | Some (sp, _) ->
+              Hashtbl.remove o.query_spans id;
+              (match Observe.Collector.close_span o.oc sp ~now:t with
+              | Some sp ->
+                Metrics.hist_add o.uqs_hist (Observe.Span.duration sp)
+              | None -> ())
+            | None -> ())
+          | _ -> ());
+          obs_handle_installs o t reaction.Warehouse.installs;
+          (* An answer that installed nothing parked in COLLECT. *)
+          (match (msg, answer_view) with
+          | Messaging.Message.Answer _, Some name
+            when not (List.mem_assoc name reaction.Warehouse.installs) -> (
+            match List.assoc_opt name o.per_view with
+            | Some ov ->
+              ov.ov_collect_depth <- ov.ov_collect_depth + 1;
+              if ov.ov_collect_depth > o.collect_depth_max then
+                o.collect_depth_max <- ov.ov_collect_depth;
+              (match ov.ov_collect_span with
+              | Some _ -> ()
+              | None ->
+                ov.ov_collect_span <-
+                  Some
+                    (Observe.Collector.open_span o.oc
+                       Observe.Span.Collect_install ~view:name
+                       ~algo:(algo_of_view name) ~site:"warehouse" ~ids:[]
+                       ~now:t ()))
+            | None -> ())
+          | _ -> ());
+          sample_staleness o);
       (match msg with
        | Messaging.Message.Update_note u ->
          Trace.record trace
@@ -414,6 +656,12 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
         let reaction = Warehouse.quiesce warehouse in
         ship_queries reaction.Warehouse.queries;
         watch_installs reaction.Warehouse.installs;
+        with_obs (fun o ->
+            let t = now () in
+            obs_handle_installs o t reaction.Warehouse.installs;
+            Observe.Collector.instant o.oc Observe.Span.Quiescence
+              ~site:"warehouse" ~ids:[] ~now:t ();
+            sample_staleness ~quiesce:true o);
         if
           reaction.Warehouse.queries <> [] || reaction.Warehouse.installs <> []
         then begin
@@ -428,6 +676,43 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
       end
   in
   loop ();
+  (match obs with
+  | None -> ()
+  | Some o ->
+    (* Spans whose closing message was lost forever on a raw faulty edge
+       never terminate on their own — force-close them so every trace is
+       well-formed, and count them as lost frames. *)
+    Observe.Collector.close_all o.oc ~now:(now ());
+    let summary =
+      {
+        Metrics.spans = Observe.Collector.spans_recorded o.oc;
+        span_dropped = Observe.Collector.dropped o.oc;
+        span_forced = Observe.Collector.forced_closes o.oc;
+        gauges = Observe.Collector.gauges_recorded o.oc;
+        compensations = o.compensations;
+        collect_installs = o.collect_installs;
+        collect_depth_max = o.collect_depth_max;
+        uqs_residency = o.uqs_hist;
+        edge_latency =
+          Array.to_list
+            (Array.mapi (fun i h -> (sites.(i).spec_name, h)) o.edge_hist);
+        staleness =
+          List.map
+            (fun (name, ov) ->
+              ( name,
+                {
+                  Metrics.stale_samples = ov.ov_samples;
+                  stale_max = ov.ov_max;
+                  stale_mean =
+                    (if ov.ov_samples = 0 then 0.0
+                     else float_of_int ov.ov_sum /. float_of_int ov.ov_samples);
+                  stale_final = ov.ov_final;
+                  stale_quiesce_max = ov.ov_quiesce_max;
+                } ))
+            o.per_view;
+      }
+    in
+    bump (fun m -> { m with Metrics.observe = Some summary }));
   let site_delivery =
     Array.to_list
       (Array.map

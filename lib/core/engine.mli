@@ -89,6 +89,7 @@ val run :
   ?allow_cross_source:bool ->
   ?max_steps:int ->
   ?oracle:oracle ->
+  ?observe:Observe.Collector.t ->
   creator:Algorithm.creator ->
   sites:site_spec list ->
   views:R.Viewdef.t list ->
@@ -107,4 +108,11 @@ val run :
     @raise Engine_error when a relation is owned by two sources, a view
     uses an unowned relation or spans several sources without
     [~allow_cross_source], an update or query targets an unowned
-    relation, a protocol invariant breaks, or [max_steps] is exceeded. *)
+    relation, a protocol invariant breaks, or [max_steps] is exceeded.
+
+    With [?observe] the loop additionally emits a typed span per atomic
+    event into the collector — clocked by the deterministic step counter,
+    so traces reproduce exactly across runs — plus per-view staleness
+    gauges, and [result.metrics.observe] carries the derived summary.
+    Without it the engine takes no observability branch at all: metrics,
+    trace and reports are byte-identical to an unobserved build. *)

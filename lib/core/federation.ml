@@ -32,7 +32,7 @@ type result = {
    stream ([fault_seed + 2i] — a network pair consumes two seeds). *)
 let run ?(policy = Drain_first) ?allow_cross_source ?rv_period ?batch_size
     ?fault ?(fault_seed = 0) ?reliable ?retransmit_timeout ?max_steps ?oracle
-    ~creator ~sources ~views ~updates () =
+    ?(observe = false) ?trace_out ~creator ~sources ~views ~updates () =
   let sites =
     List.mapi
       (fun i (name, catalog, db) ->
@@ -40,13 +40,20 @@ let run ?(policy = Drain_first) ?allow_cross_source ?rv_period ?batch_size
           ?reliable ?retransmit_timeout ~name db)
       sources
   in
+  let collector =
+    if observe || trace_out <> None then Some (Observe.Collector.create ())
+    else None
+  in
   match
     Engine.run ~schedule:policy ?rv_period ?batch_size ?allow_cross_source
-      ?max_steps ?oracle ~creator ~sites
+      ?max_steps ?oracle ?observe:collector ~creator ~sites
       ~views:(List.map R.Viewdef.simple views)
       ~updates ()
   with
   | r ->
+    (match (trace_out, collector) with
+    | Some path, Some c -> Observe.Collector.write_file path c
+    | _ -> ());
     {
       reports = r.Engine.reports;
       final_mvs = r.Engine.final_mvs;

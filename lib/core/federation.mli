@@ -67,6 +67,8 @@ val run :
   ?retransmit_timeout:int ->
   ?max_steps:int ->
   ?oracle:Engine.oracle ->
+  ?observe:bool ->
+  ?trace_out:string ->
   creator:Algorithm.creator ->
   sources:(string * Storage.Catalog.t option * R.Db.t) list ->
   views:R.View.t list ->
@@ -82,6 +84,11 @@ val run :
     independently. [~reliable:true] runs the {!Messaging.Reliable}
     sublayer over each edge. [batch_size > 1] batches consecutive
     same-source updates into one notification.
+
+    [~observe:true] enables the engine's span/gauge layer (summary in
+    [metrics.observe]); [trace_out] exports the collected events as JSONL
+    to the given path and implies [observe]. Off by default, in which
+    case output is byte-identical to an unobserved run.
 
     @raise Federation_error when a relation is owned by two sources, a
     view spans several sources, or an update targets an unowned

@@ -52,19 +52,69 @@ let update (u : R.Update.t) =
       ("tuple", tuple u.R.Update.tuple);
     ]
 
-let metrics (m : Metrics.t) =
+let num f =
+  (* %.17g round-trips every float and stays locale-independent. *)
+  Printf.sprintf "%.17g" f
+
+let histogram (h : Metrics.histogram) =
   obj
     [
-      ("updates", string_of_int m.Metrics.updates);
-      ("messages", string_of_int (Metrics.messages m));
-      ("queries_sent", string_of_int m.Metrics.queries_sent);
-      ("answers_received", string_of_int m.Metrics.answers_received);
-      ("answer_tuples", string_of_int m.Metrics.answer_tuples);
-      ("answer_bytes", string_of_int m.Metrics.answer_bytes);
-      ("query_bytes", string_of_int m.Metrics.query_bytes);
-      ("source_io", string_of_int m.Metrics.source_io);
-      ("steps", string_of_int m.Metrics.steps);
+      ("samples", string_of_int h.Metrics.samples);
+      ("sum", string_of_int h.Metrics.sum);
+      ("max", string_of_int h.Metrics.hmax);
+      ("mean", num (Metrics.hist_mean h));
+      ( "buckets",
+        arr (Array.to_list (Array.map string_of_int h.Metrics.buckets)) );
     ]
+
+let staleness_gauge (s : Metrics.staleness_gauge) =
+  obj
+    [
+      ("samples", string_of_int s.Metrics.stale_samples);
+      ("max", string_of_int s.Metrics.stale_max);
+      ("mean", num s.Metrics.stale_mean);
+      ("final", string_of_int s.Metrics.stale_final);
+      ("quiesce_max", string_of_int s.Metrics.stale_quiesce_max);
+    ]
+
+let observe (o : Metrics.observe) =
+  obj
+    [
+      ("spans", string_of_int o.Metrics.spans);
+      ("span_dropped", string_of_int o.Metrics.span_dropped);
+      ("span_forced", string_of_int o.Metrics.span_forced);
+      ("gauges", string_of_int o.Metrics.gauges);
+      ("compensations", string_of_int o.Metrics.compensations);
+      ("collect_installs", string_of_int o.Metrics.collect_installs);
+      ("collect_depth_max", string_of_int o.Metrics.collect_depth_max);
+      ("uqs_residency", histogram o.Metrics.uqs_residency);
+      ( "edge_latency",
+        obj (List.map (fun (name, h) -> (name, histogram h)) o.Metrics.edge_latency) );
+      ( "staleness",
+        obj
+          (List.map
+             (fun (name, s) -> (name, staleness_gauge s))
+             o.Metrics.staleness) );
+    ]
+
+(* The "observe" field appears only on observed runs, so unobserved
+   exports — the golden traces among them — stay byte-identical. *)
+let metrics (m : Metrics.t) =
+  obj
+    ([
+       ("updates", string_of_int m.Metrics.updates);
+       ("messages", string_of_int (Metrics.messages m));
+       ("queries_sent", string_of_int m.Metrics.queries_sent);
+       ("answers_received", string_of_int m.Metrics.answers_received);
+       ("answer_tuples", string_of_int m.Metrics.answer_tuples);
+       ("answer_bytes", string_of_int m.Metrics.answer_bytes);
+       ("query_bytes", string_of_int m.Metrics.query_bytes);
+       ("source_io", string_of_int m.Metrics.source_io);
+       ("steps", string_of_int m.Metrics.steps);
+     ]
+    @ match m.Metrics.observe with
+      | None -> []
+      | Some o -> [ ("observe", observe o) ])
 
 let report (r : Consistency.report) =
   obj

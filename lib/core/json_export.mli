@@ -14,6 +14,15 @@ val value : R.Value.t -> string
 val tuple : R.Tuple.t -> string
 val bag : R.Bag.t -> string
 val update : R.Update.t -> string
+val histogram : Metrics.histogram -> string
+val staleness_gauge : Metrics.staleness_gauge -> string
+
+val observe : Metrics.observe -> string
+(** The derived observability summary. [metrics] appends it as an
+    ["observe"] field only when the run collected spans, so unobserved
+    exports (the golden traces among them) are byte-identical to
+    pre-observability output. *)
+
 val metrics : Metrics.t -> string
 val report : Consistency.report -> string
 val trace_entry : Trace.entry -> string

@@ -12,6 +12,67 @@ type delivery = {
   wire_bytes : int;
 }
 
+(* Log2-bucketed histogram of small non-negative integer durations
+   (logical-clock ticks): bucket 0 holds value 0, bucket i holds values
+   in [2^(i-1), 2^i). Mutable because the engine accumulates into it on
+   the hot path; the record is never shared across runs. *)
+type histogram = {
+  buckets : int array;
+  mutable samples : int;
+  mutable sum : int;
+  mutable hmax : int;
+}
+
+let hist_buckets = 16
+
+let hist_create () =
+  { buckets = Array.make hist_buckets 0; samples = 0; sum = 0; hmax = 0 }
+
+let hist_bucket v =
+  if v <= 0 then 0
+  else
+    let rec go i b = if v < b || i = hist_buckets - 1 then i else go (i + 1) (b * 2) in
+    go 1 2
+
+let hist_add h v =
+  let v = max 0 v in
+  h.buckets.(hist_bucket v) <- h.buckets.(hist_bucket v) + 1;
+  h.samples <- h.samples + 1;
+  h.sum <- h.sum + v;
+  if v > h.hmax then h.hmax <- v
+
+let hist_mean h =
+  if h.samples = 0 then 0.0 else float_of_int h.sum /. float_of_int h.samples
+
+(* Per-view staleness summary: the gauge series itself (logical ticks
+   since the warehouse view last matched the centralized oracle state)
+   lives in the observe collector; these are its run-level aggregates. *)
+type staleness_gauge = {
+  stale_samples : int;
+  stale_max : int;
+  stale_mean : float;
+  stale_final : int;  (* 0 exactly when the run converged *)
+  stale_quiesce_max : int;
+      (* max over quiescence probes; 0 for the ECA family, which is
+         exactly the paper's "COLLECT installs once UQS = ∅" guarantee *)
+}
+
+(* Derived gauges of the observability layer — present only when a run
+   was executed with span collection enabled, so default output (pp,
+   JSON) is byte-identical for unobserved runs. *)
+type observe = {
+  spans : int;  (* spans closed and recorded *)
+  span_dropped : int;  (* ring-buffer overflow *)
+  span_forced : int;  (* force-closed at end of run (lost frames) *)
+  gauges : int;
+  compensations : int;
+  collect_installs : int;
+  collect_depth_max : int;
+  uqs_residency : histogram;  (* query ship -> answer processed, per gid *)
+  edge_latency : (string * histogram) list;  (* per edge, message transit *)
+  staleness : (string * staleness_gauge) list;  (* per view *)
+}
+
 type t = {
   updates : int;
   queries_sent : int;
@@ -23,6 +84,7 @@ type t = {
   steps : int;
   delivery : delivery;
   site_delivery : (string * delivery) list;
+  observe : observe option;
 }
 
 let no_delivery =
@@ -52,6 +114,7 @@ let zero =
     steps = 0;
     delivery = no_delivery;
     site_delivery = [];
+    observe = None;
   }
 
 (* Component-wise sum of two edges' counters; [latency_max] is a maximum,
@@ -104,6 +167,30 @@ let pp_delivery ppf d =
     d.ticks d.retransmits d.dups_dropped d.acks d.msgs_dropped
     d.msgs_duplicated d.wire_messages d.wire_bytes
 
+let pp_histogram ppf h =
+  Format.fprintf ppf "n=%d mean=%.1f max=%d" h.samples (hist_mean h) h.hmax
+
+let pp_observe ppf o =
+  Format.fprintf ppf
+    "spans=%d (dropped=%d forced=%d) gauges=%d compensations=%d \
+     collect_installs=%d collect_depth_max=%d"
+    o.spans o.span_dropped o.span_forced o.gauges o.compensations
+    o.collect_installs o.collect_depth_max;
+  if o.uqs_residency.samples > 0 then
+    Format.fprintf ppf "@.  uqs_residency: %a" pp_histogram o.uqs_residency;
+  List.iter
+    (fun (name, h) ->
+      if h.samples > 0 then
+        Format.fprintf ppf "@.  latency %s: %a" name pp_histogram h)
+    o.edge_latency;
+  List.iter
+    (fun (view, s) ->
+      Format.fprintf ppf
+        "@.  staleness %s: n=%d mean=%.1f max=%d final=%d quiesce_max=%d" view
+        s.stale_samples s.stale_mean s.stale_max s.stale_final
+        s.stale_quiesce_max)
+    o.staleness
+
 let pp ppf t =
   Format.fprintf ppf
     "updates=%d M=%d (q=%d a=%d) answer_tuples=%d answer_bytes=%d \
@@ -114,11 +201,14 @@ let pp ppf t =
     Format.fprintf ppf " [%a]" pp_delivery t.delivery;
   (* Per-site lines only when there is more than one edge — single-source
      runs print exactly as they always have. *)
-  match t.site_delivery with
+  (match t.site_delivery with
   | [] | [ _ ] -> ()
   | sites ->
     List.iter
       (fun (name, d) ->
         if delivery_active d then
           Format.fprintf ppf "@.  %s: [%a]" name pp_delivery d)
-      sites
+      sites);
+  match t.observe with
+  | None -> ()
+  | Some o -> Format.fprintf ppf "@.observe: %a" pp_observe o

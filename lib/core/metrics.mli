@@ -23,6 +23,49 @@ type delivery = {
   wire_bytes : int;
 }
 
+type histogram = {
+  buckets : int array;
+      (** log2 buckets: index 0 holds value 0, index i holds
+          [2^(i-1), 2^i); the last bucket absorbs the tail *)
+  mutable samples : int;
+  mutable sum : int;
+  mutable hmax : int;
+}
+
+val hist_buckets : int
+val hist_create : unit -> histogram
+val hist_bucket : int -> int
+val hist_add : histogram -> int -> unit
+val hist_mean : histogram -> float
+
+type staleness_gauge = {
+  stale_samples : int;
+  stale_max : int;
+  stale_mean : float;
+  stale_final : int;  (** staleness at end of run; 0 iff converged *)
+  stale_quiesce_max : int;
+      (** max staleness observed at quiescence probes — 0 is the paper's
+          strong-consistency guarantee for the ECA family (Section 3.1) *)
+}
+
+type observe = {
+  spans : int;  (** spans closed and recorded *)
+  span_dropped : int;  (** lost to ring-buffer overflow *)
+  span_forced : int;  (** force-closed at end of run (lost frames) *)
+  gauges : int;
+  compensations : int;  (** notifications offset against in-flight queries *)
+  collect_installs : int;  (** COLLECT batches installed into views *)
+  collect_depth_max : int;  (** peak answers parked in COLLECT *)
+  uqs_residency : histogram;
+      (** ticks each query spent in the unanswered-query set (ship to
+          answer processed) *)
+  edge_latency : (string * histogram) list;
+      (** message transit ticks per source edge, site order *)
+  staleness : (string * staleness_gauge) list;
+      (** per view: ticks since the warehouse view last matched the
+          centralized oracle *)
+}
+
 type t = {
   updates : int;  (** source updates executed *)
   queries_sent : int;  (** query messages, warehouse → source *)
@@ -39,6 +82,9 @@ type t = {
       (** the same counters broken down per source edge, in site order —
           one entry per source; [delivery] is their fold (with the global
           tick count). Empty only in hand-built values. *)
+  observe : observe option;
+      (** derived gauges of the observability layer; [None] (the default)
+          leaves every report byte-identical to an unobserved run *)
 }
 
 val zero : t
@@ -69,3 +115,5 @@ val delivery_active : delivery -> bool
 
 val pp : Format.formatter -> t -> unit
 val pp_delivery : Format.formatter -> delivery -> unit
+val pp_histogram : Format.formatter -> histogram -> unit
+val pp_observe : Format.formatter -> observe -> unit

@@ -29,10 +29,22 @@ type oracle = Engine.oracle =
    defined as the one-source specialization of the multi-site one, so
    every policy behaves identically through either driver — the golden
    suite pins this byte-for-byte. *)
+(* [?observe] / [?trace_out] share one collector: asking for a trace file
+   implies collecting, and collecting without a file still surfaces the
+   derived summary in [metrics.observe]. *)
+let collector_of ~observe ~trace_out =
+  if observe || trace_out <> None then Some (Observe.Collector.create ())
+  else None
+
+let export_trace ~trace_out collector =
+  match (trace_out, collector) with
+  | Some path, Some c -> Observe.Collector.write_file path c
+  | _ -> ()
+
 let run_defs ?catalog ?(schedule = Scheduler.Best_case) ?(rv_period = 1)
     ?(batch_size = 1) ?local_literal_eval ?unordered_delivery ?fault
     ?fault_seed ?(reliable = false) ?retransmit_timeout ?max_steps ?oracle
-    ~creator ~views ~db ~updates () =
+    ?(observe = false) ?trace_out ~creator ~views ~db ~updates () =
   (* [unordered_delivery] predates fault profiles and survives as sugar
      for the reorder-only profile it used to hard-code. *)
   let fault_profile, net_seed =
@@ -50,11 +62,13 @@ let run_defs ?catalog ?(schedule = Scheduler.Best_case) ?(rv_period = 1)
         ?retransmit_timeout ~name:"source" db;
     ]
   in
+  let collector = collector_of ~observe ~trace_out in
   match
     Engine.run ~schedule ~rv_period ~batch_size ?local_literal_eval ?max_steps
-      ?oracle ~creator ~sites ~views ~updates ()
+      ?oracle ?observe:collector ~creator ~sites ~views ~updates ()
   with
   | r ->
+    export_trace ~trace_out collector;
     {
       trace = r.Engine.trace;
       metrics = r.Engine.metrics;
@@ -68,10 +82,10 @@ let run_defs ?catalog ?(schedule = Scheduler.Best_case) ?(rv_period = 1)
 
 let run ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
-    ?max_steps ?oracle ~creator ~views ~db ~updates () =
+    ?max_steps ?oracle ?observe ?trace_out ~creator ~views ~db ~updates () =
   run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
-    ?max_steps ?oracle ~creator
+    ?max_steps ?oracle ?observe ?trace_out ~creator
     ~views:(List.map R.Viewdef.simple views)
     ~db ~updates ()
 
@@ -80,7 +94,7 @@ let run ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
    the per-view choice is total and checked up front. *)
 let run_mixed ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
-    ?max_steps ?oracle ~assignments ~db ~updates () =
+    ?max_steps ?oracle ?observe ?trace_out ~assignments ~db ~updates () =
   let creator (cfg : Algorithm.Config.t) =
     let name = cfg.Algorithm.Config.view.R.Viewdef.name in
     match
@@ -93,6 +107,6 @@ let run_mixed ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
   in
   run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
-    ?max_steps ?oracle ~creator
+    ?max_steps ?oracle ?observe ?trace_out ~creator
     ~views:(List.map fst assignments)
     ~db ~updates ()

@@ -55,6 +55,8 @@ val run :
   ?retransmit_timeout:int ->
   ?max_steps:int ->
   ?oracle:oracle ->
+  ?observe:bool ->
+  ?trace_out:string ->
   creator:Algorithm.creator ->
   views:R.View.t list ->
   db:R.Db.t ->
@@ -75,6 +77,8 @@ val run_defs :
   ?retransmit_timeout:int ->
   ?max_steps:int ->
   ?oracle:oracle ->
+  ?observe:bool ->
+  ?trace_out:string ->
   creator:Algorithm.creator ->
   views:R.Viewdef.t list ->
   db:R.Db.t ->
@@ -101,6 +105,13 @@ val run_defs :
     each source event atomically executes up to that many updates and
     sends a single batched notification; consistency is then judged
     against the observable batch-boundary source states.
+
+    With [~observe:true] the engine's observability layer runs: typed
+    spans over every atomic event, clocked by the deterministic step
+    counter, with the derived summary in [metrics.observe]. [trace_out]
+    additionally exports the collected spans and gauges as JSONL to the
+    given path (and implies [observe]). Both default off, in which case
+    output is byte-identical to an unobserved run.
     @raise Run_error on protocol violations or when [max_steps] is
     exceeded. *)
 
@@ -117,6 +128,8 @@ val run_mixed :
   ?retransmit_timeout:int ->
   ?max_steps:int ->
   ?oracle:oracle ->
+  ?observe:bool ->
+  ?trace_out:string ->
   assignments:(R.Viewdef.t * Algorithm.creator) list ->
   db:R.Db.t ->
   updates:R.Update.t list ->

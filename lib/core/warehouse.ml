@@ -54,6 +54,22 @@ let mvs t =
 let quiescent t =
   Array.for_all (fun h -> h.inst.Algorithm.quiescent ()) t.hosted
 
+let algorithms t =
+  Array.to_list
+    (Array.map
+       (fun h -> (h.view.R.Viewdef.name, h.inst.Algorithm.name))
+       t.hosted)
+
+(* Looked up while the gid's route is still live — i.e. before
+   [handle_answer] consumes it — so the observability layer can tag a
+   query span with its owning view. *)
+let gid_view t gid =
+  match Hashtbl.find_opt t.routes gid with
+  | None -> None
+  | Some (idx, _) ->
+    let h = t.hosted.(idx) in
+    Some (h.view.R.Viewdef.name, h.inst.Algorithm.name)
+
 let lift t idx (o : Algorithm.outcome) =
   let queries =
     List.map

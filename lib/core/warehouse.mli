@@ -33,6 +33,14 @@ val mvs : t -> (string * R.Bag.t) list
 val quiescent : t -> bool
 (** All hosted instances are quiescent. *)
 
+val algorithms : t -> (string * string) list
+(** [(view name, algorithm name)] per hosted instance, in host order. *)
+
+val gid_view : t -> int -> (string * string) option
+(** The [(view name, algorithm name)] owning an outstanding query gid;
+    [None] once the answer has been routed (the route is consumed) or for
+    an unknown gid. *)
+
 val handle_update : t -> R.Update.t -> reaction
 (** A [W_up] event, fanned out to every hosted view. *)
 

@@ -72,12 +72,14 @@ let send t msg =
     transmit t msg
   end
 
-let ready t =
-  let rec go acc = function
-    | ((r, _, _) as e) :: rest when r <= t.now -> go (e :: acc) rest
-    | _ -> List.rev acc
+(* [delayed] is sorted by (ready_at, stamp), so the deliverable messages
+   are exactly the prefix with [ready_at <= now]. *)
+let deliverable_count t =
+  let rec go n = function
+    | (r, _, _) :: rest when r <= t.now -> go (n + 1) rest
+    | _ -> n
   in
-  go [] t.delayed
+  go 0 t.delayed
 
 let receive t =
   if Fault.is_none t.fault then
@@ -87,21 +89,37 @@ let receive t =
       t.queue <- rest;
       Some msg
   else
-    match ready t with
+    match t.delayed with
     | [] -> None
-    | deliverable ->
-      let _, stamp, msg =
+    | (r, _, _) :: _ when r > t.now -> None
+    | delayed ->
+      (* Pick one deliverable message — uniformly under reorder (one RNG
+         draw over the prefix length, exactly as the historical
+         materialize-and-[List.nth] spelling drew, so seeded runs are
+         unchanged), the head otherwise — and splice it out in a single
+         pass sharing the untouched tail. The old spelling rebuilt the
+         prefix, indexed into it and re-filtered the whole list on every
+         receive: three walks, quadratic over a heavily reordered run. *)
+      let j =
         if t.fault.Fault.reorder then
-          List.nth deliverable
-            (Random.State.int t.rng (List.length deliverable))
-        else List.hd deliverable
+          Random.State.int t.rng (deliverable_count t)
+        else 0
       in
-      t.delayed <- List.filter (fun (_, s, _) -> s <> stamp) t.delayed;
-      Some msg
+      let rec remove k acc = function
+        | [] -> None
+        | (_, _, msg) :: rest when k = 0 ->
+          t.delayed <- List.rev_append acc rest;
+          Some msg
+        | e :: rest -> remove (k - 1) (e :: acc) rest
+      in
+      remove j [] delayed
 
 let peek t =
   if Fault.is_none t.fault then Fqueue.peek t.queue
-  else match ready t with [] -> None | (_, _, msg) :: _ -> Some msg
+  else
+    match t.delayed with
+    | (r, _, msg) :: _ when r <= t.now -> Some msg
+    | _ -> None
 
 let has_ready t =
   if Fault.is_none t.fault then not (Fqueue.is_empty t.queue)

@@ -18,8 +18,11 @@ type endpoint = {
   in_chan : Channel.t;
   (* sender half: the outgoing stream *)
   mutable next_seq : int;
-  mutable unacked : (int * Message.t * int) list;
-      (* seq, payload, last transmission tick; ascending seq *)
+  mutable unacked : (int * Message.t * int) Fqueue.t;
+      (* seq, payload, last transmission tick; ascending seq. A queue, not
+         a list: sends append one entry each, and the list spelling's
+         [unacked @ [entry]] re-walked every unacked frame per send —
+         quadratic over a lossy run's backlog. *)
   first_sent : (int, int) Hashtbl.t;  (* seq -> tick of first transmission *)
   (* receiver half: the incoming stream *)
   mutable expected : int;  (* next in-order sequence number *)
@@ -40,7 +43,7 @@ let make_endpoint ~out_chan ~in_chan =
     out_chan;
     in_chan;
     next_seq = 0;
-    unacked = [];
+    unacked = Fqueue.empty;
     first_sent = Hashtbl.create 16;
     expected = 0;
     buffer = [];
@@ -114,7 +117,7 @@ let pump_endpoint t ep peer =
     match Channel.receive ep.in_chan with
     | None -> got_data
     | Some (Message.Ack { cum }) ->
-      ep.unacked <- List.filter (fun (s, _, _) -> s > cum) ep.unacked;
+      ep.unacked <- Fqueue.filter (fun (s, _, _) -> s > cum) ep.unacked;
       drain got_data
     | Some (Message.Data { seq; payload }) ->
       if seq < ep.expected || List.mem_assoc seq ep.buffer then
@@ -143,7 +146,7 @@ let send t dir msg =
   let seq = ep.next_seq in
   ep.next_seq <- seq + 1;
   Hashtbl.replace ep.first_sent seq t.now;
-  ep.unacked <- ep.unacked @ [ (seq, msg, t.now) ];
+  ep.unacked <- Fqueue.push ep.unacked (seq, msg, t.now);
   transmit ep ~seq msg;
   pump t
 
@@ -162,7 +165,7 @@ let has_ready t dir =
 
 let retransmit_due t ep =
   ep.unacked <-
-    List.map
+    Fqueue.map
       (fun ((seq, payload, last_sent) as entry) ->
         if t.now - last_sent >= t.timeout then begin
           t.stats.retransmits <- t.stats.retransmits + 1;
@@ -181,7 +184,7 @@ let tick t =
   pump t
 
 let endpoint_idle ep =
-  ep.unacked = [] && ep.buffer = [] && Fqueue.is_empty ep.ready
+  Fqueue.is_empty ep.unacked && ep.buffer = [] && Fqueue.is_empty ep.ready
 
 let idle t =
   pump t;

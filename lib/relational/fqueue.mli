@@ -25,6 +25,10 @@ val of_list : 'a list -> 'a t
 val filter : ('a -> bool) -> 'a t -> 'a t
 (** Keeps relative order; O(n). *)
 
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Keeps relative order; O(n). [f]'s side effects run oldest to
+    newest. *)
+
 val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 (** Oldest-to-newest fold without materializing [to_list]. *)
 

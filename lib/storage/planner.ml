@@ -132,20 +132,19 @@ let scenario1_term cat db (t : R.Term.t) =
 (* catalog asks for outer reads too.                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Matching on the reversed relation list makes the outer/inner split
+   total: the all-literal term ([] — nothing to read) and the
+   single-relation term fall out as their trivial plans instead of
+   feeding a partial splitter. *)
 let scenario2_term cat db (t : R.Term.t) =
   let bases = R.Term.base_relations t in
-  match bases with
+  match List.rev bases with
   | [] -> Plan.local
   | [ rel ] ->
     Plan.of_steps [ Plan.Scan { rel; blocks = relation_blocks cat db rel } ]
-  | _ ->
+  | inner :: rev_outers ->
     let b = List.length bases in
-    let rec split acc = function
-      | [] -> assert false
-      | [ inner ] -> (List.rev acc, inner)
-      | o :: rest -> split (o :: acc) rest
-    in
-    let outer_rels, inner = split [] bases in
+    let outer_rels = List.rev rev_outers in
     let buffers_per_outer = if b = 2 then 2 else 1 in
     let outers =
       List.map

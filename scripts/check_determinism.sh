@@ -28,10 +28,13 @@ mkdir "$tmp/seq" "$tmp/par"
 ( cd "$tmp/seq" && PAR=1 "$exe" quick > stdout.txt )
 ( cd "$tmp/par" && PAR="$par" "$exe" quick > stdout.txt )
 
-# Keep only the runs array and zero out the per-run wall clocks.
+# Keep the observe object and the runs array (schema v5 puts "observe"
+# just above "runs"); zero out the per-run wall clocks and the observe
+# overhead ratio, both timing noise.
 normalize() {
-  sed -n '/"runs": \[/,$p' "$1" \
-    | sed 's/"wall_clock_s": [0-9.eE+-]*/"wall_clock_s": 0/'
+  sed -n '/"observe": {/,$p' "$1" \
+    | sed 's/"wall_clock_s": [0-9.eE+-]*/"wall_clock_s": 0/' \
+    | sed 's/"overhead_x": [0-9.eE+-]*/"overhead_x": 0/'
 }
 
 normalize "$tmp/seq/BENCH_results.json" > "$tmp/runs_seq"
@@ -46,7 +49,8 @@ fi
 # The human-readable report must match too, apart from the worker-count
 # and total-wall-clock summary lines.
 strip_summary() {
-  grep -v '^workers:' "$1" | grep -v '^wrote [0-9]* runs'
+  grep -v '^workers:' "$1" | grep -v '^wrote [0-9]* runs' \
+    | grep -v '^observe overhead'
 }
 
 strip_summary "$tmp/seq/stdout.txt" > "$tmp/out_seq"
@@ -63,6 +67,15 @@ fi
 # would silently shrink what this determinism check covers.
 if ! grep -q '"figure": "Federation' "$tmp/seq/BENCH_results.json"; then
   echo "check_determinism: FAIL — federation section missing from bench output" >&2
+  exit 1
+fi
+
+# The observability ablation must report the spans-off path as
+# byte-identical: a "false" here means instrumentation leaked into the
+# uninstrumented run (a determinism bug by definition, caught at the
+# source rather than as a golden-trace diff later).
+if ! grep -q '"byte_identical_off": true' "$tmp/seq/BENCH_results.json"; then
+  echo "check_determinism: FAIL — spans-off bench output is not byte-identical" >&2
   exit 1
 fi
 

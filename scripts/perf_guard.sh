@@ -4,8 +4,10 @@
 # Usage: perf_guard.sh BASELINE_JSON CURRENT_JSON
 #
 # Compares the "sum_run_wall_clock_s" field of two BENCH_results.json
-# files (schema 3, see EXPERIMENTS.md) and fails when the current run is
-# more than 2x slower than the committed baseline. The summed per-run
+# files (schema 5, see EXPERIMENTS.md) and fails when the current run is
+# more than 2x slower than the committed baseline. Also checks the
+# observability ablation's spans-on/spans-off ratio against the same 2x
+# guard when the current file carries one (schema >= 5). The summed per-run
 # wall clock is compared — not the process total — because it measures
 # the work done and is invariant under the PAR worker count, whereas
 # total_wall_clock_s shrinks with parallel fan-out. Machine noise on
@@ -60,3 +62,15 @@ awk -v b="$baseline" -v c="$current" 'BEGIN {
   }
   printf "perf_guard: OK\n";
 }'
+
+overhead=$(extract "$current_file" overhead_x)
+if [ -n "$overhead" ]; then
+  awk -v o="$overhead" 'BEGIN {
+    printf "perf_guard: observe overhead %.2fx (spans on / spans off)\n", o;
+    if (o > 2.0) {
+      printf "perf_guard: FAIL — observability layer costs more than 2x\n";
+      exit 1;
+    }
+    printf "perf_guard: observe OK\n";
+  }'
+fi

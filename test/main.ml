@@ -22,6 +22,7 @@ let () =
       ("engine", Test_engine.suite);
       ("faults", Test_faults.suite);
       ("reliable", Test_reliable.suite);
+      ("observe", Test_observe.suite);
       ("compound-views", Test_compound.suite);
       ("staleness", Test_staleness.suite);
       ("misc-coverage", Test_misc_coverage.suite);

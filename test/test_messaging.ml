@@ -140,6 +140,118 @@ let reorder_is_seed_deterministic () =
     (List.init 20 (fun i -> i + 1))
     (List.sort compare (sequence 42))
 
+(* The single-pass faulty [receive] against a reference reimplementation
+   of the historical algorithm (materialize the ready prefix, [List.nth]
+   into it, filter the chosen stamp back out of the whole list). Both
+   consume the same seeded RNG stream, so any divergence in draw count,
+   draw bound, or chosen message shows up as a different delivery. *)
+let ref_channel fault seed ops =
+  let rng = Random.State.make [| seed |] in
+  let now = ref 0 and stamp = ref 0 and delayed = ref [] in
+  let rec insert e = function
+    | [] -> [ e ]
+    | ((r, s, _) as hd) :: rest ->
+      let er, es, _ = e in
+      if (er, es) < (r, s) then e :: hd :: rest else hd :: insert e rest
+  in
+  let transmit i =
+    if
+      fault.M.Fault.drop > 0.0
+      && Random.State.float rng 1.0 < fault.M.Fault.drop
+    then ()
+    else begin
+      let d =
+        if fault.M.Fault.delay = 0 then 0
+        else Random.State.int rng (fault.M.Fault.delay + 1)
+      in
+      let s = !stamp in
+      incr stamp;
+      delayed := insert (!now + d, s, i) !delayed
+    end
+  in
+  let send i =
+    transmit i;
+    if
+      fault.M.Fault.duplicate > 0.0
+      && Random.State.float rng 1.0 < fault.M.Fault.duplicate
+    then transmit i
+  in
+  let receive () =
+    match List.filter (fun (r, _, _) -> r <= !now) !delayed with
+    | [] -> None
+    | deliverable ->
+      let j =
+        if fault.M.Fault.reorder then
+          Random.State.int rng (List.length deliverable)
+        else 0
+      in
+      let _, s, i = List.nth deliverable j in
+      delayed := List.filter (fun (_, s', _) -> s' <> s) !delayed;
+      Some i
+  in
+  let out =
+    List.map
+      (function
+        | `Send i ->
+          send i;
+          None
+        | `Tick ->
+          incr now;
+          None
+        | `Receive -> receive ())
+      ops
+  in
+  (out, List.length !delayed)
+
+let channel_matches_reference_prop =
+  QCheck.Test.make
+    ~name:"faulty receive matches the historical reference model" ~count:200
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000))
+    (fun case ->
+      let st = rng case in
+      let fault =
+        M.Fault.make
+          ~drop:(Random.State.float st 0.3)
+          ~duplicate:(Random.State.float st 0.3)
+          ~delay:(Random.State.int st 4)
+          ~reorder:true ()
+      in
+      let seed = Random.State.int st 10_000 in
+      let next = ref 0 in
+      let ops =
+        List.init
+          (30 + Random.State.int st 50)
+          (fun _ ->
+            match Random.State.int st 4 with
+            | 0 | 1 ->
+              let i = !next in
+              incr next;
+              `Send i
+            | 2 -> `Tick
+            | _ -> `Receive)
+      in
+      let ch = M.Channel.create ~fault ~seed "sut" in
+      let got =
+        List.map
+          (function
+            | `Send i ->
+              M.Channel.send ch (note i);
+              None
+            | `Tick ->
+              M.Channel.tick ch;
+              None
+            | `Receive -> (
+              match M.Channel.receive ch with
+              | Some (M.Message.Update_note u) -> (
+                match R.Tuple.get u.R.Update.tuple 0 with
+                | R.Value.Int i -> Some i
+                | _ -> None)
+              | Some _ | None -> None))
+          ops
+      in
+      let expect, pending_ref = ref_channel fault seed ops in
+      got = expect && M.Channel.pending ch = pending_ref)
+
 let frame_sizes () =
   let d = M.Message.Data { seq = 3; payload = note 1 } in
   let a = M.Message.Ack { cum = 3 } in
@@ -165,3 +277,4 @@ let suite =
       reorder_is_seed_deterministic;
     Alcotest.test_case "protocol frame sizes" `Quick frame_sizes;
   ]
+  @ [ QCheck_alcotest.to_alcotest channel_matches_reference_prop ]

@@ -96,6 +96,27 @@ let losses_are_retransmitted () =
   let s = Option.get (M.Network.reliability net) in
   check_bool "losses forced retransmissions" true (s.M.Reliable.retransmits > 0)
 
+let long_chaos_backlog_drains_fifo () =
+  (* Regression for the unacked queue's old list-append spelling: a long
+     lossy run builds a deep retransmission backlog, and the queue must
+     still drain in send order (the append was O(n²) and — worse — a
+     head-drop ack filter over a list is easy to get subtly wrong). *)
+  let fault = M.Fault.make ~drop:0.3 ~duplicate:0.2 ~delay:3 ~reorder:true () in
+  let net = M.Network.create ~fault ~seed:13 ~reliable:true () in
+  let n = 400 in
+  for i = 0 to n - 1 do
+    M.Network.send net M.Network.To_warehouse (payload i)
+  done;
+  let wh, _ = drive net in
+  Alcotest.(check (list int))
+    "long lossy backlog drains exactly-once FIFO"
+    (List.init n (fun i -> i))
+    wh;
+  check_bool "transport idle once drained" true (M.Network.idle net);
+  let s = Option.get (M.Network.reliability net) in
+  check_bool "the backlog actually forced retransmissions" true
+    (s.M.Reliable.retransmits > 50)
+
 let reliable_stream_prop =
   QCheck.Test.make ~name:"reliable = exactly-once FIFO on random profiles"
     ~count:150
@@ -210,6 +231,8 @@ let suite =
     Alcotest.test_case "duplicates are dropped" `Quick duplicates_are_dropped;
     Alcotest.test_case "losses are retransmitted" `Quick
       losses_are_retransmitted;
+    Alcotest.test_case "long chaos backlog drains FIFO" `Quick
+      long_chaos_backlog_drains_fifo;
     Alcotest.test_case "ECA family over reliable+chaos = oracle (40 seeds)"
       `Quick family_correct_over_reliable_chaos;
     Alcotest.test_case "chaos without the sublayer still breaks ECA" `Quick

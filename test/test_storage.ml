@@ -146,6 +146,34 @@ let s2_single_base_term () =
   let plan = Storage.Planner.query cat2 db q in
   check_int "single relation scan: I = 5" 5 plan.Storage.Plan.io
 
+let planner_total_on_degenerate_inputs () =
+  (* The planner must produce a plan for every input — the S2 splitter
+     used to carry an impossible-empty assertion arm. Degenerate cases:
+     a catalog with no indexes, an empty database, and terms with no base
+     relations at all. *)
+  let empty_cat = Storage.Catalog.make () in
+  let empty_db = db_of [ (r1, []); (r2, []); (r3, []) ] in
+  let all_literal =
+    List.hd
+      (R.Query.terms
+         (R.Query.subst_all (R.Query.of_view view)
+            [
+              R.Update.insert "r1" t1;
+              R.Update.insert "r2" t1;
+              R.Update.insert "r3" t1;
+            ]))
+  in
+  check_bool "term is all-literal" true (R.Term.is_all_literals all_literal);
+  check_int "S1 all-literal term over empty catalog+db is free" 0
+    (Storage.Planner.term empty_cat R.Db.empty all_literal).Storage.Plan.io;
+  check_int "S2 all-literal term over an empty db is free" 0
+    (Storage.Planner.term cat2 R.Db.empty all_literal).Storage.Plan.io;
+  check_int "S1 full view over an empty db costs nothing" 0
+    (Storage.Planner.term empty_cat empty_db (R.Term.of_view view))
+      .Storage.Plan.io;
+  check_int "S2 full view over an empty db costs nothing" 0
+    (Storage.Planner.term cat2 empty_db (R.Term.of_view view)).Storage.Plan.io
+
 let s2_outer_reads_ablation () =
   let cat2' =
     Storage.Catalog.make ~mode:Storage.Catalog.Limited_memory
@@ -236,6 +264,8 @@ let suite =
     Alcotest.test_case "S2: one-base term costs I" `Quick s2_single_base_term;
     Alcotest.test_case "S2: outer-read ablation" `Quick
       s2_outer_reads_ablation;
+    Alcotest.test_case "planner is total on degenerate inputs" `Quick
+      planner_total_on_degenerate_inputs;
     Alcotest.test_case "executor charges per term" `Quick
       executor_counts_per_term;
     Alcotest.test_case "executor accumulates IO" `Quick executor_accumulates_io;
