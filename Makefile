@@ -1,7 +1,7 @@
 # Convenience targets; `dune build` / `dune runtest` remain the source of
 # truth (ROADMAP.md tier 1).
 
-.PHONY: all build test bench bench-par smoke clean
+.PHONY: all build test bench bench-par bench-throughput smoke clean
 
 all: build
 
@@ -23,6 +23,13 @@ bench:
 bench-par:
 	dune build bench/main.exe
 	./_build/default/bench/main.exe $${PAR:+--par=$$PAR}
+
+# Just the sustained-throughput section (compiled vs interpreted delta
+# programs, schema v6), written to BENCH_throughput.json so the
+# committed BENCH_results.json is not clobbered by a partial run.
+bench-throughput:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe throughput
 
 # One-stop pre-commit gate: build everything, run the test suite (plus
 # the fault-injection/reliability suites, the golden-trace equivalence

@@ -157,6 +157,11 @@ let seed_quick_wall_clock_s =
    a dumb serializer. *)
 let observe_json : string option ref = ref None
 
+(* Likewise for the top-level "throughput" object (schema v6), filled by
+   [bench_throughput]. Emitted after "observe" so check_determinism.sh's
+   normalization window covers both. *)
+let throughput_json : string option ref = ref None
+
 let write_json ~path ~mode ~total_wall_s =
   let oc = open_out path in
   Fun.protect
@@ -166,7 +171,7 @@ let write_json ~path ~mode ~total_wall_s =
         List.fold_left (fun acc r -> acc +. r.r_wall_s) 0.0 !json_runs
       in
       Printf.fprintf oc "{\n";
-      Printf.fprintf oc "  \"schema_version\": 5,\n";
+      Printf.fprintf oc "  \"schema_version\": 6,\n";
       Printf.fprintf oc "  \"mode\": \"%s\",\n" (json_escape mode);
       Printf.fprintf oc "  \"workers\": %d,\n" workers;
       Printf.fprintf oc "  \"total_wall_clock_s\": %.3f,\n" total_wall_s;
@@ -178,6 +183,9 @@ let write_json ~path ~mode ~total_wall_s =
       | None -> ());
       (match !observe_json with
       | Some s -> Printf.fprintf oc "  \"observe\": %s,\n" s
+      | None -> ());
+      (match !throughput_json with
+      | Some s -> Printf.fprintf oc "  \"throughput\": %s,\n" s
       | None -> ());
       Printf.fprintf oc "  \"runs\": [";
       List.iteri
@@ -988,6 +996,200 @@ let ablation_observe () =
          (Core.Metrics.hist_mean o.Core.Metrics.uqs_residency)
          staleness_json)
 
+(* ------------------------------------------------------------------ *)
+(* Sustained throughput: compiled delta programs vs interpreted        *)
+(* ------------------------------------------------------------------ *)
+
+(* The schema-v6 headline. Two parts:
+
+   1. Sustained apply: the full k-update stream driven straight through
+      [Sc.on_batch] in batches of 32 — replica apply, delta evaluation
+      and install accumulation, none of the transport/trace/consistency
+      scaffolding that costs the same on both paths — once with the
+      staged delta programs (the default) and once interpreted
+      ([Delta_program.set_compiled false]). Updates/sec of the compiled
+      leg is what scripts/perf_guard.sh gates; both legs must agree on
+      the final materialized view, replica and install count.
+
+   2. End-to-end checks at a smaller k through the real engine: the
+      compiled and interpreted runs must serialize to the same bytes,
+      and one observed run per algorithm yields apply-latency (SC edge
+      spans) and query-residency (ECA UQS) p50/p99 via
+      [Metrics.hist_quantile] — engine steps, so deterministic. *)
+let bench_throughput () =
+  header "Throughput: sustained apply, compiled vs interpreted (batch=32)";
+  let batch_size = 32 in
+  (* --- Part 1: direct apply path, bounded churn, k=4992 --- *)
+  (* A warehouse-refresh churn stream: blocks of 32 same-relation inserts
+     cycling r1, r2, r3, with every second visit to a relation deleting
+     the block its previous visit inserted. Same-class blocks are what
+     the engine's edge coalescing produces under bulk loads, and the
+     delete-what-you-inserted discipline keeps the replica (and the join
+     sizes both legs pay for) bounded, so the stream's throughput is
+     sustained rather than degrading as the join fans out. *)
+  let spec = W.Spec.make ~c:100 ~j:4 ~k_updates:1 ~seed:7 () in
+  let { W.Scenarios.db; view; _ } = W.Scenarios.example6 spec in
+  let st = Random.State.make [| 1007 |] in
+  let dom = W.Spec.join_domain spec in
+  let vr = spec.W.Spec.value_range in
+  let rand n = if n <= 0 then 0 else Random.State.int st n in
+  let fresh = function
+    | "r1" -> R.Tuple.ints [ rand vr; rand dom ]
+    | "r2" -> R.Tuple.ints [ rand dom; rand dom ]
+    | "r3" -> R.Tuple.ints [ rand dom; rand vr ]
+    | _ -> assert false
+  in
+  let rels = [| "r1"; "r2"; "r3" |] in
+  let n_blocks = 156 in
+  let pending = Array.init 3 (fun _ -> Queue.create ()) in
+  let batches =
+    List.init n_blocks (fun b ->
+        let ri = b mod 3 in
+        let rel = rels.(ri) in
+        if (b / 3) mod 2 = 1 then
+          List.map (R.Update.delete rel) (Queue.pop pending.(ri))
+        else begin
+          let ts = List.init batch_size (fun _ -> fresh rel) in
+          Queue.push ts pending.(ri);
+          List.map (R.Update.insert rel) ts
+        end)
+  in
+  let k_updates = n_blocks * batch_size in
+  let cfg = Core.Algorithm.Config.of_view_db view db in
+  let drive ~compiled () =
+    R.Delta_program.set_compiled compiled;
+    Fun.protect
+      ~finally:(fun () -> R.Delta_program.set_compiled true)
+      (fun () ->
+        let t = Core.Sc.create cfg in
+        let installs = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        List.iter
+          (fun b ->
+            let o = Core.Sc.on_batch t b in
+            installs := !installs + List.length o.Core.Algorithm.installs)
+          batches;
+        (Unix.gettimeofday () -. t0, t, !installs))
+  in
+  let t_int0, sc_int, n_int = drive ~compiled:false () in
+  let t_cmp0, sc_cmp, n_cmp = drive ~compiled:true () in
+  (* Best-of-3 per leg (the first pair warmed the plan and staging
+     caches), as in the observe ablation. *)
+  let best t0 f =
+    let m (t, _, _) = t in
+    Float.min t0 (Float.min (m (f ())) (m (f ())))
+  in
+  let t_int = best t_int0 (drive ~compiled:false) in
+  let t_cmp = best t_cmp0 (drive ~compiled:true) in
+  let legs_agree =
+    R.Bag.equal (Core.Sc.mv sc_int) (Core.Sc.mv sc_cmp)
+    && R.Db.equal (Core.Sc.replica sc_int) (Core.Sc.replica sc_cmp)
+    && n_int = n_cmp
+  in
+  let per_s t = float_of_int k_updates /. Float.max 1e-9 t in
+  let speedup = t_int /. Float.max 1e-9 t_cmp in
+  (* --- Part 2: end-to-end byte identity and latency percentiles --- *)
+  let k_e2e = 200 in
+  let e2e_spec = W.Spec.make ~c:50 ~j:4 ~k_updates:k_e2e ~seed:7 () in
+  let e2e = W.Scenarios.example6 e2e_spec in
+  let run ~algorithm ~compiled ?(observe = false) () =
+    R.Delta_program.set_compiled compiled;
+    Fun.protect
+      ~finally:(fun () -> R.Delta_program.set_compiled true)
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Core.Runner.run ~schedule:Core.Scheduler.Best_case ~batch_size
+            ~observe
+            ~creator:(Core.Registry.creator_exn algorithm)
+            ~views:[ e2e.W.Scenarios.view ] ~db:e2e.W.Scenarios.db
+            ~updates:e2e.W.Scenarios.updates ()
+        in
+        (Unix.gettimeofday () -. t0, r))
+  in
+  let t_rint, r_int = run ~algorithm:"sc" ~compiled:false () in
+  let t_rcmp, r_cmp = run ~algorithm:"sc" ~compiled:true () in
+  (* The staged programs must not change one byte of the run: same trace,
+     metrics, consistency verdicts and final states as the interpreter. *)
+  let identical =
+    String.equal (Core.Json_export.result r_int) (Core.Json_export.result r_cmp)
+  in
+  let measured (r : Core.Runner.result) =
+    let m = r.Core.Runner.metrics in
+    {
+      m_messages = Core.Metrics.messages m;
+      m_tuples = m.Core.Metrics.answer_tuples;
+      m_bytes = Core.Metrics.bytes_for ~s:s_bytes m;
+      m_io = m.Core.Metrics.source_io;
+    }
+  in
+  record ~algorithm:"sc[batch=32/interpreted]" ~wall_s:t_rint (measured r_int);
+  record ~algorithm:"sc[batch=32/compiled]" ~wall_s:t_rcmp (measured r_cmp);
+  (* Apply latency: note flight+handling per edge, in engine steps
+     (deterministic). SC sends no queries, so its UQS histogram is empty;
+     query residency comes from an observed ECA run instead. *)
+  let summary_of label (r : Core.Runner.result) =
+    match r.Core.Runner.metrics.Core.Metrics.observe with
+    | Some o -> o
+    | None -> failwith ("observed " ^ label ^ " run produced no summary")
+  in
+  let sc_obs =
+    summary_of "sc" (snd (run ~algorithm:"sc" ~compiled:true ~observe:true ()))
+  in
+  let eca_obs =
+    summary_of "eca" (snd (run ~algorithm:"eca" ~compiled:true ~observe:true ()))
+  in
+  let apply_hist =
+    match sc_obs.Core.Metrics.edge_latency with
+    | (_, h) :: _ -> h
+    | [] -> failwith "observed sc run produced no edge-latency histogram"
+  in
+  let q h p = Core.Metrics.hist_quantile h p in
+  let apply_p50 = q apply_hist 0.5 and apply_p99 = q apply_hist 0.99 in
+  let uqs = eca_obs.Core.Metrics.uqs_residency in
+  let uqs_p50 = q uqs 0.5 and uqs_p99 = q uqs 0.99 in
+  Printf.printf "compiled output byte-identical to the interpreted run: %s\n"
+    (if identical then "yes" else "NO");
+  Printf.printf "compiled and interpreted legs agree (mv/replica/installs): %s\n"
+    (if legs_agree then "yes" else "NO");
+  Printf.printf
+    "apply latency (sc, engine steps): p50 %d, p99 %d (%d samples)\n" apply_p50
+    apply_p99 apply_hist.Core.Metrics.samples;
+  Printf.printf "query residency (eca, engine steps): p50 %d, p99 %d\n" uqs_p50
+    uqs_p99;
+  (* check_determinism.sh strips "throughput ..." lines: wall-clock rates
+     are noise between any two runs. *)
+  Printf.printf "throughput sc compiled:    %10.0f updates/s\n" (per_s t_cmp);
+  Printf.printf "throughput sc interpreted: %10.0f updates/s\n" (per_s t_int);
+  Printf.printf "throughput compiled speedup: %.2fx\n" speedup;
+  if not identical then
+    failwith "compiled delta programs changed the run output";
+  if not legs_agree then
+    failwith "compiled delta programs changed the applied state";
+  let seed_field =
+    match scan_json_float ~field:"seed_updates_per_s" "bench/baseline.json" with
+    | Some s -> Printf.sprintf "\n    \"seed_updates_per_s\": %.1f," s
+    | None -> ""
+  in
+  throughput_json :=
+    Some
+      (Printf.sprintf
+         "{\n\
+         \    \"algorithm\": \"sc\",\n\
+         \    \"batch_size\": %d,\n\
+         \    \"updates\": %d,\n\
+         \    \"updates_per_s\": %.1f,\n\
+         \    \"interpreted_updates_per_s\": %.1f,\n\
+         \    \"compiled_speedup_x\": %.3f,%s\n\
+         \    \"apply_latency_p50_steps\": %d,\n\
+         \    \"apply_latency_p99_steps\": %d,\n\
+         \    \"uqs_p50_steps\": %d,\n\
+         \    \"uqs_p99_steps\": %d,\n\
+         \    \"byte_identical_interpreted\": %b\n\
+         \  }"
+         batch_size k_updates (per_s t_cmp) (per_s t_int) speedup seed_field
+         apply_p50 apply_p99 uqs_p50 uqs_p99 identical)
+
 let ablation_compound_views () =
   header "Extension: union/difference views (Section 7; k=30, worst case)";
   let spec = spec_for ~c:100 ~k:30 () in
@@ -1240,6 +1442,19 @@ let () =
    | _ :: "csv" :: dir :: _ ->
      write_csvs dir;
      exit 0
+   | _ :: "throughput" :: _ ->
+     (* `make bench-throughput`: just the sustained-throughput section,
+        written to its own artifact so the committed BENCH_results.json
+        is not clobbered by a partial run. *)
+     let t0 = Unix.gettimeofday () in
+     bench_throughput ();
+     Parallel.Pool.shutdown pool;
+     let total_wall_s = Unix.gettimeofday () -. t0 in
+     let path = "BENCH_throughput.json" in
+     write_json ~path ~mode:"throughput" ~total_wall_s;
+     Printf.printf "\nwrote %d runs to %s (total_wall_clock_s %.3f, workers %d)\n"
+       (List.length !json_runs) path total_wall_s workers;
+     exit 0
    | _ -> ());
   let quick = Array.exists (String.equal "quick") Sys.argv in
   let t_start = Unix.gettimeofday () in
@@ -1267,6 +1482,7 @@ let () =
   ablation_observe ();
   ablation_compound_views ();
   bench_federation ();
+  bench_throughput ();
   if not quick then bechamel_section ();
   Parallel.Pool.shutdown pool;
   let total_wall_s = Unix.gettimeofday () -. t_start in

@@ -44,6 +44,25 @@ let hist_add h v =
 let hist_mean h =
   if h.samples = 0 then 0.0 else float_of_int h.sum /. float_of_int h.samples
 
+(* Nearest-rank quantile, resolved to the containing bucket's upper
+   bound (2^b - 1), capped by the true maximum. Exact for q = 1.0 and for
+   samples in bucket 0; elsewhere conservative by at most the bucket
+   width — all that log2 buckets can promise. *)
+let hist_quantile h q =
+  if h.samples = 0 then 0
+  else begin
+    let rank =
+      max 1 (min h.samples (int_of_float (ceil (q *. float_of_int h.samples))))
+    in
+    let rec go i seen =
+      let seen = seen + h.buckets.(i) in
+      if seen >= rank || i = hist_buckets - 1 then i else go (i + 1) seen
+    in
+    match go 0 0 with
+    | 0 -> 0
+    | b -> min h.hmax ((1 lsl b) - 1)
+  end
+
 (* Per-view staleness summary: the gauge series itself (logical ticks
    since the warehouse view last matched the centralized oracle state)
    lives in the observe collector; these are its run-level aggregates. *)

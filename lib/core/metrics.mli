@@ -38,6 +38,12 @@ val hist_bucket : int -> int
 val hist_add : histogram -> int -> unit
 val hist_mean : histogram -> float
 
+val hist_quantile : histogram -> float -> int
+(** Nearest-rank quantile of the recorded samples ([0.5] = p50, [0.99] =
+    p99), resolved to the containing log2 bucket's upper bound and capped
+    at the observed maximum; 0 on an empty histogram. Deterministic —
+    derived from logical-clock counts only. *)
+
 type staleness_gauge = {
   stale_samples : int;
   stale_max : int;

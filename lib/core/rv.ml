@@ -5,7 +5,7 @@ type t = {
   mutable mv : R.Bag.t;
   period : int;
   mutable count : int;  (* updates since the last recompute request *)
-  mutable pending : int list;  (* outstanding recompute query ids *)
+  mutable pending : int R.Fqueue.t;  (* outstanding recompute query ids *)
   mutable next_id : int;
 }
 
@@ -16,18 +16,20 @@ let create (cfg : Algorithm.Config.t) =
     mv = cfg.init_mv;
     period = cfg.rv_period;
     count = 0;
-    pending = [];
+    pending = R.Fqueue.empty;
     next_id = 0;
   }
 
 let mv t = t.mv
 
-let quiescent t = t.pending = []
+let quiescent t = R.Fqueue.is_empty t.pending
+
+let pending t = R.Fqueue.to_list t.pending
 
 let send_recompute t =
   let id = t.next_id in
   t.next_id <- id + 1;
-  t.pending <- t.pending @ [ id ];
+  t.pending <- R.Fqueue.push t.pending id;
   Algorithm.send_one id (R.Viewdef.full_query t.view)
 
 let on_update t (u : R.Update.t) =
@@ -42,7 +44,7 @@ let on_update t (u : R.Update.t) =
   end
 
 let on_answer t ~id answer =
-  t.pending <- List.filter (fun i -> i <> id) t.pending;
+  t.pending <- R.Fqueue.filter (fun i -> i <> id) t.pending;
   (* The answer is the full view at some source state: replace, don't
      merge. With FIFO delivery a later recompute always reflects a later
      state, so last-writer-wins is order-correct. *)

@@ -19,6 +19,11 @@ val create : Algorithm.Config.t -> t
 
 val mv : t -> R.Bag.t
 val quiescent : t -> bool
+
+val pending : t -> int list
+(** Outstanding recompute query ids, oldest first — the issue order, which
+    FIFO answer delivery consumes from the front. *)
+
 val on_update : t -> R.Update.t -> Algorithm.outcome
 val on_answer : t -> id:int -> R.Bag.t -> Algorithm.outcome
 val on_quiesce : t -> Algorithm.outcome

@@ -4,6 +4,7 @@ exception Not_applicable of string
 
 type t = {
   view : R.Viewdef.t;
+  staged : R.Delta_program.staged;
   mutable replica : R.Db.t;
   mutable mv : R.Bag.t;
 }
@@ -15,7 +16,13 @@ let create (cfg : Algorithm.Config.t) =
       (Not_applicable
          "SC needs the initial base relations (Config.init_db) to seed its \
           replica")
-  | Some db -> { view = cfg.view; replica = db; mv = cfg.init_mv }
+  | Some db ->
+    {
+      view = cfg.view;
+      staged = R.Delta_program.stage cfg.view;
+      replica = db;
+      mv = cfg.init_mv;
+    }
 
 let mv t = t.mv
 
@@ -24,15 +31,60 @@ let replica t = t.replica
 let quiescent _ = true
 
 (* Centralized immediate maintenance on the local replica — no source
-   round-trip, no anomaly window. *)
+   round-trip, no anomaly window. The compiled path runs the update's
+   staged program instead of interpreting [Centralized.step]'s delta
+   query; the two produce identical bags. *)
 let on_update t (u : R.Update.t) =
-  let replica', delta = Centralized.step t.view t.replica u in
+  let replica', delta =
+    if R.Delta_program.compiled () then begin
+      let replica' = R.Db.apply t.replica u in
+      let delta =
+        match R.Delta_program.of_update t.staged u with
+        | None -> R.Bag.empty
+        | Some prog -> R.Delta_program.apply prog replica' u.R.Update.tuple
+      in
+      (replica', delta)
+    end
+    else Centralized.step t.view t.replica u
+  in
   t.replica <- replica';
   if R.Bag.is_empty delta then Algorithm.nothing
   else begin
     t.mv <- Mview.apply_delta t.mv delta;
     Algorithm.install t.mv
   end
+
+(* Batched apply: one program pass per update-class run instead of one
+   delta query per update. Restricted to simple (single positive part)
+   views so the install/no-install decision matches the sequential
+   replay exactly — a simple view's per-run delta counts all share one
+   sign, so the batched delta is empty iff every per-update delta was;
+   mixed-sign compound views could cancel across updates and diverge. *)
+let on_batch t (us : R.Update.t list) =
+  if R.Delta_program.compiled () && R.Viewdef.is_simple t.view then begin
+    let installed = ref false in
+    List.iter
+      (fun run ->
+        match run with
+        | [] -> ()
+        | (first : R.Update.t) :: _ ->
+          let replica' = R.Db.apply_all t.replica run in
+          t.replica <- replica';
+          (match R.Delta_program.of_update t.staged first with
+           | None -> ()
+           | Some prog ->
+             let delta =
+               R.Delta_program.apply_batch prog replica'
+                 (List.map (fun (u : R.Update.t) -> u.R.Update.tuple) run)
+             in
+             if not (R.Bag.is_empty delta) then begin
+               t.mv <- Mview.apply_delta t.mv delta;
+               installed := true
+             end))
+      (R.Delta_program.runs us);
+    if !installed then Algorithm.install t.mv else Algorithm.nothing
+  end
+  else Algorithm.sequential_batch (on_update t) us
 
 let on_answer _ ~id:_ _ = Algorithm.nothing
 
@@ -41,7 +93,7 @@ let instance cfg =
   {
     Algorithm.name = "sc";
     on_update = on_update t;
-    on_batch = (fun us -> Algorithm.sequential_batch (on_update t) us);
+    on_batch = (fun us -> on_batch t us);
     on_answer = (fun ~id a -> on_answer t ~id a);
     on_quiesce = (fun () -> Algorithm.nothing);
     mv = (fun () -> mv t);

@@ -24,6 +24,12 @@ val replica : t -> R.Db.t
 
 val quiescent : t -> bool
 val on_update : t -> R.Update.t -> Algorithm.outcome
+
+val on_batch : t -> R.Update.t list -> Algorithm.outcome
+(** One staged-program pass per update-class run when the compiled path
+    is on and the view is simple; otherwise the sequential replay of
+    [on_update]. Identical outcomes either way. *)
+
 val on_answer : t -> id:int -> R.Bag.t -> Algorithm.outcome
 
 val instance : Algorithm.creator

@@ -1,0 +1,300 @@
+(* Staged delta programs: one compiled maintenance procedure per
+   view x update class.
+
+   [Viewdef.delta] re-derives V<U> on every update: substitute the
+   update's relation into each part (allocating fresh terms), look each
+   term's skeleton up in the plan cache (hashing the projection, condition
+   and schema list), and only then evaluate. All of that work depends only
+   on the update's *class* — its relation and kind — not on the tuple, so
+   this module does it once at registration time. A staged program holds,
+   per view part that mentions the relation: the cached {!Plan}, a
+   slot-source vector telling the executor which slots read the database
+   and which read the update's tuple, and the folded-out sign factor. The
+   per-update hot path is then: check the tuple against the schema, build
+   a singleton bag, run the plan.
+
+   Staging also unlocks batching. A batch of same-class updates is a bag
+   of tuples; when the relation occupies exactly one slot of every chain
+   (no self-joins) the plan is linear in that slot's contents, so one pass
+   with the whole bag equals the signed sum of the per-tuple passes — N
+   interpreter walks collapse into one join. Self-joining chains fall
+   back to the per-tuple loop (substitution puts the same tuple in every
+   matching slot, which is not linear), keeping batched results exactly
+   equal to sequential ones in all cases. *)
+
+(* ------------------------------------------------------------------ *)
+(* Programs                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Where slot [i] of a chain's plan reads its contents at apply time. *)
+type source =
+  | From_db of string  (* a base relation untouched by the update class *)
+  | From_delta         (* the update tuple(s), as a bag *)
+
+type chain = {
+  plan : Plan.t;
+  sources : source array;
+  delta_schema : Schema.t;  (* schema of the substituted relation *)
+  delta_slots : int;        (* slots bound to the update's relation *)
+  sign_factor : int;        (* part sign x update sign ^ delta_slots *)
+}
+
+type t = {
+  rel : string;
+  kind : Update.kind;
+  chains : chain list;  (* one per view part mentioning [rel] *)
+  linear : bool;        (* every chain binds the relation in one slot *)
+}
+
+let rel t = t.rel
+let kind t = t.kind
+let linear t = t.linear
+let is_empty t = t.chains = []
+
+let stage_class (vd : Viewdef.t) ~rel ~kind =
+  let kind_sign = Sign.to_int (match kind with
+    | Update.Insert -> Sign.Pos
+    | Update.Delete -> Sign.Neg)
+  in
+  let chains =
+    List.filter_map
+      (fun (part_sign, (v : View.t)) ->
+        let term = Term.of_view v in
+        if not (Term.mentions_base term rel) then None
+        else begin
+          let sources =
+            Array.of_list
+              (List.map
+                 (fun (s : Schema.t) ->
+                   if String.equal s.Schema.name rel then From_delta
+                   else From_db s.Schema.name)
+                 v.View.sources)
+          in
+          let delta_slots =
+            Array.fold_left
+              (fun n s -> match s with From_delta -> n + 1 | From_db _ -> n)
+              0 sources
+          in
+          let delta_schema =
+            List.find
+              (fun (s : Schema.t) -> String.equal s.Schema.name rel)
+              v.View.sources
+          in
+          (* (-1)^delta_slots when the update is a delete: substitution
+             stamps the update's sign on every slot it replaces. *)
+          let subst_sign =
+            if kind_sign = 1 || delta_slots land 1 = 0 then 1 else -1
+          in
+          Some
+            {
+              plan = Plan.of_term term;
+              sources;
+              delta_schema;
+              delta_slots;
+              sign_factor = Sign.to_int part_sign * subst_sign;
+            }
+        end)
+      vd.Viewdef.parts
+  in
+  {
+    rel;
+    kind;
+    chains;
+    linear = List.for_all (fun c -> c.delta_slots = 1) chains;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Application                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let apply_chain ch db delta =
+  Eval.run_plan ch.plan
+    ~contents:(fun i ->
+      match ch.sources.(i) with
+      | From_db r -> Db.contents db r
+      | From_delta -> delta)
+    ~sign:ch.sign_factor
+
+let apply t db tuple =
+  List.fold_left
+    (fun acc ch ->
+      Schema.check_tuple ch.delta_schema tuple;
+      Bag.plus acc (apply_chain ch db (Bag.singleton tuple)))
+    Bag.empty t.chains
+
+let apply_batch t db tuples =
+  match tuples with
+  | [] -> Bag.empty
+  | [ tuple ] -> apply t db tuple
+  | _ when t.linear ->
+    (* One pass per chain with the whole batch as the delta slot's bag;
+       duplicate tuples merge their counts, which is exactly their summed
+       per-tuple contribution. *)
+    let delta =
+      List.fold_left (fun b tuple -> Bag.add tuple b) Bag.empty tuples
+    in
+    List.fold_left
+      (fun acc ch ->
+        List.iter (Schema.check_tuple ch.delta_schema) tuples;
+        Bag.plus acc (apply_chain ch db delta))
+      Bag.empty t.chains
+  | _ ->
+    List.fold_left
+      (fun acc tuple -> Bag.plus acc (apply t db tuple))
+      Bag.empty tuples
+
+(* ------------------------------------------------------------------ *)
+(* Per-view staging                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type staged = {
+  view : Viewdef.t;
+  programs : (string, t * t) Hashtbl.t;  (* rel -> (insert, delete) *)
+}
+
+let build (vd : Viewdef.t) =
+  let programs = Hashtbl.create 8 in
+  List.iter
+    (fun rel ->
+      Hashtbl.replace programs rel
+        ( stage_class vd ~rel ~kind:Update.Insert,
+          stage_class vd ~rel ~kind:Update.Delete ))
+    (Viewdef.relation_names vd);
+  { view = vd; programs }
+
+let staged_view s = s.view
+
+let find s ~rel ~kind =
+  match Hashtbl.find_opt s.programs rel with
+  | None -> None
+  | Some (ins, del) ->
+    Some (match kind with Update.Insert -> ins | Update.Delete -> del)
+
+let of_update s (u : Update.t) = find s ~rel:u.Update.rel ~kind:u.Update.kind
+
+(* Split a batch into maximal runs of one update class, preserving order.
+   Within a run every update substitutes the same relation with the same
+   sign, so [apply_batch] on the run's tuples is the run's exact delta;
+   runs must still execute in sequence because a later run's chains may
+   read a relation an earlier run changed. *)
+let runs updates =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (u : Update.t) :: _ as l ->
+      let same (v : Update.t) =
+        String.equal v.Update.rel u.Update.rel && v.Update.kind = u.Update.kind
+      in
+      let rec split taken = function
+        | v :: rest when same v -> split (v :: taken) rest
+        | rest -> (List.rev taken, rest)
+      in
+      let run, rest = split [] l in
+      go (run :: acc) rest
+  in
+  go [] updates
+
+(* ------------------------------------------------------------------ *)
+(* Compiled/interpreted toggle                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Global switch consulted by the core maintenance paths: when off they
+   keep interpreting [Viewdef.delta] per update. Exists for the bench's
+   ablation and as an escape hatch; both paths produce identical bags. *)
+let enabled = Atomic.make true
+let set_compiled b = Atomic.set enabled b
+let compiled () = Atomic.get enabled
+
+(* ------------------------------------------------------------------ *)
+(* Staging cache                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Key = struct
+  type t = Viewdef.t
+
+  let equal = Viewdef.equal
+
+  (* Full-structure polymorphic hash (depth-limited); collisions are
+     resolved by [equal]. *)
+  let hash (vd : Viewdef.t) = Hashtbl.hash vd
+end
+
+module Cache = Hashtbl.Make (Key)
+
+let max_staged_views = 256
+
+(* Domain-local cache with cross-domain atomic counters, the same
+   discipline as the {!Plan} cache it sits alongside: staging happens per
+   view shape per domain, never per update. *)
+type slot = {
+  table : staged Cache.t;
+  live : int Atomic.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+let slots : slot list ref = ref []
+let slots_mutex = Mutex.create ()
+
+let slot_key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          table = Cache.create 16;
+          live = Atomic.make 0;
+          hits = Atomic.make 0;
+          misses = Atomic.make 0;
+          evictions = Atomic.make 0;
+        }
+      in
+      Mutex.lock slots_mutex;
+      slots := s :: !slots;
+      Mutex.unlock slots_mutex;
+      s)
+
+let stage (vd : Viewdef.t) =
+  let s = Domain.DLS.get slot_key in
+  match Cache.find_opt s.table vd with
+  | Some staged ->
+    Atomic.incr s.hits;
+    staged
+  | None ->
+    let staged = build vd in
+    Atomic.incr s.misses;
+    if Cache.length s.table >= max_staged_views then begin
+      Cache.reset s.table;
+      Atomic.set s.live 0;
+      Atomic.incr s.evictions
+    end;
+    Cache.add s.table vd staged;
+    Atomic.incr s.live;
+    staged
+
+type stats = {
+  domains : int;
+  views : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let cache_stats () =
+  Mutex.lock slots_mutex;
+  let ss = !slots in
+  Mutex.unlock slots_mutex;
+  List.fold_left
+    (fun acc s ->
+      {
+        domains = acc.domains + 1;
+        views = acc.views + Atomic.get s.live;
+        hits = acc.hits + Atomic.get s.hits;
+        misses = acc.misses + Atomic.get s.misses;
+        evictions = acc.evictions + Atomic.get s.evictions;
+      })
+    { domains = 0; views = 0; hits = 0; misses = 0; evictions = 0 }
+    ss
+
+let clear_cache () =
+  let s = Domain.DLS.get slot_key in
+  Cache.reset s.table;
+  Atomic.set s.live 0

@@ -1,0 +1,99 @@
+(** Staged delta programs: compiled maintenance procedures, one per
+    view x update class (insert/delete per base relation).
+
+    [Viewdef.delta] + [Eval.query] interpret V<U> from scratch on every
+    update — substitution allocates fresh terms and every term pays a
+    plan-cache lookup keyed on its full skeleton. The update's {e class}
+    (relation, kind) determines all of that; only the tuple varies. A
+    staged program therefore resolves it once: for each view part
+    mentioning the relation it captures the cached {!Plan}, a slot-source
+    vector (database relation vs. update tuple) and the folded-out sign
+    factor, leaving a tuple-sized amount of work per update.
+
+    Batches of same-class updates evaluate in {e one} pass when no chain
+    self-joins the updated relation (the plan is then linear in the delta
+    slot, so a bag of N tuples through one join equals N single-tuple
+    joins summed); self-joining programs transparently fall back to the
+    per-tuple loop. Both paths, and the interpreter, run through
+    {!Eval.run_plan}, so compiled and interpreted results are identical
+    bags — not merely equivalent ones.
+
+    Staged programs are cached per domain ([Domain.DLS]) alongside the
+    plan cache, keyed on the view definition's structure. *)
+
+type t
+(** One program: a specific view maintained under a specific update
+    class. *)
+
+type staged
+(** All programs of one view, indexed by relation and update kind —
+    what a registration site holds onto. *)
+
+val stage : Viewdef.t -> staged
+(** Stage every (relation, kind) class of the view's delta. Cached per
+    domain; repeated staging of the same view definition is a hash
+    lookup. *)
+
+val staged_view : staged -> Viewdef.t
+
+val find : staged -> rel:string -> kind:Update.kind -> t option
+(** [None] iff the view does not mention [rel] — exactly when
+    [Viewdef.delta] would be the empty query. *)
+
+val of_update : staged -> Update.t -> t option
+(** [find] keyed by an update's class. *)
+
+val apply : t -> Db.t -> Tuple.t -> Bag.t
+(** The delta V<U> of one update with the given tuple, evaluated against
+    [db]. Equals
+    [Eval.query db (Viewdef.delta view u)] — the database is read only
+    for relations other than the program's own, so callers may pass the
+    state from either side of the update, as the paper's algorithms
+    variously do.
+    @raise Schema.Schema_error when the tuple does not fit the updated
+    relation's schema. *)
+
+val apply_batch : t -> Db.t -> Tuple.t list -> Bag.t
+(** The summed delta of a batch of same-class updates: equals the
+    [Bag.plus] over per-tuple {!apply} results, computed in one plan pass
+    when the program is {!linear}. Empty batches yield the empty bag. *)
+
+val runs : Update.t list -> Update.t list list
+(** Split a mixed batch into maximal consecutive runs of one update
+    class, preserving order; concatenating the runs restores the batch.
+    Each run is [apply_batch]-able after its updates execute; runs must
+    be processed in sequence. *)
+
+val rel : t -> string
+val kind : t -> Update.kind
+
+val linear : t -> bool
+(** The updated relation occupies exactly one slot of every chain, so
+    batches evaluate in one pass. False only for self-joins. *)
+
+val is_empty : t -> bool
+(** No view part mentions the relation; {!apply} returns the empty bag. *)
+
+val set_compiled : bool -> unit
+(** Global toggle consulted by the core maintenance paths ([Engine]'s
+    oracle advance, [Sc]'s replica apply): off means interpret
+    [Viewdef.delta] per update as before. On by default; the bench's
+    throughput ablation flips it. Compiled and interpreted paths produce
+    identical results — the toggle trades speed, never answers. *)
+
+val compiled : unit -> bool
+
+(** Aggregated staging-cache counters across domains, mirroring
+    {!Plan.stats}. *)
+type stats = {
+  domains : int;
+  views : int;  (** live staged views summed over domain caches *)
+  hits : int;
+  misses : int;  (** stagings that went through the cache *)
+  evictions : int;
+}
+
+val cache_stats : unit -> stats
+
+val clear_cache : unit -> unit
+(** Reset the calling domain's staging cache. *)

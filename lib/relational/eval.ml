@@ -150,35 +150,44 @@ let extend_hash rows contents (keys : Plan.join_key array) filter =
   end;
   next
 
-let term db (t : Term.t) =
-  let plan = Plan.of_term t in
+(* Execute a compiled plan with slot contents supplied by index. Contents
+   are only requested while rows remain, so callers pay nothing for slots
+   past an empty join prefix. This single executor serves both [term]
+   below and the staged programs in {!Delta_program}: sharing it is what
+   makes "compiled = interpreted" an identity rather than a theorem. *)
+let run_plan (plan : Plan.t) ~(contents : int -> Bag.t) ~sign =
   if plan.Plan.pre_false then Bag.empty
   else begin
     let rows = ref (Rows.create ~capacity:1 ()) in
     Rows.push !rows [||] 1;
-    List.iteri
-      (fun i slot ->
+    Array.iteri
+      (fun i (sp : Plan.slot_plan) ->
         if !rows.Rows.len > 0 then begin
-          let contents = slot_contents db slot in
-          let sp = plan.Plan.slots.(i) in
+          let c = contents i in
           rows :=
             if Array.length sp.Plan.keys = 0 then
-              extend_nested !rows contents sp.Plan.filter
-            else extend_hash !rows contents sp.Plan.keys sp.Plan.filter
+              extend_nested !rows c sp.Plan.filter
+            else extend_hash !rows c sp.Plan.keys sp.Plan.filter
         end)
-      t.Term.slots;
-    let sign_factor = Sign.to_int t.Term.sign in
+      plan.Plan.slots;
     let rows = !rows in
     let acc = ref Bag.empty in
     for j = 0 to rows.Rows.len - 1 do
       acc :=
         Bag.add
-          ~count:(rows.Rows.counts.(j) * sign_factor)
+          ~count:(rows.Rows.counts.(j) * sign)
           (Tuple.project plan.Plan.proj rows.Rows.data.(j))
           !acc
     done;
     !acc
   end
+
+let term db (t : Term.t) =
+  let plan = Plan.of_term t in
+  let slots = Array.of_list t.Term.slots in
+  run_plan plan
+    ~contents:(fun i -> slot_contents db slots.(i))
+    ~sign:(Sign.to_int t.Term.sign)
 
 let query db q =
   List.fold_left (fun acc t -> Bag.plus acc (term db t)) Bag.empty q

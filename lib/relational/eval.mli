@@ -17,6 +17,14 @@
 
 exception Eval_error of string
 
+val run_plan : Plan.t -> contents:(int -> Bag.t) -> sign:int -> Bag.t
+(** Execute a compiled plan, fetching each slot's contents by index. The
+    [contents] callback is consulted lazily — never for slots after the
+    intermediate result has become empty — and [sign] multiplies every
+    output count (the term's sign factor). [term] below and the staged
+    delta programs ({!Delta_program}) both run through this one executor,
+    so their results agree by construction. *)
+
 val term : Db.t -> Term.t -> Bag.t
 (** Evaluate one signed term. Literal (substituted-tuple) slots contribute
     their single signed tuple regardless of the database contents. *)

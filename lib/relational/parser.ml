@@ -317,21 +317,27 @@ let view_def tables st =
 
 let parse_script src =
   let st = { toks = tokenize src } in
-  let rec loop acc in_updates =
+  (* Accumulators grow newest-first and are reversed once at the end:
+     the former [xs @ [x]] appends made parsing quadratic in script
+     length. *)
+  let rec loop tables views initial updates in_updates =
     match peek st with
-    | Eof -> acc
+    | Eof -> (tables, views, initial, updates)
     | Ident kw -> (
       match String.uppercase_ascii kw with
       | "TABLE" ->
         advance st;
         if in_updates then error "TABLE definitions must precede UPDATES";
         let s = table_def st in
-        loop { acc with Script.tables = acc.Script.tables @ [ s ] } in_updates
+        loop (s :: tables) views initial updates in_updates
       | "VIEW" ->
         advance st;
         if in_updates then error "VIEW definitions must precede UPDATES";
-        let v = view_def acc.Script.tables st in
-        loop { acc with Script.views = acc.Script.views @ [ v ] } in_updates
+        (* [view_def] resolves relations against the tables in definition
+           order (the first declaration of a name wins), so hand it the
+           forward order. *)
+        let v = view_def (List.rev tables) st in
+        loop tables (v :: views) initial updates in_updates
       | "INSERT" ->
         advance st;
         expect_kw st "INTO";
@@ -340,10 +346,8 @@ let parse_script src =
         let t = tuple st in
         expect_sym st ";";
         let u = Update.insert rel t in
-        if in_updates then
-          loop { acc with Script.updates = acc.Script.updates @ [ u ] } in_updates
-        else
-          loop { acc with Script.initial = acc.Script.initial @ [ u ] } in_updates
+        if in_updates then loop tables views initial (u :: updates) in_updates
+        else loop tables views (u :: initial) updates in_updates
       | "DELETE" ->
         advance st;
         expect_kw st "FROM";
@@ -352,20 +356,24 @@ let parse_script src =
         let t = tuple st in
         expect_sym st ";";
         let u = Update.delete rel t in
-        if in_updates then
-          loop { acc with Script.updates = acc.Script.updates @ [ u ] } in_updates
+        if in_updates then loop tables views initial (u :: updates) in_updates
         else error "DELETE statements belong in the UPDATES section"
       | "UPDATES" ->
         advance st;
         expect_sym st ";";
         if in_updates then error "duplicate UPDATES marker";
-        loop acc true
+        loop tables views initial updates true
       | other -> error "unexpected statement %s" other)
     | t -> error "unexpected token %s" (token_to_string t)
   in
-  let script = loop Script.empty false in
+  let tables, views, initial, updates = loop [] [] [] [] false in
   let number us = List.mapi (fun i u -> Update.with_seq (i + 1) u) us in
-  { script with Script.updates = number script.Script.updates }
+  {
+    Script.tables = List.rev tables;
+    views = List.rev views;
+    initial = List.rev initial;
+    updates = number (List.rev updates);
+  }
 
 (* A standalone SELECT (no VIEW wrapper), for ad-hoc queries: the result
    is an anonymous view evaluated once. *)

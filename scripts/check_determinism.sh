@@ -28,13 +28,17 @@ mkdir "$tmp/seq" "$tmp/par"
 ( cd "$tmp/seq" && PAR=1 "$exe" quick > stdout.txt )
 ( cd "$tmp/par" && PAR="$par" "$exe" quick > stdout.txt )
 
-# Keep the observe object and the runs array (schema v5 puts "observe"
-# just above "runs"); zero out the per-run wall clocks and the observe
-# overhead ratio, both timing noise.
+# Keep the observe and throughput objects and the runs array (schema v6
+# puts "observe" then "throughput" just above "runs"); zero out the
+# per-run wall clocks, the observe overhead ratio and the throughput
+# rates — all timing noise.
 normalize() {
   sed -n '/"observe": {/,$p' "$1" \
     | sed 's/"wall_clock_s": [0-9.eE+-]*/"wall_clock_s": 0/' \
-    | sed 's/"overhead_x": [0-9.eE+-]*/"overhead_x": 0/'
+    | sed 's/"overhead_x": [0-9.eE+-]*/"overhead_x": 0/' \
+    | sed 's/"updates_per_s": [0-9.eE+-]*/"updates_per_s": 0/' \
+    | sed 's/"interpreted_updates_per_s": [0-9.eE+-]*/"interpreted_updates_per_s": 0/' \
+    | sed 's/"compiled_speedup_x": [0-9.eE+-]*/"compiled_speedup_x": 0/'
 }
 
 normalize "$tmp/seq/BENCH_results.json" > "$tmp/runs_seq"
@@ -50,7 +54,7 @@ fi
 # and total-wall-clock summary lines.
 strip_summary() {
   grep -v '^workers:' "$1" | grep -v '^wrote [0-9]* runs' \
-    | grep -v '^observe overhead'
+    | grep -v '^observe overhead' | grep -v '^throughput '
 }
 
 strip_summary "$tmp/seq/stdout.txt" > "$tmp/out_seq"
@@ -76,6 +80,19 @@ fi
 # source rather than as a golden-trace diff later).
 if ! grep -q '"byte_identical_off": true' "$tmp/seq/BENCH_results.json"; then
   echo "check_determinism: FAIL — spans-off bench output is not byte-identical" >&2
+  exit 1
+fi
+
+# The sustained-throughput section (schema v6) must be present and its
+# compiled path must serialize byte-identically to the interpreted one:
+# a missing object means the headline perf number silently stopped being
+# measured; "false" means the compiled delta programs changed a run.
+if ! grep -q '"throughput": {' "$tmp/seq/BENCH_results.json"; then
+  echo "check_determinism: FAIL — throughput section missing from bench output" >&2
+  exit 1
+fi
+if ! grep -q '"byte_identical_interpreted": true' "$tmp/seq/BENCH_results.json"; then
+  echo "check_determinism: FAIL — compiled delta programs changed the run output" >&2
   exit 1
 fi
 

@@ -4,10 +4,14 @@
 # Usage: perf_guard.sh BASELINE_JSON CURRENT_JSON
 #
 # Compares the "sum_run_wall_clock_s" field of two BENCH_results.json
-# files (schema 5, see EXPERIMENTS.md) and fails when the current run is
+# files (schema 6, see EXPERIMENTS.md) and fails when the current run is
 # more than 2x slower than the committed baseline. Also checks the
 # observability ablation's spans-on/spans-off ratio against the same 2x
-# guard when the current file carries one (schema >= 5). The summed per-run
+# guard when the current file carries one (schema >= 5), and gates the
+# sustained-throughput section (schema >= 6): the compiled delta
+# programs must not be slower than the interpreted path
+# (compiled_speedup_x >= 1.0), and the compiled updates/sec must not
+# fall below half the committed baseline's. The summed per-run
 # wall clock is compared — not the process total — because it measures
 # the work done and is invariant under the PAR worker count, whereas
 # total_wall_clock_s shrinks with parallel fan-out. Machine noise on
@@ -73,4 +77,39 @@ if [ -n "$overhead" ]; then
     }
     printf "perf_guard: observe OK\n";
   }'
+fi
+
+# Sustained-throughput gate (schema >= 6). A schema-6 current file with
+# no throughput section means the headline number silently stopped being
+# measured — that is a failure of the bench, not something to skip over.
+speedup=$(extract "$current_file" compiled_speedup_x)
+if [ "$schema_current" -ge 6 ] && [ -z "$speedup" ]; then
+  echo "perf_guard: schema $schema_current output carries no" \
+    "\"compiled_speedup_x\" — the throughput section is missing." >&2
+  echo "perf_guard: regenerate with the current bench" \
+    "(dune exec bench/main.exe -- quick) and re-run." >&2
+  exit 2
+fi
+if [ -n "$speedup" ]; then
+  awk -v s="$speedup" 'BEGIN {
+    printf "perf_guard: compiled delta programs %.2fx vs interpreted\n", s;
+    if (s < 1.0) {
+      printf "perf_guard: FAIL — compiled apply path is slower than the interpreted one\n";
+      exit 1;
+    }
+    printf "perf_guard: compiled speedup OK\n";
+  }'
+  tp_baseline=$(extract "$baseline_file" updates_per_s)
+  tp_current=$(extract "$current_file" updates_per_s)
+  if [ -n "$tp_baseline" ] && [ -n "$tp_current" ]; then
+    awk -v b="$tp_baseline" -v c="$tp_current" 'BEGIN {
+      ratio = c / b;
+      printf "perf_guard: throughput baseline %.0f updates/s, current %.0f (%.2fx)\n", b, c, ratio;
+      if (ratio < 0.5) {
+        printf "perf_guard: FAIL — compiled-path throughput fell below half the baseline\n";
+        exit 1;
+      }
+      printf "perf_guard: throughput OK\n";
+    }'
+  fi
 fi

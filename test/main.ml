@@ -29,6 +29,7 @@ let () =
       ("invariants", Test_invariants.suite);
       ("properties", Test_props.suite);
       ("plan-equiv", Test_plan_equiv.suite);
+      ("delta-program", Test_delta_program.suite);
       ("parallel", Test_parallel.suite);
       ("random-views", Test_random_views.suite);
       ("costmodel", Test_costmodel.suite);

@@ -108,6 +108,27 @@ let rv_replaces_view () =
   check_bool "strongly consistent even under racing updates" true
     (report result "V").Core.Consistency.strongly_consistent
 
+(* Regression for the pending queue's switch from list appends to
+   [Fqueue]: recompute ids must stay in issue order, with answered ids
+   removed from anywhere in the queue and quiescence exactly when it
+   drains. *)
+let rv_pending_order () =
+  let db = db_of [ (r1, [ [ 1; 2 ] ]); (r2, [ [ 2; 3 ] ]) ] in
+  let t = Core.Rv.create (cfg_of db (view_w ())) in
+  let fire i = ignore (Core.Rv.on_update t (ins "r1" [ 10 + i; 2 ])) in
+  fire 0; fire 1; fire 2;
+  Alcotest.(check (list int)) "ids in issue order" [ 0; 1; 2 ]
+    (Core.Rv.pending t);
+  check_bool "outstanding queries block quiescence" false
+    (Core.Rv.quiescent t);
+  ignore (Core.Rv.on_answer t ~id:1 (bag [ [ 1 ] ]));
+  Alcotest.(check (list int)) "answered id removed, order kept" [ 0; 2 ]
+    (Core.Rv.pending t);
+  ignore (Core.Rv.on_answer t ~id:0 (bag [ [ 1 ] ]));
+  ignore (Core.Rv.on_answer t ~id:2 (bag [ [ 1 ] ]));
+  Alcotest.(check (list int)) "drained" [] (Core.Rv.pending t);
+  check_bool "quiescent once drained" true (Core.Rv.quiescent t)
+
 (* ------------------------------------------------------------------ *)
 (* SC                                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -427,6 +448,8 @@ let suite =
     Alcotest.test_case "RV flushes partial periods" `Quick
       rv_final_recompute_on_partial_period;
     Alcotest.test_case "RV replaces the view" `Quick rv_replaces_view;
+    Alcotest.test_case "RV pending order (regression)" `Quick
+      rv_pending_order;
     Alcotest.test_case "SC never queries the source" `Quick sc_never_queries;
     Alcotest.test_case "SC handles deletes" `Quick sc_handles_deletes;
     Alcotest.test_case "SC requires the replica seed" `Quick

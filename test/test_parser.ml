@@ -209,9 +209,58 @@ let roundtrip_property =
       | Some reparsed -> R.View.equal view reparsed
       | None -> false)
 
+(* Pin the parse of a committed example script statement by statement —
+   a regression net for the accumulate-reversed rewrite of
+   [parse_script]'s loop, which must keep every section in source order. *)
+let pins_example_script_order () =
+  let path =
+    List.find Sys.file_exists
+      [
+        Filename.concat "golden" "union.sql"; "test/golden/union.sql";
+      ]
+  in
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let s = R.Parser.parse_script src in
+  Alcotest.(check (list string))
+    "tables in source order" [ "a"; "b" ]
+    (List.map (fun (sc : R.Schema.t) -> sc.R.Schema.name) s.R.Script.tables);
+  Alcotest.(check (list string))
+    "views in source order" [ "u" ]
+    (List.map (fun (v : R.Viewdef.t) -> v.R.Viewdef.name) s.R.Script.views);
+  Alcotest.(check (list string))
+    "initial load in source order"
+    [ "+a[1,5]"; "+a[2,20]"; "+b[3,0]" ]
+    (List.map
+       (fun (u : R.Update.t) ->
+         (match u.R.Update.kind with
+          | R.Update.Insert -> "+"
+          | R.Update.Delete -> "-")
+         ^ u.R.Update.rel
+         ^ R.Tuple.to_string u.R.Update.tuple)
+       s.R.Script.initial);
+  Alcotest.(check (list string))
+    "update stream in source order, numbered from 1"
+    [ "1:+b[1,1]"; "2:-a[1,5]" ]
+    (List.map
+       (fun (u : R.Update.t) ->
+         Printf.sprintf "%d:%s%s%s" u.R.Update.seq
+           (match u.R.Update.kind with
+            | R.Update.Insert -> "+"
+            | R.Update.Delete -> "-")
+           u.R.Update.rel
+           (R.Tuple.to_string u.R.Update.tuple))
+       s.R.Script.updates)
+
 let suite =
   [
     Alcotest.test_case "parses a full script" `Quick parses_script;
+    Alcotest.test_case "example script parse order (pinned)" `Quick
+      pins_example_script_order;
     Alcotest.test_case "updates are numbered" `Quick update_numbering;
     Alcotest.test_case "KEY declarations" `Quick key_declaration;
     Alcotest.test_case "view resolution from script" `Quick view_resolution;
