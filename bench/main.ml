@@ -162,6 +162,12 @@ let observe_json : string option ref = ref None
    normalization window covers both. *)
 let throughput_json : string option ref = ref None
 
+(* And for the top-level "catalog" object (schema v7), filled by
+   [bench_catalog]: the multi-view warehouse matrix with its shared-delta
+   (MQO) savings and per-rung staleness. Emitted after "throughput", so
+   the same normalization window covers it. *)
+let catalog_json : string option ref = ref None
+
 let write_json ~path ~mode ~total_wall_s =
   let oc = open_out path in
   Fun.protect
@@ -171,7 +177,7 @@ let write_json ~path ~mode ~total_wall_s =
         List.fold_left (fun acc r -> acc +. r.r_wall_s) 0.0 !json_runs
       in
       Printf.fprintf oc "{\n";
-      Printf.fprintf oc "  \"schema_version\": 6,\n";
+      Printf.fprintf oc "  \"schema_version\": 7,\n";
       Printf.fprintf oc "  \"mode\": \"%s\",\n" (json_escape mode);
       Printf.fprintf oc "  \"workers\": %d,\n" workers;
       Printf.fprintf oc "  \"total_wall_clock_s\": %.3f,\n" total_wall_s;
@@ -186,6 +192,9 @@ let write_json ~path ~mode ~total_wall_s =
       | None -> ());
       (match !throughput_json with
       | Some s -> Printf.fprintf oc "  \"throughput\": %s,\n" s
+      | None -> ());
+      (match !catalog_json with
+      | Some s -> Printf.fprintf oc "  \"catalog\": %s,\n" s
       | None -> ());
       Printf.fprintf oc "  \"runs\": [";
       List.iteri
@@ -1356,6 +1365,206 @@ let bench_federation () =
               m.Core.Metrics.site_delivery)))
     cells
 
+
+(* ------------------------------------------------------------------ *)
+(* Multi-view catalog: shared-delta (MQO) maintenance (schema v7)      *)
+(* ------------------------------------------------------------------ *)
+
+(* The multi-view warehouse of DESIGN.md Â§4h: one warehouse hosting N
+   registered views over the same 3 base relations, catalog sizes
+   1/4/16/64, each cell run twice -- shared-delta maintenance off and
+   on. Views cycle through two SPJ shapes, so every warehouse event
+   raises ~N/2 structurally equal delta queries per shape; with sharing
+   each equal group ships once. The section asserts (not merely
+   reports) the MQO contract: sharing must change no view's final
+   state, must strictly reduce shipped queries for N >= 4, and the
+   evaluated shared deltas must number fewer than the unshared subplan
+   total. A second leg runs the auto-rung ladder (ECAK / ECAL / ECA in
+   one warehouse) under observation and gates the paper's
+   strong-consistency signature: staleness 0 at every quiescence. *)
+let bench_catalog () =
+  header "Catalog: N views over 3 base relations, shared deltas";
+  let s1 = R.Schema.of_names "r1" [ "W"; "X" ] in
+  let s2 = R.Schema.of_names "r2" [ "X"; "Y" ] in
+  let s3 = R.Schema.of_names "r3" [ "Y"; "Z" ] in
+  let bag rows = R.Bag.of_list (List.map R.Tuple.ints rows) in
+  let db =
+    R.Db.of_list
+      [
+        (s1, bag [ [ 1; 2 ]; [ 3; 4 ]; [ 5; 2 ] ]);
+        (s2, bag [ [ 2; 5 ]; [ 4; 6 ] ]);
+        (s3, bag [ [ 5; 7 ]; [ 6; 8 ] ]);
+      ]
+  in
+  let updates =
+    [
+      R.Update.insert "r2" (R.Tuple.ints [ 4; 5 ]);
+      R.Update.insert "r1" (R.Tuple.ints [ 7; 4 ]);
+      R.Update.delete "r2" (R.Tuple.ints [ 2; 5 ]);
+      R.Update.insert "r3" (R.Tuple.ints [ 5; 9 ]);
+      R.Update.delete "r1" (R.Tuple.ints [ 3; 4 ]);
+      R.Update.insert "r2" (R.Tuple.ints [ 0; 5 ]);
+    ]
+  in
+  let shape i name =
+    if i mod 2 = 0 then
+      R.View.natural_join ~name ~proj:[ R.Attr.unqualified "W" ] [ s1; s2 ]
+    else
+      R.View.natural_join ~name
+        ~proj:[ R.Attr.unqualified "W"; R.Attr.unqualified "Z" ]
+        [ s1; s2; s3 ]
+  in
+  let entries n =
+    List.init n (fun i ->
+        Core.Catalog.entry ~algo:"eca"
+          (R.Viewdef.simple (shape i (Printf.sprintf "V%02d" i))))
+  in
+  let run_cell ~share n =
+    let t0 = Unix.gettimeofday () in
+    let result =
+      Core.Runner.run_catalog ~schedule:Core.Scheduler.Worst_case
+        ~share_deltas:share ~entries:(entries n) ~db ~updates ()
+    in
+    (Unix.gettimeofday () -. t0, result)
+  in
+  let record_leg ~label ~wall_s (r : Core.Runner.result) =
+    let m = r.Core.Runner.metrics in
+    record ~algorithm:label ~wall_s
+      {
+        m_messages = Core.Metrics.messages m;
+        m_tuples = m.Core.Metrics.answer_tuples;
+        m_bytes = Core.Metrics.bytes_for ~s:s_bytes m;
+        m_io = m.Core.Metrics.source_io;
+      }
+  in
+  Printf.printf "%-6s %13s %12s %7s %10s %7s %10s\n" "views" "queries(off)"
+    "queries(on)" "saved" "evaluated" "fanout" "identical";
+  let cells =
+    List.map
+      (fun n ->
+        let wall_off, off = run_cell ~share:false n in
+        let wall_on, on_ = run_cell ~share:true n in
+        record_leg ~label:(Printf.sprintf "catalog[n=%d/unshared]" n)
+          ~wall_s:wall_off off;
+        record_leg ~label:(Printf.sprintf "catalog[n=%d/shared]" n)
+          ~wall_s:wall_on on_;
+        (match off.Core.Runner.metrics.Core.Metrics.shared with
+        | Some _ -> failwith "catalog: unshared run reported MQO counters"
+        | None -> ());
+        let sh =
+          match on_.Core.Runner.metrics.Core.Metrics.shared with
+          | Some sh -> sh
+          | None -> failwith "catalog: shared run carries no MQO counters"
+        in
+        let identical =
+          List.for_all
+            (fun (name, mv) ->
+              R.Bag.equal mv (List.assoc name on_.Core.Runner.final_mvs))
+            off.Core.Runner.final_mvs
+        in
+        let q_off = off.Core.Runner.metrics.Core.Metrics.queries_sent in
+        let q_on = on_.Core.Runner.metrics.Core.Metrics.queries_sent in
+        let saved = q_off - q_on in
+        Printf.printf "%-6d %13d %12d %7d %10d %7d %10s\n" n q_off q_on saved
+          sh.Core.Metrics.shared_evaluated sh.Core.Metrics.shared_fanout
+          (if identical then "yes" else "NO");
+        if not identical then
+          failwith "catalog: sharing changed a view's final state";
+        if saved <> sh.Core.Metrics.shared_hits then
+          failwith "catalog: saved queries disagree with the hit counter";
+        if n >= 4 && saved <= 0 then
+          failwith "catalog: sharing saved nothing on an N-view catalog";
+        if sh.Core.Metrics.shared_evaluated >= max 1 q_off then
+          failwith "catalog: shared deltas not fewer than unshared subplans";
+        (n, q_off, q_on, saved, sh))
+      [ 1; 4; 16; 64 ]
+  in
+  (* The auto-rung ladder in one warehouse, observed: every rung of the
+     ECA family must report staleness 0 at each quiescence probe. *)
+  let k1 = R.Schema.of_names ~key:[ "W" ] "r1" [ "W"; "X" ] in
+  let k2 = R.Schema.of_names ~key:[ "Y" ] "r2" [ "X"; "Y" ] in
+  let kdb =
+    R.Db.of_list [ (k1, bag [ [ 1; 2 ]; [ 3; 4 ] ]); (k2, bag [ [ 2; 5 ]; [ 4; 6 ] ]) ]
+  in
+  let kupdates =
+    [
+      R.Update.insert "r1" (R.Tuple.ints [ 7; 4 ]);
+      R.Update.insert "r2" (R.Tuple.ints [ 0; 9 ]);
+      R.Update.delete "r2" (R.Tuple.ints [ 4; 6 ]);
+    ]
+  in
+  let uq = R.Attr.unqualified in
+  let rung_entries =
+    List.map
+      (fun (name, proj) ->
+        Core.Catalog.entry
+          (R.Viewdef.simple (R.View.natural_join ~name ~proj [ k1; k2 ])))
+      [
+        ("KEYS", [ uq "W"; uq "Y" ]);
+        ("HALF", [ uq "W" ]);
+        ("BARE", [ R.Attr.qualified "r1" "X" ]);
+      ]
+  in
+  let expected_rungs =
+    [ ("KEYS", "eca-key"); ("HALF", "eca-local"); ("BARE", "eca") ]
+  in
+  if Core.Catalog.algorithms rung_entries <> expected_rungs then
+    failwith "catalog: auto_rung picked unexpected algorithm rungs";
+  let t0 = Unix.gettimeofday () in
+  let rung_run =
+    Core.Runner.run_catalog ~schedule:Core.Scheduler.Worst_case ~observe:true
+      ~entries:rung_entries ~db:kdb ~updates:kupdates ()
+  in
+  record_leg ~label:"catalog[rung-ladder/observed]"
+    ~wall_s:(Unix.gettimeofday () -. t0)
+    rung_run;
+  let staleness =
+    match rung_run.Core.Runner.metrics.Core.Metrics.observe with
+    | Some o -> o.Core.Metrics.staleness
+    | None -> failwith "catalog: observed rung run carries no gauges"
+  in
+  let rungs_json =
+    String.concat ", "
+      (List.map
+         (fun (name, algo) ->
+           let g = List.assoc name staleness in
+           Printf.printf "rung %s (%s): quiesce staleness max %d\n" name algo
+             g.Core.Metrics.stale_quiesce_max;
+           if g.Core.Metrics.stale_quiesce_max <> 0 then
+             failwith
+               (Printf.sprintf "catalog: %s rung %s stale at quiescence" algo
+                  name);
+           Printf.sprintf
+             "{ \"view\": \"%s\", \"algorithm\": \"%s\", \"stale_quiesce_max\": %d }"
+             (json_escape name) (json_escape algo)
+             g.Core.Metrics.stale_quiesce_max)
+         expected_rungs)
+  in
+  let cells_json =
+    String.concat ",\n      "
+      (List.map
+         (fun (n, q_off, q_on, saved, sh) ->
+           Printf.sprintf
+             "{ \"views\": %d, \"total_subplans\": %d, \"queries_on\": %d, \
+              \"shared_saved\": %d, \"shared_evaluated\": %d, \
+              \"shared_hits\": %d, \"shared_fanout\": %d }"
+             n q_off q_on saved sh.Core.Metrics.shared_evaluated
+             sh.Core.Metrics.shared_hits sh.Core.Metrics.shared_fanout)
+         cells)
+  in
+  catalog_json :=
+    Some
+      (Printf.sprintf
+         "{\n\
+         \    \"sources\": 3,\n\
+         \    \"shared_off_identical\": true,\n\
+         \    \"cells\": [\n\
+         \      %s\n\
+         \    ],\n\
+         \    \"rungs\": [ %s ]\n\
+         \  }"
+         cells_json rungs_json)
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -1482,6 +1691,7 @@ let () =
   ablation_observe ();
   ablation_compound_views ();
   bench_federation ();
+  bench_catalog ();
   bench_throughput ();
   if not quick then bechamel_section ();
   Parallel.Pool.shutdown pool;

@@ -137,6 +137,28 @@ let batch_arg =
         ~doc:"Batch size: the source executes $(docv) updates per atomic \
               event and sends one notification (Section 7 extension).")
 
+let view_algo_arg =
+  Cmdliner.Arg.(
+    value
+    & opt_all (pair ~sep:'=' string string) []
+    & info [ "view-algo" ] ~docv:"VIEW=ALGO"
+        ~doc:
+          "Per-view algorithm rung for multi-view scripts: maintain $(b,VIEW) \
+           with $(b,ALGO) (a registered algorithm, or $(b,auto) to pick the \
+           cheapest applicable rung: ECAK where every key is projected, ECAL \
+           where a delete class is local, ECA otherwise). Repeatable; views \
+           without an override use $(b,--algorithm).")
+
+let share_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "share-deltas" ]
+        ~doc:
+          "Shared-delta (MQO) maintenance: structurally equal delta queries \
+           raised by distinct views within one warehouse event are shipped \
+           once and the single answer fanned out to every subscriber. The \
+           sharing counters appear in the metrics block.")
+
 let timing_arg =
   let timing_conv =
     Cmdliner.Arg.conv
@@ -169,11 +191,45 @@ let catalog_for scenario =
   else Workload.Scenarios.catalog_scenario1 ()
 
 let run_script path algorithm schedule rv_period scenario trace json loads
-    batch_size timing trace_out =
+    batch_size timing trace_out view_algos share_deltas =
   match
     let text = read_file path in
     let script = R.Parser.parse_script text in
     if script.R.Script.views = [] then failwith "the script defines no view";
+    (* Per-view rungs go through the Catalog: every --view-algo must name
+       a script view, overrides pick their rung (or [auto]), the rest run
+       the global --algorithm. *)
+    List.iter
+      (fun (name, _) ->
+        if
+          not
+            (List.exists
+               (fun (v : R.Viewdef.t) -> String.equal v.R.Viewdef.name name)
+               script.R.Script.views)
+        then failwith (Printf.sprintf "--view-algo: unknown view %s" name))
+      view_algos;
+    let entries =
+      if view_algos = [] then None
+      else
+        Some
+          (List.map
+             (fun (v : R.Viewdef.t) ->
+               match List.assoc_opt v.R.Viewdef.name view_algos with
+               | Some "auto" -> Core.Catalog.entry v
+               | Some a -> Core.Catalog.entry ~algo:a v
+               | None -> Core.Catalog.entry ~algo:algorithm v)
+             script.R.Script.views)
+    in
+    let base_creator =
+      match entries with
+      | None -> Core.Registry.creator_exn algorithm
+      | Some entries ->
+        if not json then
+          List.iter
+            (fun (name, algo) -> Format.printf "view %s runs %s@." name algo)
+            (Core.Catalog.algorithms entries);
+        Core.Catalog.creator entries
+    in
     let db = R.Script.initial_db script in
     (* CSV loads override a relation's initial contents. *)
     let db =
@@ -188,8 +244,8 @@ let run_script path algorithm schedule rv_period scenario trace json loads
     Core.Runner.run_defs
       ~catalog:(catalog_for scenario)
       ~schedule ~rv_period ~batch_size ?trace_out
-      ~creator:
-        (Core.Timing.creator timing (Core.Registry.creator_exn algorithm))
+      ~share_deltas
+      ~creator:(Core.Timing.creator timing base_creator)
       ~views:script.R.Script.views ~db ~updates:script.R.Script.updates ()
   with
   | exception Sys_error m -> Error m
@@ -201,6 +257,7 @@ let run_script path algorithm schedule rv_period scenario trace json loads
   | exception Failure m -> Error m
   | exception Core.Eca_key.Not_applicable m -> Error m
   | exception Core.Sc.Not_applicable m -> Error m
+  | exception Core.Catalog.Catalog_error m -> Error m
   | result ->
     if json then print_endline (Core.Json_export.result result)
     else begin
@@ -468,11 +525,11 @@ let run_cmd =
   let doc = "Replay a warehouse script and report the view and its verdict" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun p a s rv sc t j l b tm to_ ->
-          exits_of (run_script p a s rv sc t j l b tm to_))
+      const (fun p a s rv sc t j l b tm to_ va sh ->
+          exits_of (run_script p a s rv sc t j l b tm to_ va sh))
       $ script_arg $ algorithm_arg $ schedule_arg $ rv_period_arg
       $ scenario_arg $ trace_arg $ json_arg $ load_arg $ batch_arg
-      $ timing_arg $ trace_out_arg)
+      $ timing_arg $ trace_out_arg $ view_algo_arg $ share_arg)
 
 let demo_cmd =
   let doc = "Show the view-maintenance anomaly and ECA's fix" in

@@ -1,0 +1,65 @@
+module R = Relational
+
+exception Catalog_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Catalog_error s)) fmt
+
+(* The warehouse's view catalog: N registered views, each tagged with its
+   own maintenance-algorithm rung (a {!Registry} key). This is the
+   registration-time half of the multi-view warehouse — the run-time
+   half is {!Warehouse}'s per-instance lifecycles and the shared-delta
+   (MQO) dedup it applies across them. *)
+
+type entry = {
+  view : R.Viewdef.t;
+  algo : string;  (* a Registry key *)
+}
+
+(* The algorithm ladder, cheapest round trips first: ECAK handles every
+   update class that can go wrong with no compensation at all, ECAL
+   still saves the round trip on covered deletes, ECA is the universal
+   compensating fallback. SC (zero round trips, full base copies) is
+   deliberately not auto-chosen — its storage cost is a policy decision,
+   not a structural one. *)
+let auto_rung (vd : R.Viewdef.t) =
+  if Eca_key.applicable vd then "eca-key"
+  else if Eca_local.local_capable vd then "eca-local"
+  else "eca"
+
+let entry ?algo view =
+  let algo =
+    match algo with
+    | Some a ->
+      if Registry.find a = None then
+        error "catalog entry %s names unknown algorithm %S (known: %s)"
+          view.R.Viewdef.name a
+          (String.concat ", " Registry.names);
+      a
+    | None -> auto_rung view
+  in
+  { view; algo }
+
+let views entries = List.map (fun e -> e.view) entries
+
+let algorithms entries =
+  List.map (fun e -> (e.view.R.Viewdef.name, e.algo)) entries
+
+(* One creator dispatching per view name — what the engine's
+   [Warehouse.of_creator] expects. Checked up front: duplicate view
+   names would make dispatch ambiguous, and every algorithm key is
+   resolved before any instance is built. *)
+let creator entries =
+  if entries = [] then error "a view catalog needs at least one entry";
+  let tbl = Hashtbl.create (List.length entries) in
+  List.iter
+    (fun e ->
+      let name = e.view.R.Viewdef.name in
+      if Hashtbl.mem tbl name then
+        error "catalog registers view %s twice" name;
+      Hashtbl.replace tbl name (Registry.creator_exn e.algo))
+    entries;
+  fun (cfg : Algorithm.Config.t) ->
+    let name = cfg.Algorithm.Config.view.R.Viewdef.name in
+    match Hashtbl.find_opt tbl name with
+    | Some c -> c cfg
+    | None -> error "no catalog entry for view %s" name

@@ -9,6 +9,11 @@ type t = {
   local_literal_eval : bool;
 }
 
+(* ECA is the universal rung: any SPJ viewdef, simple or compound, keyed
+   or not — the catalog's ladder falls back to it when no cheaper rung
+   applies. *)
+let applicable (_ : R.Viewdef.t) = true
+
 let create (cfg : Algorithm.Config.t) =
   {
     view = cfg.view;

@@ -25,6 +25,9 @@ module R := Relational
 
 type t
 
+val applicable : R.Viewdef.t -> bool
+(** Always true: ECA is the catalog ladder's universal fallback rung. *)
+
 val create : Algorithm.Config.t -> t
 val mv : t -> R.Bag.t
 

@@ -33,6 +33,13 @@ type t = {
   mutable tombstones : tombstone list;
 }
 
+(* The rung check [create] enforces, as a predicate the catalog's
+   auto-rung ladder can consult without constructing an instance. *)
+let applicable (vd : R.Viewdef.t) =
+  match R.Viewdef.as_simple vd with
+  | Some v -> R.View.covers_all_keys v
+  | None -> false
+
 let create (cfg : Algorithm.Config.t) =
   let view =
     match R.Viewdef.as_simple cfg.view with

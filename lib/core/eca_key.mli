@@ -33,6 +33,11 @@ exception Not_applicable of string
 
 type t
 
+val applicable : R.Viewdef.t -> bool
+(** True exactly when [create] would succeed: a simple SPJ view that
+    projects a declared key of every base relation. Consulted by the
+    catalog's auto-rung ladder. *)
+
 val create : Algorithm.Config.t -> t
 (** @raise Not_applicable unless {!Relational.View.covers_all_keys}. *)
 

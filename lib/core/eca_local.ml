@@ -14,6 +14,19 @@ let is_local (view : R.View.t) (u : R.Update.t) =
   | R.Update.Insert -> false
   | R.Update.Delete -> Mview.covers_key view u.R.Update.rel
 
+(* ECAL only improves on plain ECA when some deletion can actually be
+   handled locally: a simple view projecting at least one base
+   relation's declared key. The catalog's auto-rung ladder picks ECAL
+   over ECA exactly in that case — on other views ECAL is ECA with an
+   extra classification check per update. *)
+let local_capable (vd : R.Viewdef.t) =
+  match R.Viewdef.as_simple vd with
+  | None -> false
+  | Some v ->
+    List.exists
+      (fun (s : R.Schema.t) -> Mview.covers_key v s.R.Schema.name)
+      v.R.View.sources
+
 let create (cfg : Algorithm.Config.t) =
   (* the compensating fallback works on any viewdef; local key-deletes
      need a simple SPJ view, so compound views simply never go local *)

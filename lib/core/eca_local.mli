@@ -25,6 +25,12 @@ type t
 val is_local : R.View.t -> R.Update.t -> bool
 (** The autonomously-computable classification described above. *)
 
+val local_capable : R.Viewdef.t -> bool
+(** True when some deletion class of the view is autonomously
+    computable (a simple view projecting at least one relation's
+    declared key) — the case where ECAL actually improves on ECA.
+    Consulted by the catalog's auto-rung ladder. *)
+
 val create : Algorithm.Config.t -> t
 val mv : t -> R.Bag.t
 val quiescent : t -> bool

@@ -79,7 +79,8 @@ type obs_state = {
 
 let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
     ?local_literal_eval ?(allow_cross_source = false) ?(max_steps = 2_000_000)
-    ?(oracle = Incremental) ?observe ~creator ~sites:specs ~views ~updates () =
+    ?(oracle = Incremental) ?observe ?(share_deltas = false) ~creator
+    ~sites:specs ~views ~updates () =
   if batch_size < 1 then raise (Engine_error "batch_size must be at least 1");
   if specs = [] then
     raise (Engine_error "a site graph needs at least one source");
@@ -165,7 +166,9 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
         Algorithm.Config.of_db ~rv_period ?local_literal_eval v db)
       views view_site
   in
-  let warehouse = Warehouse.of_creator ~creator ~configs in
+  let warehouse =
+    Warehouse.of_creator ~share:share_deltas ~creator ~configs ()
+  in
   let sched = Scheduler.create schedule in
   (* Oracle state: the current source-view contents, one entry per view in
      [views] order, advanced as updates execute at the sources. A
@@ -804,6 +807,17 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
     }
   in
   bump (fun m -> { m with Metrics.delivery; site_delivery });
+  if share_deltas then begin
+    let shared_evaluated, shared_hits, shared_fanout =
+      Warehouse.shared_counters warehouse
+    in
+    bump (fun m ->
+        {
+          m with
+          Metrics.shared =
+            Some { Metrics.shared_evaluated; shared_hits; shared_fanout };
+        })
+  end;
   let reports =
     List.map
       (fun (v : R.Viewdef.t) ->

@@ -90,6 +90,7 @@ val run :
   ?max_steps:int ->
   ?oracle:oracle ->
   ?observe:Observe.Collector.t ->
+  ?share_deltas:bool ->
   creator:Algorithm.creator ->
   sites:site_spec list ->
   views:R.Viewdef.t list ->
@@ -115,4 +116,14 @@ val run :
     so traces reproduce exactly across runs — plus per-view staleness
     gauges, and [result.metrics.observe] carries the derived summary.
     Without it the engine takes no observability branch at all: metrics,
-    trace and reports are byte-identical to an unobserved build. *)
+    trace and reports are byte-identical to an unobserved build.
+
+    With [~share_deltas:true] the warehouse runs multi-query-optimized
+    shared maintenance (see {!Warehouse.create}): inside one atomic
+    event, structurally equal queries from distinct hosted views ship
+    once and the answer fans out to every subscriber;
+    [result.metrics.shared] then carries the sharing counters. Sharing
+    is restricted to distinct instances within one event, so a
+    single-view run — and any catalog whose views never coincide — is
+    byte-identical to an unshared one apart from the extra metrics
+    field. Default off. *)

@@ -69,6 +69,7 @@ val run :
   ?oracle:Engine.oracle ->
   ?observe:bool ->
   ?trace_out:string ->
+  ?share_deltas:bool ->
   creator:Algorithm.creator ->
   sources:(string * Storage.Catalog.t option * R.Db.t) list ->
   views:R.View.t list ->
@@ -84,6 +85,11 @@ val run :
     independently. [~reliable:true] runs the {!Messaging.Reliable}
     sublayer over each edge. [batch_size > 1] batches consecutive
     same-source updates into one notification.
+
+    [~share_deltas:true] enables shared-delta (MQO) maintenance at the
+    warehouse: structurally equal queries raised by distinct views within
+    one atomic event ship once per source edge, the single answer fanned
+    out to all subscribers ([metrics.shared] carries the counters).
 
     [~observe:true] enables the engine's span/gauge layer (summary in
     [metrics.observe]); [trace_out] exports the collected events as JSONL

@@ -97,8 +97,17 @@ let observe (o : Metrics.observe) =
              o.Metrics.staleness) );
     ]
 
-(* The "observe" field appears only on observed runs, so unobserved
-   exports — the golden traces among them — stay byte-identical. *)
+let shared (s : Metrics.shared) =
+  obj
+    [
+      ("evaluated", string_of_int s.Metrics.shared_evaluated);
+      ("hits", string_of_int s.Metrics.shared_hits);
+      ("fanout", string_of_int s.Metrics.shared_fanout);
+    ]
+
+(* The "observe" and "shared" fields appear only on runs that enabled
+   them, so default exports — the golden traces among them — stay
+   byte-identical. *)
 let metrics (m : Metrics.t) =
   obj
     ([
@@ -112,6 +121,9 @@ let metrics (m : Metrics.t) =
        ("source_io", string_of_int m.Metrics.source_io);
        ("steps", string_of_int m.Metrics.steps);
      ]
+    @ (match m.Metrics.shared with
+      | None -> []
+      | Some s -> [ ("shared", shared s) ])
     @ match m.Metrics.observe with
       | None -> []
       | Some o -> [ ("observe", observe o) ])

@@ -17,6 +17,10 @@ val update : R.Update.t -> string
 val histogram : Metrics.histogram -> string
 val staleness_gauge : Metrics.staleness_gauge -> string
 
+val shared : Metrics.shared -> string
+(** Shared-delta counters. [metrics] appends them as a ["shared"] field
+    only when the run enabled MQO sharing. *)
+
 val observe : Metrics.observe -> string
 (** The derived observability summary. [metrics] appends it as an
     ["observe"] field only when the run collected spans, so unobserved

@@ -15,7 +15,10 @@ type t = {
   mutable mv : R.Bag.t;
   deltas : (int, delta) Hashtbl.t;
   pending : (int, piece) Hashtbl.t;  (* by query id *)
-  mutable pending_order : int list;  (* query ids, oldest first *)
+  mutable pending_order : int R.Fqueue.t;
+      (* query ids, oldest first — a functional queue: the order grows by
+         one per shipped piece and list appends made it quadratic over a
+         long run *)
   mutable next_qid : int;
   mutable updates_seen : int;
   mutable apply_next : int;  (* next delta index to install (1-based) *)
@@ -27,7 +30,7 @@ let create (cfg : Algorithm.Config.t) =
     mv = cfg.init_mv;
     deltas = Hashtbl.create 16;
     pending = Hashtbl.create 16;
-    pending_order = [];
+    pending_order = R.Fqueue.empty;
     next_qid = 0;
     updates_seen = 0;
     apply_next = 1;
@@ -68,7 +71,7 @@ let register_piece t ~target query =
   let qid = t.next_qid in
   t.next_qid <- qid + 1;
   Hashtbl.replace t.pending qid { target; query };
-  t.pending_order <- t.pending_order @ [ qid ];
+  t.pending_order <- R.Fqueue.push t.pending_order qid;
   let d = delta_of t target in
   d.open_pieces <- d.open_pieces + 1;
   (qid, query)
@@ -94,15 +97,19 @@ let on_event t updates =
   let idx = t.updates_seen in
   ignore (delta_of t idx);
   let uqs_snapshot =
-    List.filter_map
-      (fun qid ->
-        Option.map (fun p -> (qid, p)) (Hashtbl.find_opt t.pending qid))
-      t.pending_order
+    List.rev
+      (R.Fqueue.fold
+         (fun snap qid ->
+           match Hashtbl.find_opt t.pending qid with
+           | Some p -> (qid, p) :: snap
+           | None -> snap)
+         [] t.pending_order)
   in
-  (* (target, query) accumulators created during this event, in order. *)
+  (* (target, query) accumulators created during this event, newest
+     first; reversed into creation order at the merge below. *)
   let acc : (int * R.Query.t ref) list ref = ref [] in
   let add_piece target q =
-    if not (R.Query.is_empty q) then acc := !acc @ [ (target, ref q) ]
+    if not (R.Query.is_empty q) then acc := (target, ref q) :: !acc
   in
   List.iter
     (fun u ->
@@ -122,7 +129,7 @@ let on_event t updates =
       | None ->
         Hashtbl.replace by_target target (ref !qr);
         order := target :: !order)
-    !acc;
+    (List.rev !acc);
   let sends =
     List.filter_map
       (fun target ->
@@ -145,7 +152,7 @@ let on_answer t ~id answer =
   | None -> Algorithm.nothing
   | Some p ->
     Hashtbl.remove t.pending id;
-    t.pending_order <- List.filter (fun q -> q <> id) t.pending_order;
+    t.pending_order <- R.Fqueue.filter (fun q -> q <> id) t.pending_order;
     let d = delta_of t p.target in
     d.acc <- R.Bag.plus d.acc answer;
     d.open_pieces <- d.open_pieces - 1;

@@ -92,6 +92,15 @@ type observe = {
   staleness : (string * staleness_gauge) list;  (* per view *)
 }
 
+(* Shared-delta (MQO) maintenance counters — present only when a run
+   enabled query sharing across the hosted views, so default output
+   stays byte-identical to an unshared run. *)
+type shared = {
+  shared_evaluated : int;  (* shipped queries with >1 subscriber *)
+  shared_hits : int;  (* queries deduplicated away by sharing *)
+  shared_fanout : int;  (* answer deliveries through shared gids *)
+}
+
 type t = {
   updates : int;
   queries_sent : int;
@@ -104,6 +113,7 @@ type t = {
   delivery : delivery;
   site_delivery : (string * delivery) list;
   observe : observe option;
+  shared : shared option;
 }
 
 let no_delivery =
@@ -134,6 +144,7 @@ let zero =
     delivery = no_delivery;
     site_delivery = [];
     observe = None;
+    shared = None;
   }
 
 (* Component-wise sum of two edges' counters; [latency_max] is a maximum,
@@ -228,6 +239,12 @@ let pp ppf t =
         if delivery_active d then
           Format.fprintf ppf "@.  %s: [%a]" name pp_delivery d)
       sites);
+  (match t.shared with
+  | None -> ()
+  | Some s ->
+    Format.fprintf ppf
+      "@.shared: evaluated=%d hits=%d fanout=%d" s.shared_evaluated
+      s.shared_hits s.shared_fanout);
   match t.observe with
   | None -> ()
   | Some o -> Format.fprintf ppf "@.observe: %a" pp_observe o

@@ -72,6 +72,18 @@ type observe = {
           centralized oracle *)
 }
 
+(** Shared-delta (MQO) maintenance counters (DESIGN.md §4h). *)
+type shared = {
+  shared_evaluated : int;
+      (** shipped queries that gained at least one extra subscriber —
+          each is a shared delta evaluated once instead of per view *)
+  shared_hits : int;
+      (** queries deduplicated away: maintenance work that was {e not}
+          shipped or evaluated thanks to sharing *)
+  shared_fanout : int;
+      (** answer deliveries made through multi-subscriber gids *)
+}
+
 type t = {
   updates : int;  (** source updates executed *)
   queries_sent : int;  (** query messages, warehouse → source *)
@@ -91,6 +103,9 @@ type t = {
   observe : observe option;
       (** derived gauges of the observability layer; [None] (the default)
           leaves every report byte-identical to an unobserved run *)
+  shared : shared option;
+      (** shared-delta counters; [None] (the default) when the run did
+          not enable MQO sharing, keeping output byte-identical *)
 }
 
 val zero : t

@@ -44,7 +44,8 @@ let export_trace ~trace_out collector =
 let run_defs ?catalog ?(schedule = Scheduler.Best_case) ?(rv_period = 1)
     ?(batch_size = 1) ?local_literal_eval ?unordered_delivery ?fault
     ?fault_seed ?(reliable = false) ?retransmit_timeout ?max_steps ?oracle
-    ?(observe = false) ?trace_out ~creator ~views ~db ~updates () =
+    ?(observe = false) ?trace_out ?share_deltas ~creator ~views ~db ~updates
+    () =
   (* [unordered_delivery] predates fault profiles and survives as sugar
      for the reorder-only profile it used to hard-code. *)
   let fault_profile, net_seed =
@@ -65,7 +66,8 @@ let run_defs ?catalog ?(schedule = Scheduler.Best_case) ?(rv_period = 1)
   let collector = collector_of ~observe ~trace_out in
   match
     Engine.run ~schedule ~rv_period ~batch_size ?local_literal_eval ?max_steps
-      ?oracle ?observe:collector ~creator ~sites ~views ~updates ()
+      ?oracle ?observe:collector ?share_deltas ~creator ~sites ~views ~updates
+      ()
   with
   | r ->
     export_trace ~trace_out collector;
@@ -82,10 +84,11 @@ let run_defs ?catalog ?(schedule = Scheduler.Best_case) ?(rv_period = 1)
 
 let run ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
-    ?max_steps ?oracle ?observe ?trace_out ~creator ~views ~db ~updates () =
+    ?max_steps ?oracle ?observe ?trace_out ?share_deltas ~creator ~views ~db
+    ~updates () =
   run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
-    ?max_steps ?oracle ?observe ?trace_out ~creator
+    ?max_steps ?oracle ?observe ?trace_out ?share_deltas ~creator
     ~views:(List.map R.Viewdef.simple views)
     ~db ~updates ()
 
@@ -94,7 +97,8 @@ let run ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
    the per-view choice is total and checked up front. *)
 let run_mixed ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
-    ?max_steps ?oracle ?observe ?trace_out ~assignments ~db ~updates () =
+    ?max_steps ?oracle ?observe ?trace_out ?share_deltas ~assignments ~db
+    ~updates () =
   let creator (cfg : Algorithm.Config.t) =
     let name = cfg.Algorithm.Config.view.R.Viewdef.name in
     match
@@ -107,6 +111,21 @@ let run_mixed ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
   in
   run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
-    ?max_steps ?oracle ?observe ?trace_out ~creator
+    ?max_steps ?oracle ?observe ?trace_out ?share_deltas ~creator
     ~views:(List.map fst assignments)
     ~db ~updates ()
+
+(* Catalog runs: the registered views with their per-view algorithm
+   rungs (Registry keys), shared-delta maintenance on by default — this
+   is the multi-view warehouse entry point. *)
+let run_catalog ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
+    ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
+    ?max_steps ?oracle ?observe ?trace_out ?(share_deltas = true) ~entries ~db
+    ~updates () =
+  match Catalog.creator entries with
+  | creator ->
+    run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
+      ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
+      ?max_steps ?oracle ?observe ?trace_out ~share_deltas ~creator
+      ~views:(Catalog.views entries) ~db ~updates ()
+  | exception Catalog.Catalog_error msg -> raise (Run_error msg)

@@ -57,6 +57,7 @@ val run :
   ?oracle:oracle ->
   ?observe:bool ->
   ?trace_out:string ->
+  ?share_deltas:bool ->
   creator:Algorithm.creator ->
   views:R.View.t list ->
   db:R.Db.t ->
@@ -79,6 +80,7 @@ val run_defs :
   ?oracle:oracle ->
   ?observe:bool ->
   ?trace_out:string ->
+  ?share_deltas:bool ->
   creator:Algorithm.creator ->
   views:R.Viewdef.t list ->
   db:R.Db.t ->
@@ -130,13 +132,46 @@ val run_mixed :
   ?oracle:oracle ->
   ?observe:bool ->
   ?trace_out:string ->
+  ?share_deltas:bool ->
   assignments:(R.Viewdef.t * Algorithm.creator) list ->
   db:R.Db.t ->
   updates:R.Update.t list ->
   unit ->
   result
 (** A warehouse hosting several views, each maintained by its own
-    algorithm (e.g. ECAK where keys are covered, ECA elsewhere). *)
+    algorithm (e.g. ECAK where keys are covered, ECA elsewhere).
+
+    With [~share_deltas:true] (default off, here and in [run]/[run_defs])
+    the warehouse runs shared-delta (MQO) maintenance: structurally equal
+    queries raised by distinct views within one atomic event are shipped
+    once and their single answer fanned out to every subscriber;
+    [metrics.shared] then carries the sharing counters. *)
+
+val run_catalog :
+  ?catalog:Storage.Catalog.t ->
+  ?schedule:Scheduler.policy ->
+  ?rv_period:int ->
+  ?batch_size:int ->
+  ?local_literal_eval:bool ->
+  ?unordered_delivery:int ->
+  ?fault:Messaging.Fault.profile ->
+  ?fault_seed:int ->
+  ?reliable:bool ->
+  ?retransmit_timeout:int ->
+  ?max_steps:int ->
+  ?oracle:oracle ->
+  ?observe:bool ->
+  ?trace_out:string ->
+  ?share_deltas:bool ->
+  entries:Catalog.entry list ->
+  db:R.Db.t ->
+  updates:R.Update.t list ->
+  unit ->
+  result
+(** The multi-view warehouse entry point: run a {!Catalog} of views,
+    each on its own algorithm rung, with shared-delta maintenance on by
+    default. Catalog validation errors ({!Catalog.Catalog_error}) are
+    re-raised as [Run_error]. *)
 
 val snapshot_views : R.View.t list -> R.Db.t -> (string * R.Bag.t) list
 val snapshot_defs : R.Viewdef.t list -> R.Db.t -> (string * R.Bag.t) list

@@ -16,6 +16,10 @@ exception Not_applicable of string
 
 type t
 
+val applicable : R.Viewdef.t -> bool
+(** Always true: SC's precondition is operational (a seeded replica via
+    [Config.init_db]), not structural. *)
+
 val create : Algorithm.Config.t -> t
 val mv : t -> R.Bag.t
 

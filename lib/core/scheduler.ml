@@ -166,9 +166,14 @@ let pick_multi t m =
       in
       probe 0
     | Random _ ->
-      let choices = enabled_events m in
-      let n = List.length choices in
-      Some (List.nth choices (Random.State.int t.rng n))
+      (* Materialize the enabled events as an array once per pick: same
+         elements in the same order as the filtered list, so the bound
+         and hence the RNG draw sequence are unchanged — but the
+         O(length) [List.nth] walk per pick (quadratic over a run whose
+         enabled set grows with in-flight messages) becomes an O(1)
+         index. *)
+      let choices = Array.of_list (enabled_events m) in
+      Some choices.(Random.State.int t.rng (Array.length choices))
     | Explicit _ -> (
       match t.script with
       | [] ->

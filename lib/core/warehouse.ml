@@ -5,12 +5,27 @@ type hosted = {
   inst : Algorithm.instance;
 }
 
+(* Queries are routed by globally unique ids. Without sharing every gid
+   has exactly one subscriber — the instance that sent it. With
+   [share = true] (the MQO path, DESIGN.md §4h) a gid may carry several
+   subscribers: when, inside one atomic warehouse event, two *distinct*
+   instances produce structurally equal queries (confirmed by
+   [Query.equal] after a [Query.signature] match), only the first is
+   shipped and the rest subscribe to its answer. Sharing never spans
+   events — the source database can change between events, so two equal
+   queries from different events can have different answers. *)
 type t = {
   hosted : hosted array;
-  routes : (int, int * int) Hashtbl.t;  (* gid -> (instance idx, local id) *)
+  routes : (int, (int * int) list) Hashtbl.t;
+      (* gid -> subscribers [(instance idx, local id)], owner first *)
+  share : bool;
   mutable next_gid : int;
   mutable installs_log : (string * R.Bag.t) list;  (* newest first *)
   mutable anomalies : string list;  (* misrouted messages, newest first *)
+  (* shared-delta counters, all 0 when [share = false] *)
+  mutable shared_evaluated : int;  (* shipped queries with >1 subscriber *)
+  mutable shared_hits : int;  (* queries deduplicated away *)
+  mutable shared_fanout : int;  (* answer deliveries through shared gids *)
 }
 
 type reaction = {
@@ -20,18 +35,23 @@ type reaction = {
 
 let no_reaction = { queries = []; installs = [] }
 
-let create pairs =
+let create ?(share = false) pairs =
   {
     hosted =
       Array.of_list (List.map (fun (view, inst) -> { view; inst }) pairs);
     routes = Hashtbl.create 64;
+    share;
     next_gid = 0;
     installs_log = [];
     anomalies = [];
+    shared_evaluated = 0;
+    shared_hits = 0;
+    shared_fanout = 0;
   }
 
-let of_creator ~creator ~configs =
-  create (List.map (fun cfg -> (cfg.Algorithm.Config.view, creator cfg)) configs)
+let of_creator ?share ~creator ~configs () =
+  create ?share
+    (List.map (fun cfg -> (cfg.Algorithm.Config.view, creator cfg)) configs)
 
 let views t =
   Array.to_list (Array.map (fun h -> h.view) t.hosted)
@@ -60,24 +80,77 @@ let algorithms t =
        (fun h -> (h.view.R.Viewdef.name, h.inst.Algorithm.name))
        t.hosted)
 
+let sharing t = t.share
+
+let shared_counters t = (t.shared_evaluated, t.shared_hits, t.shared_fanout)
+
 (* Looked up while the gid's route is still live — i.e. before
    [handle_answer] consumes it — so the observability layer can tag a
-   query span with its owning view. *)
+   query span with its owning view. A shared gid is labelled by its
+   owner, the instance that actually shipped the query. *)
 let gid_view t gid =
   match Hashtbl.find_opt t.routes gid with
-  | None -> None
-  | Some (idx, _) ->
+  | None | Some [] -> None
+  | Some ((idx, _) :: _) ->
     let h = t.hosted.(idx) in
     Some (h.view.R.Viewdef.name, h.inst.Algorithm.name)
 
-let lift t idx (o : Algorithm.outcome) =
-  let queries =
+let gid_subscribers t gid =
+  match Hashtbl.find_opt t.routes gid with
+  | None -> []
+  | Some subs ->
     List.map
+      (fun (idx, _) ->
+        let h = t.hosted.(idx) in
+        (h.view.R.Viewdef.name, h.inst.Algorithm.name))
+      subs
+
+(* The per-event shared-delta table: query signature -> candidates
+   shipped earlier in the same event, oldest first. [None] when sharing
+   is off — the zero-cost path, byte-identical to the pre-MQO
+   warehouse. *)
+type event_table = (int, (R.Query.t * int * int) list ref) Hashtbl.t
+
+let lift ?event t idx (o : Algorithm.outcome) =
+  let queries =
+    List.filter_map
       (fun (lid, q) ->
-        let gid = t.next_gid in
-        t.next_gid <- gid + 1;
-        Hashtbl.replace t.routes gid (idx, lid);
-        (gid, q))
+        let ship () =
+          let gid = t.next_gid in
+          t.next_gid <- gid + 1;
+          Hashtbl.replace t.routes gid [ (idx, lid) ];
+          (match event with
+          | None -> ()
+          | Some tbl -> (
+            let sg = R.Query.signature q in
+            match Hashtbl.find_opt tbl sg with
+            | Some bucket -> bucket := (q, gid, idx) :: !bucket
+            | None -> Hashtbl.add tbl sg (ref [ (q, gid, idx) ])));
+          Some (gid, q)
+        in
+        match event with
+        | None -> ship ()
+        | Some tbl -> (
+          match Hashtbl.find_opt tbl (R.Query.signature q) with
+          | None -> ship ()
+          | Some bucket -> (
+            (* Oldest candidate from a *different* instance: sharing only
+               across distinct views keeps every single-view lifecycle —
+               and so the catalog-of-one — exactly as without MQO. *)
+            let candidate =
+              List.find_opt
+                (fun (q', _, owner) -> owner <> idx && R.Query.equal q' q)
+                (List.rev !bucket)
+            in
+            match candidate with
+            | None -> ship ()
+            | Some (_, gid, _) ->
+              let subs = Hashtbl.find t.routes gid in
+              Hashtbl.replace t.routes gid (subs @ [ (idx, lid) ]);
+              t.shared_hits <- t.shared_hits + 1;
+              if List.length subs = 1 then
+                t.shared_evaluated <- t.shared_evaluated + 1;
+              None)))
       o.Algorithm.send
   in
   let name = t.hosted.(idx).view.R.Viewdef.name in
@@ -93,26 +166,49 @@ let lift t idx (o : Algorithm.outcome) =
 
 let merge a b = { queries = a.queries @ b.queries; installs = a.installs @ b.installs }
 
+let fresh_event t : event_table option =
+  if t.share then Some (Hashtbl.create 16) else None
+
 let handle_update t u =
+  let event = fresh_event t in
   let r = ref no_reaction in
   Array.iteri
-    (fun idx h -> r := merge !r (lift t idx (h.inst.Algorithm.on_update u)))
+    (fun idx h ->
+      r := merge !r (lift ?event t idx (h.inst.Algorithm.on_update u)))
     t.hosted;
   !r
 
 let handle_batch t us =
+  let event = fresh_event t in
   let r = ref no_reaction in
   Array.iteri
-    (fun idx h -> r := merge !r (lift t idx (h.inst.Algorithm.on_batch us)))
+    (fun idx h ->
+      r := merge !r (lift ?event t idx (h.inst.Algorithm.on_batch us)))
     t.hosted;
   !r
 
+(* Fan one answer out to every subscriber, owner first. The answer is
+   correct for all of them: subscription required structural equality at
+   ship time, and the source evaluated the single shipped message, so
+   every subscriber's query is answered against the same source state it
+   would have seen had its own copy travelled in that message's place.
+   Follow-up queries raised by the subscribers' reactions are themselves
+   one event and may share again. *)
 let handle_answer t ~gid answer =
   match Hashtbl.find_opt t.routes gid with
   | None -> no_reaction
-  | Some (idx, lid) ->
+  | Some subs ->
     Hashtbl.remove t.routes gid;
-    lift t idx (t.hosted.(idx).inst.Algorithm.on_answer ~id:lid answer)
+    (match subs with
+    | _ :: _ :: _ -> t.shared_fanout <- t.shared_fanout + List.length subs
+    | _ -> ());
+    let event = fresh_event t in
+    List.fold_left
+      (fun acc (idx, lid) ->
+        merge acc
+          (lift ?event t idx
+             (t.hosted.(idx).inst.Algorithm.on_answer ~id:lid answer)))
+      no_reaction subs
 
 (* Dispatch is total: a message of a kind the warehouse never legitimately
    receives — a query echoed back, or a protocol frame leaking past the
@@ -138,9 +234,11 @@ let handle_message t msg =
 let anomalies t = List.rev t.anomalies
 
 let quiesce t =
+  let event = fresh_event t in
   let r = ref no_reaction in
   Array.iteri
-    (fun idx h -> r := merge !r (lift t idx (h.inst.Algorithm.on_quiesce ())))
+    (fun idx h ->
+      r := merge !r (lift ?event t idx (h.inst.Algorithm.on_quiesce ())))
     t.hosted;
   !r
 

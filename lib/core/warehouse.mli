@@ -20,11 +20,25 @@ type reaction = {
 
 val no_reaction : reaction
 
-val create : (R.Viewdef.t * Algorithm.instance) list -> t
+val create : ?share:bool -> (R.Viewdef.t * Algorithm.instance) list -> t
+(** With [~share:true] the warehouse runs shared-delta (MQO)
+    maintenance: within one atomic event, structurally equal queries
+    produced by {e distinct} hosted instances (matched by
+    {!R.Query.signature}, confirmed by {!R.Query.equal}) are shipped
+    once; the other instances subscribe to the single answer. Sharing
+    never spans events (the source state may change between events) and
+    never merges two queries of one instance, so each view's lifecycle —
+    and in particular a catalog of one view — is exactly the unshared
+    one. Default off. *)
 
 val of_creator :
-  creator:Algorithm.creator -> configs:Algorithm.Config.t list -> t
-(** Same algorithm for every view. *)
+  ?share:bool ->
+  creator:Algorithm.creator ->
+  configs:Algorithm.Config.t list ->
+  unit ->
+  t
+(** One creator for every view; per-view algorithm choice is the
+    creator's business (see {!Catalog.creator}). *)
 
 val views : t -> R.Viewdef.t list
 val mv : t -> string -> R.Bag.t option
@@ -36,10 +50,24 @@ val quiescent : t -> bool
 val algorithms : t -> (string * string) list
 (** [(view name, algorithm name)] per hosted instance, in host order. *)
 
+val sharing : t -> bool
+
+val shared_counters : t -> int * int * int
+(** [(shared_evaluated, shared_hits, shared_fanout)]: shipped queries
+    that gained at least one extra subscriber; queries deduplicated away
+    by sharing; answer deliveries made through multi-subscriber gids.
+    All 0 when sharing is off. *)
+
 val gid_view : t -> int -> (string * string) option
-(** The [(view name, algorithm name)] owning an outstanding query gid;
-    [None] once the answer has been routed (the route is consumed) or for
-    an unknown gid. *)
+(** The [(view name, algorithm name)] owning an outstanding query gid —
+    for a shared gid, the instance that actually shipped it; [None] once
+    the answer has been routed (the route is consumed) or for an unknown
+    gid. *)
+
+val gid_subscribers : t -> int -> (string * string) list
+(** All [(view, algorithm)] subscribers of an outstanding gid, owner
+    first; a singleton for unshared queries, [[]] for consumed or
+    unknown gids. *)
 
 val handle_update : t -> R.Update.t -> reaction
 (** A [W_up] event, fanned out to every hosted view. *)
@@ -49,7 +77,8 @@ val handle_batch : t -> R.Update.t list -> reaction
     [on_batch]. *)
 
 val handle_answer : t -> gid:int -> R.Bag.t -> reaction
-(** A [W_ans] event, routed to the owning instance. *)
+(** A [W_ans] event, routed to the owning instance — and, for a shared
+    gid, fanned out to every subscriber in subscription order. *)
 
 val handle_message : t -> Messaging.Message.t -> reaction
 (** Dispatch on the message kind. Total: message kinds the warehouse

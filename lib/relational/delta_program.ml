@@ -37,6 +37,7 @@ type chain = {
   delta_schema : Schema.t;  (* schema of the substituted relation *)
   delta_slots : int;        (* slots bound to the update's relation *)
   sign_factor : int;        (* part sign x update sign ^ delta_slots *)
+  chain_sig : int;          (* subplan signature: plan skeleton + sources *)
 }
 
 type t = {
@@ -50,6 +51,15 @@ let rel t = t.rel
 let kind t = t.kind
 let linear t = t.linear
 let is_empty t = t.chains = []
+
+(* A program is a commutative sum of its chains' deltas, so the
+   signature combines chain digests order-insensitively — two programs
+   agree exactly when their chains pair up (same plan skeletons, same
+   slot sources, same folded signs). The shared-delta machinery uses
+   this to recognize that several registered views maintain the same
+   delta for one update class. *)
+let signature t =
+  List.fold_left (fun acc c -> acc + c.chain_sig) (List.length t.chains) t.chains
 
 let stage_class (vd : Viewdef.t) ~rel ~kind =
   let kind_sign = Sign.to_int (match kind with
@@ -85,13 +95,17 @@ let stage_class (vd : Viewdef.t) ~rel ~kind =
           let subst_sign =
             if kind_sign = 1 || delta_slots land 1 = 0 then 1 else -1
           in
+          let sign_factor = Sign.to_int part_sign * subst_sign in
           Some
             {
               plan = Plan.of_term term;
               sources;
               delta_schema;
               delta_slots;
-              sign_factor = Sign.to_int part_sign * subst_sign;
+              sign_factor;
+              chain_sig =
+                (((Plan.signature term * 31) + Hashtbl.hash sources) * 31)
+                + sign_factor;
             }
         end)
       vd.Viewdef.parts

@@ -67,6 +67,13 @@ val runs : Update.t list -> Update.t list list
 val rel : t -> string
 val kind : t -> Update.kind
 
+val signature : t -> int
+(** The program's subplan signature: an order-insensitive combine of its
+    chains' digests (plan skeleton via {!Plan.signature}, slot-source
+    vector, folded sign factor). Two staged programs with equal
+    signatures maintain the same delta for the same update class —
+    what shared-delta (MQO) maintenance keys on across views. *)
+
 val linear : t -> bool
 (** The updated relation occupies exactly one slot of every chain, so
     batches evaluate in one pass. False only for self-joins. *)

@@ -205,6 +205,14 @@ module Key = struct
   let hash k = Hashtbl.hash k
 end
 
+(* The skeleton signature: two terms whose compiled plans are
+   interchangeable — same slot schemas (sources), same join keys and
+   residual filters (both derived from [cond]), same projection — digest
+   identically. This is the cache key's hash, exposed so the shared-delta
+   machinery can name "the same subplan" without holding a plan value
+   (plans contain compiled filter closures and cannot be compared). *)
+let signature (t : Term.t) = Key.hash (Key.of_term t)
+
 module Cache = Hashtbl.Make (Key)
 
 (* Distinct skeletons are per *view shape*, not per update, so the cache

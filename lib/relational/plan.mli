@@ -55,6 +55,12 @@ type t = {
 val compile : Term.t -> t
 (** Compile without consulting the cache. *)
 
+val signature : Term.t -> int
+(** Digest of the term's plan skeleton — projection, condition (join
+    keys + filters) and slot schemas, exactly the cache key. Terms with
+    equal signatures compile to interchangeable plans; literal tuple
+    values and the sign are excluded, as in the cache. *)
+
 val of_term : Term.t -> t
 (** Cached compilation keyed by the term skeleton. The cache is
     domain-local ([Domain.DLS]): each domain owns a private table with

@@ -91,6 +91,16 @@ let byte_size q =
 
 let equal a b = List.equal Term.equal a b
 
+(* Order-insensitive digest over the signed term multiset — queries are
+   commutative sums, so two queries whose terms pair up under
+   [Term.signature] denote the same delta regardless of construction
+   order. The warehouse's shared-delta table keys on this and confirms
+   candidate matches with [equal] (today's producers build structurally
+   equal queries in the same order, so the stricter check loses no
+   sharing while making hash collisions harmless). *)
+let signature q =
+  List.fold_left (fun acc t -> acc + Term.signature t) (term_count q) q
+
 let pp ppf q =
   match q with
   | [] -> Format.pp_print_string ppf "(empty query)"

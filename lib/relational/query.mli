@@ -52,5 +52,12 @@ val byte_size : t -> int
 (** Approximate wire size of the query message. *)
 
 val equal : t -> t -> bool
+
+val signature : t -> int
+(** Order-insensitive digest over the signed term multiset (commutative
+    combine of {!Term.signature}): two structurally equal maintenance
+    queries share a signature however their terms were ordered. A digest
+    — candidates must be confirmed with {!equal} before sharing. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -91,6 +91,14 @@ let hash t =
     ((Hashtbl.hash t.sign * 31) + Hashtbl.hash t.proj)
     t.slots
 
+(* The MQO subplan signature (DESIGN.md §4h): [hash] plus the condition,
+   so two terms share a signature exactly when they read the same slot
+   sources (base relations and substituted literals, with signs), keep
+   the same join keys and filters, and project the same columns — the
+   ingredients that determine a maintenance query's answer. Collisions
+   are possible as with any digest; sharers confirm with [equal]. *)
+let signature t = (hash t * 31) + Hashtbl.hash t.cond
+
 let equal a b =
   let slot_equal x y =
     match x, y with

@@ -50,5 +50,12 @@ val hash : t -> int
 (** Consistent with {!equal}. Discriminates on sign and substituted
     literal tuples, so the delta terms T⟨U⟩ of one view hash apart. *)
 
+val signature : t -> int
+(** The subplan signature used by shared-delta (MQO) maintenance:
+    [hash] extended with the term's condition, so two terms agree
+    exactly when they read the same slot sources, join keys, filters and
+    projection — everything that determines the term's answer. A digest:
+    sharers confirm candidate matches with {!equal}. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

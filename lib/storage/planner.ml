@@ -51,6 +51,20 @@ let scenario1_term cat db (t : R.Term.t) =
       let multiplicity : (string, float) Hashtbl.t = Hashtbl.create 8 in
       List.iter (fun r -> Hashtbl.replace multiplicity r 1.0) lits;
       let bound rel = Hashtbl.mem multiplicity rel in
+      (* [bound rel] just tested membership, but an unguarded
+         [Hashtbl.find] here would still turn any future break of that
+         invariant (say, a [remove] slipping into [take]) into an
+         anonymous [Not_found] escaping the planner. Fail with the
+         broken invariant spelled out instead. *)
+      let mult_exn rel =
+        match Hashtbl.find_opt multiplicity rel with
+        | Some m -> m
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Planner.scenario1_term: relation %s is in the bound set but                 has no multiplicity — bound/multiplicity invariant broken"
+               rel)
+      in
       let remaining = ref bases in
       let steps = ref [] in
       let k = float_of_int cat.Catalog.block.Block.tuples_per_block in
@@ -58,10 +72,8 @@ let scenario1_term cat db (t : R.Term.t) =
       let best_edge rel =
         List.filter_map
           (fun (ra, aa, rb, ab) ->
-            if String.equal rb rel && bound ra then
-              Some (Hashtbl.find multiplicity ra, ab)
-            else if String.equal ra rel && bound rb then
-              Some (Hashtbl.find multiplicity rb, aa)
+            if String.equal rb rel && bound ra then Some (mult_exn ra, ab)
+            else if String.equal ra rel && bound rb then Some (mult_exn rb, aa)
             else None)
           edges
         |> List.fold_left

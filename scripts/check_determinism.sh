@@ -96,5 +96,20 @@ if ! grep -q '"byte_identical_interpreted": true' "$tmp/seq/BENCH_results.json";
   exit 1
 fi
 
+# The multi-view catalog section (schema v7) must be present and its
+# "catalog" object must report sharing as a pure optimization: a missing
+# object means the MQO section silently stopped running; a false
+# shared_off_identical means sharing changed a view's lifecycle — a
+# correctness bug surfaced here rather than as a consistency failure
+# downstream.
+if ! grep -q '"catalog": {' "$tmp/seq/BENCH_results.json"; then
+  echo "check_determinism: FAIL — catalog section missing from bench output" >&2
+  exit 1
+fi
+if ! grep -q '"shared_off_identical": true' "$tmp/seq/BENCH_results.json"; then
+  echo "check_determinism: FAIL — shared-delta maintenance changed a view state" >&2
+  exit 1
+fi
+
 runs=$(grep -c '"figure"' "$tmp/seq/BENCH_results.json" || true)
 echo "check_determinism: OK — $runs runs identical between PAR=1 and PAR=$par (modulo wall clocks)"

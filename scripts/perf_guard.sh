@@ -11,7 +11,10 @@
 # sustained-throughput section (schema >= 6): the compiled delta
 # programs must not be slower than the interpreted path
 # (compiled_speedup_x >= 1.0), and the compiled updates/sec must not
-# fall below half the committed baseline's. The summed per-run
+# fall below half the committed baseline's. Schema >= 7 adds the
+# multi-view catalog gate: the "catalog" object must be present and its
+# shared-delta (MQO) maintenance must actually save queries somewhere
+# (best cell's shared_saved > 0). The summed per-run
 # wall clock is compared — not the process total — because it measures
 # the work done and is invariant under the PAR worker count, whereas
 # total_wall_clock_s shrinks with parallel fan-out. Machine noise on
@@ -42,6 +45,10 @@ fi
 if [ "$schema_baseline" != "$schema_current" ]; then
   echo "perf_guard: schema mismatch — baseline is schema $schema_baseline," \
     "current is schema $schema_current." >&2
+  if [ "$schema_current" -ge 7 ] && [ "$schema_baseline" -lt 7 ]; then
+    echo "perf_guard: the committed baseline predates the schema-7" \
+      "multi-view catalog section." >&2
+  fi
   echo "perf_guard: regenerate the committed baseline with the current" \
     "bench (dune exec bench/main.exe -- quick) before comparing." >&2
   exit 2
@@ -112,4 +119,31 @@ if [ -n "$speedup" ]; then
       printf "perf_guard: throughput OK\n";
     }'
   fi
+fi
+
+# Multi-view catalog gate (schema >= 7). The "catalog" object must be
+# present — a schema-7 file without one means the section silently
+# stopped running — and the shared-delta (MQO) maintenance must actually
+# save queries: the best cell's shared_saved is gated > 0.
+if [ "$schema_current" -ge 7 ]; then
+  if ! grep -q '"catalog": {' "$current_file"; then
+    echo "perf_guard: schema $schema_current output carries no" \
+      "\"catalog\" object — the multi-view section is missing." >&2
+    echo "perf_guard: regenerate with the current bench" \
+      "(dune exec bench/main.exe -- quick) and re-run." >&2
+    exit 2
+  fi
+  saved_max=$(extract "$current_file" shared_saved | sort -n | tail -1)
+  if [ -z "$saved_max" ]; then
+    echo "perf_guard: catalog object carries no shared_saved cells" >&2
+    exit 2
+  fi
+  awk -v s="$saved_max" 'BEGIN {
+    printf "perf_guard: shared-delta maintenance saved %d queries in its best cell\n", s;
+    if (s <= 0) {
+      printf "perf_guard: FAIL — MQO sharing saved no queries\n";
+      exit 1;
+    }
+    printf "perf_guard: catalog OK\n";
+  }'
 fi

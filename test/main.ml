@@ -18,6 +18,7 @@ let () =
       ("timing", Test_timing.suite);
       ("csv-json", Test_csv_json.suite);
       ("runner", Test_runner.suite);
+      ("catalog", Test_catalog.suite);
       ("golden", Test_golden.suite);
       ("engine", Test_engine.suite);
       ("faults", Test_faults.suite);

@@ -1,0 +1,394 @@
+(* The multi-view warehouse catalog (DESIGN.md §4h): N registered views,
+   each on its own algorithm rung, one shared event loop — and the
+   shared-delta (MQO) maintenance layered on top.
+
+   The load-bearing property is equivalence: a catalog of N views must
+   behave, per view, exactly like N independent single-view runs — same
+   installed-state sequences, same consistency verdicts, same final
+   views. The seed sweep checks it across scheduling policies and the
+   fault x reliability matrix where the per-view event subsequences are
+   well defined (clean channels, or faulty channels under the Reliable
+   sublayer's exactly-once FIFO restoration).
+
+   Sharing then has to be a pure optimization: fewer queries on the
+   wire, identical view lifecycles. *)
+
+open Helpers
+module R = Relational
+
+let vd v = R.Viewdef.simple v
+
+(* ------------------------------------------------------------------ *)
+(* The rung ladder and catalog validation                              *)
+(* ------------------------------------------------------------------ *)
+
+let auto_rung_ladder () =
+  (* keys of every base projected -> ECAK *)
+  Alcotest.(check string)
+    "keys covered -> eca-key" "eca-key"
+    (Core.Catalog.auto_rung (vd (view_wy ~r1:r1_wkey ~r2:r2_ykey ())));
+  (* r1's key W projected, keyless r2 blocks full coverage -> ECAL *)
+  let half_keyed =
+    R.View.natural_join ~name:"H"
+      ~proj:[ R.Attr.unqualified "W" ]
+      [ r1_wkey; r2 ]
+  in
+  Alcotest.(check string)
+    "one local delete class -> eca-local" "eca-local"
+    (Core.Catalog.auto_rung (vd half_keyed));
+  (* keyless everywhere -> the universal compensating fallback *)
+  Alcotest.(check string)
+    "keyless -> eca" "eca"
+    (Core.Catalog.auto_rung (vd (view_w ())));
+  let e = Core.Catalog.entry (vd (view_w ())) in
+  Alcotest.(check string) "entry defaults to auto_rung" "eca" e.Core.Catalog.algo
+
+let catalog_validation () =
+  let v name = vd (view_w ~name ()) in
+  let raises_catalog f =
+    match f () with
+    | exception Core.Catalog.Catalog_error _ -> true
+    | _ -> false
+  in
+  check_bool "unknown algorithm key rejected at entry" true
+    (raises_catalog (fun () -> Core.Catalog.entry ~algo:"nope" (v "A")));
+  check_bool "empty catalog rejected" true
+    (raises_catalog (fun () -> Core.Catalog.creator []));
+  check_bool "duplicate view names rejected" true
+    (raises_catalog (fun () ->
+         Core.Catalog.creator
+           [ Core.Catalog.entry (v "A"); Core.Catalog.entry (v "A") ]));
+  (* and the same errors surface as Run_error through the runner *)
+  check_bool "run_catalog re-raises as Run_error" true
+    (match
+       Core.Runner.run_catalog ~entries:[] ~db:R.Db.empty ~updates:[] ()
+     with
+    | exception Core.Runner.Run_error _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Catalog-of-N = N single-view runs, across the fault matrix          *)
+(* ------------------------------------------------------------------ *)
+
+(* A seeded db + update stream over the three keyless base relations. *)
+let stream_of_seed seed =
+  let st = rng seed in
+  let tuple () =
+    R.Tuple.ints [ Random.State.int st 5; Random.State.int st 5 ]
+  in
+  let rows n = R.Bag.of_list (List.init n (fun _ -> tuple ())) in
+  let db =
+    R.Db.of_list
+      [ (r1, rows 4); (r2, rows 4); (r3, rows 3) ]
+  in
+  let rels = [| "r1"; "r2"; "r3" |] in
+  let n = 3 + Random.State.int st 4 in
+  let _, updates =
+    List.fold_left
+      (fun (db, acc) _ ->
+        let rel = rels.(Random.State.int st 3) in
+        let t = tuple () in
+        let u =
+          if Random.State.bool st || R.Bag.count (R.Db.contents db rel) t <= 0
+          then R.Update.insert rel t
+          else R.Update.delete rel t
+        in
+        (R.Db.apply db u, u :: acc))
+      (db, [])
+      (List.init n Fun.id)
+  in
+  (db, List.rev updates)
+
+(* Three views on three different rungs — enough shapes that an
+   equivalence bug in routing, lifting or sharing shows up somewhere. *)
+let entries () =
+  [
+    Core.Catalog.entry ~algo:"eca" (vd (view_w ~name:"A" ()));
+    Core.Catalog.entry ~algo:"lca" (vd (view_wy ~name:"B" ()));
+    Core.Catalog.entry ~algo:"eca" (vd (view_w3 ~name:"C" ()));
+  ]
+
+(* The scenarios where per-view event subsequences are well defined:
+   clean channels raw or reliable, and every fault profile under the
+   Reliable sublayer (which restores exactly-once FIFO). *)
+let scenarios =
+  [
+    ("worst/clean", Core.Scheduler.Worst_case, None, false);
+    ("best/clean", Core.Scheduler.Best_case, None, false);
+    ("best/reliable", Core.Scheduler.Best_case, None, true);
+    ( "worst/loss",
+      Core.Scheduler.Worst_case,
+      Some (Messaging.Fault.make ~drop:0.3 ()),
+      true );
+    ( "worst/dup",
+      Core.Scheduler.Worst_case,
+      Some (Messaging.Fault.make ~duplicate:0.4 ()),
+      true );
+    ( "worst/delay",
+      Core.Scheduler.Worst_case,
+      Some (Messaging.Fault.make ~delay:3 ()),
+      true );
+    ( "worst/reorder",
+      Core.Scheduler.Worst_case,
+      Some (Messaging.Fault.make ~reorder:true ()),
+      true );
+    ( "worst/chaos",
+      Core.Scheduler.Worst_case,
+      Some Workload.Scenarios.chaos_profile,
+      true );
+  ]
+
+let equivalent_under ~schedule ~fault ~reliable seed =
+  let db, updates = stream_of_seed seed in
+  let entries = entries () in
+  let catalog_run =
+    Core.Runner.run_catalog ~schedule ?fault ~fault_seed:seed ~reliable
+      ~share_deltas:false ~entries ~db ~updates ()
+  in
+  List.for_all
+    (fun (e : Core.Catalog.entry) ->
+      let name = e.Core.Catalog.view.R.Viewdef.name in
+      let solo =
+        Core.Runner.run_defs ~schedule ?fault ~fault_seed:seed ~reliable
+          ~creator:(Core.Registry.creator_exn e.Core.Catalog.algo)
+          ~views:[ e.Core.Catalog.view ] ~db ~updates ()
+      in
+      R.Bag.equal
+        (List.assoc name catalog_run.Core.Runner.final_mvs)
+        (List.assoc name solo.Core.Runner.final_mvs)
+      && List.assoc name catalog_run.Core.Runner.reports
+         = List.assoc name solo.Core.Runner.reports
+      && List.for_all2 R.Bag.equal
+           (Core.Trace.warehouse_states catalog_run.Core.Runner.trace name)
+           (Core.Trace.warehouse_states solo.Core.Runner.trace name))
+    entries
+
+(* The 40-seed sweep fans out over the shared domain pool; results come
+   back in seed order, so failure messages match the sequential sweep. *)
+let catalog_equals_single_view_runs () =
+  List.iter
+    (fun (label, schedule, fault, reliable) ->
+      List.iter
+        (fun (seed, ok) ->
+          check_bool (Printf.sprintf "%s seed %d" label seed) true ok)
+        (par_map
+           (fun seed ->
+             (seed, equivalent_under ~schedule ~fault ~reliable seed))
+           (List.init 40 (fun i -> i))))
+    scenarios
+
+(* ------------------------------------------------------------------ *)
+(* Shared-delta (MQO) maintenance                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Four structurally equal views: every update raises four equal delta
+   queries in one warehouse event — the sharing table's best case. *)
+let quad_entries () =
+  List.map
+    (fun name -> Core.Catalog.entry ~algo:"eca" (vd (view_w ~name ())))
+    [ "A"; "B"; "C"; "D" ]
+
+let quad_setup () =
+  let db = db_of [ (r1, [ [ 1; 2 ]; [ 3; 4 ] ]); (r2, [ [ 2; 5 ] ]) ] in
+  let updates =
+    [ ins "r2" [ 4; 6 ]; ins "r1" [ 7; 4 ]; del "r2" [ 2; 5 ] ]
+  in
+  (db, updates)
+
+let sharing_saves_queries_and_changes_nothing () =
+  let db, updates = quad_setup () in
+  let run share =
+    Core.Runner.run_catalog ~schedule:Core.Scheduler.Worst_case
+      ~share_deltas:share ~entries:(quad_entries ()) ~db ~updates ()
+  in
+  let off = run false and on_ = run true in
+  (* a pure optimization: identical per-view lifecycles and verdicts *)
+  List.iter
+    (fun name ->
+      check_bag
+        (Printf.sprintf "view %s: same final MV" name)
+        (List.assoc name off.Core.Runner.final_mvs)
+        (List.assoc name on_.Core.Runner.final_mvs);
+      Alcotest.check report_testable
+        (Printf.sprintf "view %s: same verdict" name)
+        (List.assoc name off.Core.Runner.reports)
+        (List.assoc name on_.Core.Runner.reports);
+      Alcotest.(check (list bag_testable))
+        (Printf.sprintf "view %s: same installed states" name)
+        (Core.Trace.warehouse_states off.Core.Runner.trace name)
+        (Core.Trace.warehouse_states on_.Core.Runner.trace name))
+    [ "A"; "B"; "C"; "D" ];
+  (* ... that actually saves wire traffic: 4 equal queries per event
+     collapse to 1 *)
+  check_bool "fewer queries shipped" true
+    (on_.Core.Runner.metrics.Core.Metrics.queries_sent
+    < off.Core.Runner.metrics.Core.Metrics.queries_sent);
+  (match off.Core.Runner.metrics.Core.Metrics.shared with
+  | None -> ()
+  | Some _ -> Alcotest.fail "sharing off must leave metrics.shared = None");
+  match on_.Core.Runner.metrics.Core.Metrics.shared with
+  | None -> Alcotest.fail "sharing on must report counters"
+  | Some s ->
+    check_bool "hits > 0" true (s.Core.Metrics.shared_hits > 0);
+    check_bool "evaluated > 0" true (s.Core.Metrics.shared_evaluated > 0);
+    (* every shared gid delivers to its owner and all subscribers *)
+    check_bool "fanout counts all subscribers" true
+      (s.Core.Metrics.shared_fanout >= 2 * s.Core.Metrics.shared_evaluated);
+    (* the saved messages are exactly the deduplicated queries *)
+    check_int "saved queries = shared hits" s.Core.Metrics.shared_hits
+      (off.Core.Runner.metrics.Core.Metrics.queries_sent
+      - on_.Core.Runner.metrics.Core.Metrics.queries_sent)
+
+(* Under Random scheduling, sharing changes the number of in-flight
+   messages and hence the draw sequence, so the two runs take different
+   interleavings — the comparable guarantee is each run's own: strongly
+   consistent, and ending at the true view. (The interleaving-for-
+   interleaving equality is pinned under the deterministic policies in
+   [sharing_saves_queries_and_changes_nothing].) *)
+let sharing_keeps_strong_consistency_prop =
+  QCheck.Test.make
+    ~name:"shared catalog stays strongly consistent on random streams"
+    ~count:60
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000))
+    (fun seed ->
+      let db, updates = stream_of_seed seed in
+      let truth v = R.Eval.view (R.Db.apply_all db updates) v in
+      let run share =
+        Core.Runner.run_catalog
+          ~schedule:(Core.Scheduler.Random seed)
+          ~share_deltas:share ~entries:(quad_entries ()) ~db ~updates ()
+      in
+      let off = run false and on_ = run true in
+      List.for_all
+        (fun name ->
+          let expected = truth (view_w ~name ()) in
+          List.for_all
+            (fun (r : Core.Runner.result) ->
+              R.Bag.equal expected (List.assoc name r.Core.Runner.final_mvs)
+              && (List.assoc name r.Core.Runner.reports)
+                   .Core.Consistency.strongly_consistent)
+            [ off; on_ ])
+        [ "A"; "B"; "C"; "D" ])
+
+(* ------------------------------------------------------------------ *)
+(* Subplan signatures                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let signature_laws () =
+  let v = view_w () in
+  let q u = R.Query.view_delta v u in
+  let a = q (ins "r1" [ 1; 2 ]) and a' = q (ins "r1" [ 1; 2 ]) in
+  check_int "equal queries, equal signatures" (R.Query.signature a)
+    (R.Query.signature a');
+  check_int "query signature is order-insensitive"
+    (R.Query.signature (R.Query.plus a (q (ins "r2" [ 2; 3 ]))))
+    (R.Query.signature (R.Query.plus (q (ins "r2" [ 2; 3 ])) a));
+  (* the plan signature keys the skeleton, not the literals: two deltas
+     of the same update class share one subplan *)
+  let term u = List.hd (R.Query.terms (q u)) in
+  check_int "same update class, same plan signature"
+    (R.Plan.signature (term (ins "r1" [ 1; 2 ])))
+    (R.Plan.signature (term (ins "r1" [ 8; 9 ])));
+  check_bool "different shapes get different plan signatures" true
+    (R.Plan.signature (term (ins "r1" [ 1; 2 ]))
+    <> R.Plan.signature
+         (List.hd
+            (R.Query.terms (R.Query.view_delta (view_w3 ()) (ins "r1" [ 1; 2 ])))));
+  (* staged delta programs inherit the law: same view structure, same
+     program signature, regardless of view name *)
+  let prog name u =
+    Option.get
+      (R.Delta_program.of_update (R.Delta_program.stage (vd (view_w ~name ()))) u)
+  in
+  check_int "structurally equal views share program signatures"
+    (R.Delta_program.signature (prog "A" (ins "r1" [ 1; 2 ])))
+    (R.Delta_program.signature (prog "B" (ins "r1" [ 5; 0 ])))
+
+(* ------------------------------------------------------------------ *)
+(* Satellite regressions                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* LCA's pending_order is now a functional queue; Worst_case floods it —
+   every update ships its pieces before any answer arrives, so dozens of
+   entries are queued, snapshotted (per event) and filtered (per answer)
+   in strict ship order. Completeness pins that order: compensations are
+   folded per pending piece, and the per-update install sequence only
+   matches the oracle if the bookkeeping survived the data-structure
+   swap. *)
+let lca_long_pending_queue () =
+  let st = rng 11 in
+  let updates =
+    List.concat_map
+      (fun _ ->
+        [
+          ins "r1" [ Random.State.int st 6; Random.State.int st 6 ];
+          ins "r2" [ Random.State.int st 6; Random.State.int st 6 ];
+        ])
+      (List.init 14 Fun.id)
+  in
+  let db = db_of [ (r1, [ [ 1; 2 ] ]); (r2, [ [ 2; 3 ] ]) ] in
+  let result =
+    run ~algorithm:"lca" ~schedule:Core.Scheduler.Worst_case
+      ~views:[ view_w () ] ~db ~updates ()
+  in
+  let rep = report result "V" in
+  check_bool "complete over a 28-update flooded queue" true
+    rep.Core.Consistency.complete;
+  check_bag "ends at the true view"
+    (R.Eval.view (R.Db.apply_all db updates) (view_w ()))
+    (final_mv result "V")
+
+(* The Random policy now indexes an array instead of List.nth-ing the
+   enabled list; the draw sequence is pinned by the golden traces, and
+   this regression pins determinism: same seed, same trace. *)
+let random_policy_still_deterministic () =
+  let db, updates = stream_of_seed 23 in
+  let go () =
+    Core.Runner.run_defs
+      ~schedule:(Core.Scheduler.Random 23)
+      ~creator:(Core.Registry.creator_exn "eca")
+      ~views:[ vd (view_w ()) ] ~db ~updates ()
+  in
+  let a = go () and b = go () in
+  check_int "same step count" a.Core.Runner.metrics.Core.Metrics.steps
+    b.Core.Runner.metrics.Core.Metrics.steps;
+  check_bool "same event trace" true
+    (Core.Trace.entries a.Core.Runner.trace
+    = Core.Trace.entries b.Core.Runner.trace)
+
+(* The planner's bound-set/multiplicity invariant is now checked, not
+   assumed: a degenerate catalog (no indexes at all) must still plan
+   literal-seeded joins — best_edge walks every edge, finds only scans
+   worth taking, and no lookup can escape as an anonymous Not_found. *)
+let planner_survives_degenerate_catalog () =
+  let empty_cat = Storage.Catalog.make () in
+  let db =
+    db_of [ (r1, [ [ 1; 2 ] ]); (r2, [ [ 2; 3 ] ]); (r3, [ [ 3; 4 ] ]) ]
+  in
+  let delta_term u =
+    List.hd (R.Query.terms (R.Query.view_delta (view_w3 ()) u))
+  in
+  List.iter
+    (fun u ->
+      let plan = Storage.Planner.term empty_cat db (delta_term u) in
+      check_bool "unindexed delta plan has positive io" true
+        (plan.Storage.Plan.io > 0))
+    [ ins "r1" [ 9; 9 ]; ins "r2" [ 9; 9 ]; ins "r3" [ 9; 9 ] ]
+
+let suite =
+  [
+    Alcotest.test_case "auto_rung ladder" `Quick auto_rung_ladder;
+    Alcotest.test_case "catalog validation" `Quick catalog_validation;
+    Alcotest.test_case "catalog = N single-view runs (seed sweep)" `Quick
+      catalog_equals_single_view_runs;
+    Alcotest.test_case "sharing saves queries, changes nothing" `Quick
+      sharing_saves_queries_and_changes_nothing;
+    Alcotest.test_case "signature laws" `Quick signature_laws;
+    Alcotest.test_case "LCA long pending queue stays complete" `Quick
+      lca_long_pending_queue;
+    Alcotest.test_case "Random policy deterministic after array swap" `Quick
+      random_policy_still_deterministic;
+    Alcotest.test_case "planner survives a degenerate catalog" `Quick
+      planner_survives_degenerate_catalog;
+  ]
+  @ [ QCheck_alcotest.to_alcotest sharing_keeps_strong_consistency_prop ]

@@ -72,6 +72,7 @@ let warehouse_routes_answers () =
           Core.Algorithm.Config.of_view_db va db;
           Core.Algorithm.Config.of_view_db vb db;
         ]
+      ()
   in
   let reaction = Core.Warehouse.handle_update wh (ins "r2" [ 2; 3 ]) in
   check_int "one query per hosted view" 2
@@ -96,6 +97,7 @@ let warehouse_absorbs_misrouted_messages () =
   let wh =
     Core.Warehouse.of_creator ~creator:Core.Eca.instance
       ~configs:[ Core.Algorithm.Config.of_view_db (view_w ()) db ]
+      ()
   in
   let mv_before = Option.get (Core.Warehouse.mv wh "V") in
   check_bool "a query produces no reaction" true
@@ -127,6 +129,7 @@ let install_history_accumulates () =
   let wh =
     Core.Warehouse.of_creator ~creator:Core.Sc.instance
       ~configs:[ Core.Algorithm.Config.of_view_db (view_w ()) db ]
+      ()
   in
   ignore (Core.Warehouse.handle_update wh (ins "r2" [ 2; 3 ]));
   ignore (Core.Warehouse.handle_update wh (ins "r2" [ 2; 4 ]));
