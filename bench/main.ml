@@ -89,6 +89,8 @@ let schedule_label = function
   | Core.Scheduler.Round_robin -> "[rr]"
   | Core.Scheduler.Random seed -> Printf.sprintf "[rand=%d]" seed
   | Core.Scheduler.Explicit _ -> "[explicit]"
+  | Core.Scheduler.Bounded_inflight b -> Printf.sprintf "[inflight<=%d]" b
+  | Core.Scheduler.Weighted_fair q -> Printf.sprintf "[wf=%d]" q
 
 let algo_label ?rv_period ~schedule algorithm =
   algorithm
@@ -168,6 +170,13 @@ let throughput_json : string option ref = ref None
    the same normalization window covers it. *)
 let catalog_json : string option ref = ref None
 
+(* And for the top-level "scaling" object (schema v8), filled by
+   [bench_scaling]: the N-source matrix (O(active) event loop, per-edge
+   coalescing, backpressure) — emitted after "catalog" inside the same
+   normalization window. Its *_wall_clock_s fields are timing and get
+   zeroed by check_determinism.sh. *)
+let scaling_json : string option ref = ref None
+
 let write_json ~path ~mode ~total_wall_s =
   let oc = open_out path in
   Fun.protect
@@ -177,7 +186,7 @@ let write_json ~path ~mode ~total_wall_s =
         List.fold_left (fun acc r -> acc +. r.r_wall_s) 0.0 !json_runs
       in
       Printf.fprintf oc "{\n";
-      Printf.fprintf oc "  \"schema_version\": 7,\n";
+      Printf.fprintf oc "  \"schema_version\": 8,\n";
       Printf.fprintf oc "  \"mode\": \"%s\",\n" (json_escape mode);
       Printf.fprintf oc "  \"workers\": %d,\n" workers;
       Printf.fprintf oc "  \"total_wall_clock_s\": %.3f,\n" total_wall_s;
@@ -195,6 +204,9 @@ let write_json ~path ~mode ~total_wall_s =
       | None -> ());
       (match !catalog_json with
       | Some s -> Printf.fprintf oc "  \"catalog\": %s,\n" s
+      | None -> ());
+      (match !scaling_json with
+      | Some s -> Printf.fprintf oc "  \"scaling\": %s,\n" s
       | None -> ());
       Printf.fprintf oc "  \"runs\": [";
       List.iteri
@@ -1566,6 +1578,236 @@ let bench_catalog () =
          cells_json rungs_json)
 
 (* ------------------------------------------------------------------ *)
+(* Scale-out: N sources on one event loop (schema v8)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The N-source matrix over the generated scaling workload
+   (Workload.Scenarios.scaled): N in {3, 10, 100, 500} crossed with
+   {clean, chaos} edges and {raw, reliable} channels, every cell through
+   the ready-set event loop with the warehouse sharded over the pool and
+   the scale counters on. On top of the matrix:
+
+   - an O(active) wall-clock gate pair: the same 200-update stream fanned
+     over 10 and over 100 sources — with per-step cost O(active) the two
+     cost about the same, with the historical O(N)-per-step readiness
+     rebuild the wide cell pays ~10x (perf_guard.sh gates 5x);
+   - a coalescing pair (hot source, same stream, coalescing off/on):
+     strictly fewer wire frames, byte-identical view states — asserted
+     here, gated again by perf_guard.sh;
+   - a backpressure trio (flood / bounded / weighted-fair) on a hot
+     workload: Bounded_inflight must cap the peak per-edge backlog the
+     flood exhibits;
+   - one observed cell asserting the ECA-rung signature at scale:
+     staleness 0 at every quiescence probe on all 10 views. *)
+let bench_scaling () =
+  header "Scaling: N sources, O(active) loop, coalescing, backpressure";
+  let exec ?policy ?fault ?reliable ?coalesce ?(observe = false)
+      ?(updates_per_source = 2) ?(skew = 0.0) ?(insert_ratio = 0.75)
+      ?(c = 3) ?(seed = 42) ~n () =
+    let w = W.Scenarios.scaled ~c ~updates_per_source ~insert_ratio ~skew ~seed ~n () in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Core.Federation.run ?policy ?fault ~fault_seed:5 ?reliable ?coalesce
+        ~observe ~shard:pool ~track_scale:true
+        ~creator:(Core.Registry.creator_exn "eca")
+        ~sources:w.W.Scenarios.sources ~views:w.W.Scenarios.views
+        ~updates:w.W.Scenarios.updates ()
+    in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let scale_of (r : Core.Federation.result) =
+    match r.Core.Federation.metrics.Core.Metrics.scale with
+    | Some s -> s
+    | None -> failwith "scaling: run carries no scale counters"
+  in
+  (* a gate cell is only admissible evidence if it is also correct *)
+  let check_exact_or_fail label (r : Core.Federation.result) =
+    List.iter
+      (fun (view, rep) ->
+        if not rep.Core.Consistency.strongly_consistent then
+          failwith (label ^ ": " ^ view ^ " lost strong consistency");
+        if
+          not
+            (R.Bag.equal
+               (List.assoc view r.Core.Federation.final_source_views)
+               (List.assoc view r.Core.Federation.final_mvs))
+        then failwith (label ^ ": " ^ view ^ " diverged from its source"))
+      r.Core.Federation.reports
+  in
+  let strong_count (r : Core.Federation.result) =
+    List.length
+      (List.filter
+         (fun (_, rep) -> rep.Core.Consistency.strongly_consistent)
+         r.Core.Federation.reports)
+  in
+  let record_cell ~label ~wall_s (r : Core.Federation.result) =
+    let m = r.Core.Federation.metrics in
+    record ~delivery:m.Core.Metrics.delivery ~algorithm:label ~wall_s
+      {
+        m_messages = Core.Metrics.messages m;
+        m_tuples = m.Core.Metrics.answer_tuples;
+        m_bytes = Core.Metrics.bytes_for ~s:s_bytes m;
+        m_io = m.Core.Metrics.source_io;
+      }
+  in
+  (* --- the N x profile x channel matrix --- *)
+  Printf.printf "%-28s %8s %9s %8s %9s %10s\n" "cell" "messages" "wire msgs"
+    "strong" "inflight" "active max";
+  let cells =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun (pname, fault) ->
+            List.map
+              (fun reliable ->
+                let label =
+                  Printf.sprintf "eca[scale/n=%d/%s/%s]" n pname
+                    (if reliable then "reliable" else "raw")
+                in
+                let wall_s, r = exec ?fault ~reliable ~seed:(100 + n) ~n () in
+                record_cell ~label ~wall_s r;
+                let s = scale_of r in
+                let m = r.Core.Federation.metrics in
+                let strong = strong_count r in
+                if String.equal pname "clean" && strong <> n then
+                  failwith (label ^ ": a clean cell lost strong consistency");
+                Printf.printf "%-28s %8d %9d %5d/%d %9d %10d\n" label
+                  (Core.Metrics.messages m)
+                  m.Core.Metrics.delivery.Core.Metrics.wire_messages strong n
+                  s.Core.Metrics.inflight_max s.Core.Metrics.active_max;
+                (n, pname, reliable, wall_s, r))
+              [ false; true ])
+          [ ("clean", None); ("chaos", Some W.Scenarios.chaos_profile) ])
+      [ 3; 10; 100; 500 ]
+  in
+  (* --- O(active) gate pair: same stream length, 10x the fan-out --- *)
+  let gate n updates_per_source =
+    let wall0, r = exec ~updates_per_source ~seed:9 ~n () in
+    (* best-of-3, as in the observe ablation: one descheduled run must
+       not decide a wall-clock ratio *)
+    let wall =
+      List.fold_left
+        (fun acc () -> Float.min acc (fst (exec ~updates_per_source ~seed:9 ~n ())))
+        wall0 [ (); () ]
+    in
+    check_exact_or_fail ("scaling gate n=" ^ string_of_int n) r;
+    (wall, r)
+  in
+  let n10_wall, _ = gate 10 20 in
+  let n100_wall, _ = gate 100 2 in
+  let n500_wall =
+    match List.find_opt (fun (n, p, rel, _, _) -> n = 500 && p = "clean" && not rel) cells with
+    | Some (_, _, _, w, _) -> w
+    | None -> failwith "scaling: 500-source clean cell missing"
+  in
+  (* --- coalescing: hot source, same stream, off vs on --- *)
+  let coalesce_args ~coalesce () =
+    exec ~coalesce ~updates_per_source:10 ~skew:3.0 ~insert_ratio:1.0
+      ~seed:17 ~n:10 ()
+  in
+  let off_wall, off = coalesce_args ~coalesce:false () in
+  let on_wall, on_ = coalesce_args ~coalesce:true () in
+  record_cell ~label:"eca[scale/hot/uncoalesced]" ~wall_s:off_wall off;
+  record_cell ~label:"eca[scale/hot/coalesced]" ~wall_s:on_wall on_;
+  let identical =
+    List.for_all
+      (fun (name, mv) ->
+        R.Bag.equal mv (List.assoc name on_.Core.Federation.final_mvs))
+      off.Core.Federation.final_mvs
+  in
+  let wire (r : Core.Federation.result) =
+    r.Core.Federation.metrics.Core.Metrics.delivery.Core.Metrics.wire_messages
+  in
+  let coalesce_off_wire = wire off and coalesce_on_wire = wire on_ in
+  let coalesced_batches = (scale_of on_).Core.Metrics.coalesced_batches in
+  let coalesced_notes = (scale_of on_).Core.Metrics.coalesced_notes in
+  Printf.printf
+    "coalescing: %d -> %d wire frames (%d notes absorbed into %d batches), \
+     states identical: %s\n"
+    coalesce_off_wire coalesce_on_wire coalesced_notes coalesced_batches
+    (if identical then "yes" else "NO");
+  if not identical then
+    failwith "scaling: coalescing changed a view's final state";
+  if coalesce_on_wire >= coalesce_off_wire then
+    failwith "scaling: coalescing did not reduce shipped frames";
+  (* --- backpressure and fairness on the hot workload --- *)
+  let hot ~policy () =
+    exec ~policy ~updates_per_source:6 ~skew:3.0 ~seed:7 ~n:6 ()
+  in
+  let flood_wall, flood = hot ~policy:Core.Scheduler.Updates_first () in
+  let bounded_wall, bounded = hot ~policy:(Core.Scheduler.Bounded_inflight 4) () in
+  let wf_wall, wf = hot ~policy:(Core.Scheduler.Weighted_fair 2) () in
+  record_cell ~label:"eca[scale/hot/updates-first]" ~wall_s:flood_wall flood;
+  record_cell ~label:"eca[scale/hot/inflight<=4]" ~wall_s:bounded_wall bounded;
+  record_cell ~label:"eca[scale/hot/wf=2]" ~wall_s:wf_wall wf;
+  let inflight r = (scale_of r).Core.Metrics.inflight_max in
+  Printf.printf
+    "backpressure: flood peaks at %d in-flight frames, inflight<=4 at %d, \
+     wf=2 at %d\n"
+    (inflight flood) (inflight bounded) (inflight wf);
+  check_exact_or_fail "scaling bounded" bounded;
+  check_exact_or_fail "scaling weighted-fair" wf;
+  if inflight bounded >= inflight flood then
+    failwith "scaling: backpressure did not cap the hot edge's backlog";
+  (* --- the ECA-rung staleness signature at scale, observed --- *)
+  let _, observed = exec ~observe:true ~seed:101 ~n:10 () in
+  let stale_quiesce_max =
+    match observed.Core.Federation.metrics.Core.Metrics.observe with
+    | None -> failwith "scaling: observed cell carries no gauges"
+    | Some o ->
+      List.fold_left
+        (fun acc (_, g) -> max acc g.Core.Metrics.stale_quiesce_max)
+        0 o.Core.Metrics.staleness
+  in
+  Printf.printf "staleness at quiescence across 10 views: max %d\n"
+    stale_quiesce_max;
+  if stale_quiesce_max <> 0 then
+    failwith "scaling: an ECA view was stale at a quiescence probe";
+  let cells_json =
+    String.concat ",\n      "
+      (List.map
+         (fun (n, pname, reliable, wall_s, r) ->
+           let m = r.Core.Federation.metrics in
+           let s = scale_of r in
+           Printf.sprintf
+             "{ \"n\": %d, \"profile\": \"%s\", \"channel\": \"%s\", \
+              \"wall_clock_s\": %.6f, \"messages\": %d, \"wire_messages\": %d, \
+              \"strong\": %d, \"inflight_max\": %d, \"active_max\": %d }"
+             n (json_escape pname)
+             (if reliable then "reliable" else "raw")
+             wall_s (Core.Metrics.messages m)
+             m.Core.Metrics.delivery.Core.Metrics.wire_messages
+             (strong_count r) s.Core.Metrics.inflight_max
+             s.Core.Metrics.active_max)
+         cells)
+  in
+  scaling_json :=
+    Some
+      (Printf.sprintf
+         "{\n\
+         \    \"n10_wall_clock_s\": %.6f,\n\
+         \    \"n100_wall_clock_s\": %.6f,\n\
+         \    \"n500_wall_clock_s\": %.6f,\n\
+         \    \"coalesce_off_wire_messages\": %d,\n\
+         \    \"coalesce_on_wire_messages\": %d,\n\
+         \    \"coalesce_saved_wire_messages\": %d,\n\
+         \    \"coalesced_notes\": %d,\n\
+         \    \"coalesced_batches\": %d,\n\
+         \    \"coalesce_states_identical\": %b,\n\
+         \    \"inflight_max_flood\": %d,\n\
+         \    \"inflight_max_bounded\": %d,\n\
+         \    \"inflight_max_weighted_fair\": %d,\n\
+         \    \"scale_stale_quiesce_max\": %d,\n\
+         \    \"cells\": [\n\
+         \      %s\n\
+         \    ]\n\
+         \  }"
+         n10_wall n100_wall n500_wall coalesce_off_wire coalesce_on_wire
+         (coalesce_off_wire - coalesce_on_wire)
+         coalesced_notes coalesced_batches identical (inflight flood)
+         (inflight bounded) (inflight wf) stale_quiesce_max cells_json)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1692,6 +1934,7 @@ let () =
   ablation_compound_views ();
   bench_federation ();
   bench_catalog ();
+  bench_scaling ();
   bench_throughput ();
   if not quick then bechamel_section ();
   Parallel.Pool.shutdown pool;

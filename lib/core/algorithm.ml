@@ -37,6 +37,7 @@ let combine a b = { send = a.send @ b.send; installs = a.installs @ b.installs }
 
 type instance = {
   name : string;
+  interest : string list option;
   on_update : R.Update.t -> outcome;
   on_batch : R.Update.t list -> outcome;
   on_answer : id:int -> R.Bag.t -> outcome;

@@ -63,6 +63,15 @@ val combine : outcome -> outcome -> outcome
 (** A running algorithm instance (internal state captured in closures). *)
 type instance = {
   name : string;
+  interest : string list option;
+      (** the base relations whose updates this instance reacts to, or
+          [None] for all of them. [Some rels] is a {e promise} that
+          [on_update]/[on_batch] return {!nothing} and change no internal
+          state for updates targeting other relations — the warehouse
+          then skips the instance outright, which is what keeps dispatch
+          O(interested) instead of O(views) in a wide catalog. Stateful
+          per-update counters (LCA's event clock, the {!Timing} wrappers'
+          buffers) must declare [None]. *)
   on_update : R.Update.t -> outcome;  (** a [W_up] event *)
   on_batch : R.Update.t list -> outcome;
       (** a batched notification (Section 7's batched-update extension):

@@ -33,6 +33,9 @@ let instance cfg =
   let t = create cfg in
   {
     Algorithm.name = "basic";
+    (* the view delta of a foreign update is empty, so on_update returns
+       [nothing] without touching state. *)
+    interest = Some (R.Viewdef.relation_names cfg.Algorithm.Config.view);
     on_update = on_update t;
     on_batch = (fun us -> Algorithm.sequential_batch (on_update t) us);
     on_answer = (fun ~id a -> on_answer t ~id a);

@@ -117,6 +117,9 @@ let instance cfg =
   let t = create cfg in
   {
     Algorithm.name = "fetch-join";
+    (* on_update guards with [mentions]; foreign updates are a stateless
+       no-op even across sources. *)
+    interest = Some (R.Viewdef.relation_names cfg.Algorithm.Config.view);
     on_update = on_update t;
     on_batch = (fun us -> Algorithm.sequential_batch (on_update t) us);
     on_answer = (fun ~id a -> on_answer t ~id a);

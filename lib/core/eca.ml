@@ -111,6 +111,10 @@ let instance cfg =
   let t = create cfg in
   {
     Algorithm.name = "eca";
+    (* Viewdef.delta and Query.subst are both empty for a foreign base
+       relation, so an update outside the view's relations provably
+       yields [nothing] and touches no state: safe to skip at dispatch. *)
+    interest = Some (R.Viewdef.relation_names cfg.Algorithm.Config.view);
     on_update = on_update t;
     on_batch = on_batch t;
     on_answer = (fun ~id a -> on_answer t ~id a);

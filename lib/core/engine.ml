@@ -79,8 +79,9 @@ type obs_state = {
 
 let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
     ?local_literal_eval ?(allow_cross_source = false) ?(max_steps = 2_000_000)
-    ?(oracle = Incremental) ?observe ?(share_deltas = false) ~creator
-    ~sites:specs ~views ~updates () =
+    ?(oracle = Incremental) ?observe ?(share_deltas = false)
+    ?(coalesce = false) ?shard ?(track_scale = false) ~creator ~sites:specs
+    ~views ~updates () =
   if batch_size < 1 then raise (Engine_error "batch_size must be at least 1");
   if specs = [] then
     raise (Engine_error "a site graph needs at least one source");
@@ -167,54 +168,78 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
       views view_site
   in
   let warehouse =
-    Warehouse.of_creator ~share:share_deltas ~creator ~configs ()
+    Warehouse.of_creator ~share:share_deltas ?pool:shard ~creator ~configs ()
   in
   let sched = Scheduler.create schedule in
-  (* Oracle state: the current source-view contents, one entry per view in
+  (* Oracle state: the current source-view contents, one slot per view in
      [views] order, advanced as updates execute at the sources. A
      site-bound view is judged against its owning source's state; a
-     cross-source view against the merged global state. *)
-  let snapshot_view (v : R.Viewdef.t) =
-    match List.assoc v.R.Viewdef.name view_site with
+     cross-source view against the merged global state. All per-view
+     bookkeeping is indexed — a wide catalog over many sources pays only
+     for the views an event actually touches, never an O(views) assoc
+     scan per event. *)
+  let views_arr = Array.of_list views in
+  let nviews = Array.length views_arr in
+  let vname = Array.map (fun (v : R.Viewdef.t) -> v.R.Viewdef.name) views_arr in
+  let vsite = Array.of_list (List.map snd view_site) in
+  let name_to_idx = Hashtbl.create (max 16 nviews) in
+  Array.iteri (fun vi name -> Hashtbl.replace name_to_idx name vi) vname;
+  (* Per-site view index lists (ascending = [views] order) plus the
+     cross-source views, and their merge: exactly the views an update at
+     site [i] can affect, visited in catalog order. *)
+  let site_views = Array.make n [] in
+  let cross_views = ref [] in
+  for vi = nviews - 1 downto 0 do
+    match vsite.(vi) with
+    | Some i -> site_views.(i) <- vi :: site_views.(i)
+    | None -> cross_views := vi :: !cross_views
+  done;
+  let rec merge_idx a b =
+    match (a, b) with
+    | [], l | l, [] -> l
+    | x :: a', y :: b' ->
+      if x < y then x :: merge_idx a' b
+      else if y < x then y :: merge_idx a b'
+      else x :: merge_idx a' b'
+  in
+  let affected_idx =
+    Array.map (fun svs -> merge_idx svs !cross_views) site_views
+  in
+  let snapshot_view vi =
+    let v = views_arr.(vi) in
+    match vsite.(vi) with
     | Some i -> R.Viewdef.eval (Source_site.Source.db sites.(i).source) v
     | None -> R.Viewdef.eval (merged_db ()) v
   in
   let initial_views =
-    List.map
-      (fun (v : R.Viewdef.t) -> (v.R.Viewdef.name, snapshot_view v))
-      views
+    Array.to_list (Array.init nviews (fun vi -> (vname.(vi), snapshot_view vi)))
   in
   let trace = Trace.create ~initial_views in
-  let snapshots = ref initial_views in
+  let snap = Array.of_list (List.map snd initial_views) in
   (* Staged delta programs for the compiled oracle advance, built on
      first use so runs with the compiled path disabled never pay for
      staging. *)
   let staged_programs =
-    lazy
-      (List.map
-         (fun (v : R.Viewdef.t) ->
-           (v.R.Viewdef.name, R.Delta_program.stage v))
-         views)
+    lazy (Array.map R.Delta_program.stage views_arr)
+  in
+  let advance_cross () =
+    match !cross_views with
+    | [] -> ()
+    | cvs ->
+      (* Cross-source views are an opt-in anomaly demonstration, not a
+         performance path: recompute from the merged state. *)
+      let mdb = merged_db () in
+      List.iter (fun vi -> snap.(vi) <- R.Viewdef.eval mdb views_arr.(vi)) cvs
   in
   let advance_snapshots i u =
-    snapshots :=
-      List.map2
-        (fun (v : R.Viewdef.t) (name, snap) ->
-          match List.assoc name view_site with
-          | Some j when j <> i -> (name, snap)  (* another source: unchanged *)
-          | Some _ ->
-            let delta = R.Viewdef.delta v u in
-            if R.Query.is_empty delta then (name, snap)
-            else
-              ( name,
-                R.Bag.plus snap
-                  (R.Eval.query (Source_site.Source.db sites.(i).source) delta)
-              )
-          | None ->
-            (* Cross-source views are an opt-in anomaly demonstration, not
-               a performance path: recompute from the merged state. *)
-            (name, R.Viewdef.eval (merged_db ()) v))
-        views !snapshots
+    let db = Source_site.Source.db sites.(i).source in
+    List.iter
+      (fun vi ->
+        let delta = R.Viewdef.delta views_arr.(vi) u in
+        if not (R.Query.is_empty delta) then
+          snap.(vi) <- R.Bag.plus snap.(vi) (R.Eval.query db delta))
+      site_views.(i);
+    advance_cross ()
   in
   (* Batched oracle advance over one update-class run (same relation and
      kind), already executed at site [i]. Every delta term binds the
@@ -229,37 +254,27 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
     | first :: _ ->
       let tuples = List.map (fun (u : R.Update.t) -> u.R.Update.tuple) us in
       let db = Source_site.Source.db sites.(i).source in
-      snapshots :=
-        List.map2
-          (fun (v : R.Viewdef.t) (name, snap) ->
-            match List.assoc name view_site with
-            | Some j when j <> i -> (name, snap)
-            | Some _ -> (
-              match
-                R.Delta_program.of_update
-                  (List.assoc name (Lazy.force staged_programs))
-                  first
-              with
-              | None -> (name, snap)
-              | Some prog ->
-                (name, R.Bag.plus snap (R.Delta_program.apply_batch prog db tuples)))
-            | None -> (name, R.Viewdef.eval (merged_db ()) v))
-          views !snapshots
+      let staged = Lazy.force staged_programs in
+      List.iter
+        (fun vi ->
+          match R.Delta_program.of_update staged.(vi) first with
+          | None -> ()
+          | Some prog ->
+            snap.(vi) <-
+              R.Bag.plus snap.(vi) (R.Delta_program.apply_batch prog db tuples))
+        site_views.(i);
+      advance_cross ()
   in
   let recompute_snapshots () =
-    snapshots :=
-      List.map
-        (fun (v : R.Viewdef.t) -> (v.R.Viewdef.name, snapshot_view v))
-        views
+    for vi = 0 to nviews - 1 do
+      snap.(vi) <- snapshot_view vi
+    done
   in
   (* The views whose oracle state an update at site [i] can change — the
      site's own views plus every cross-source view. Only these appear in
      the trace entry, so per-source state sequences stay per-source. *)
   let affected_views i =
-    List.filter
-      (fun (name, _) ->
-        match List.assoc name view_site with Some j -> j = i | None -> true)
-      !snapshots
+    List.map (fun vi -> (vname.(vi), snap.(vi))) affected_idx.(i)
   in
   let site_of_update (u : R.Update.t) =
     if n = 1 then 0
@@ -282,6 +297,46 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
   let next_seq = ref 0 in
   let m = ref Metrics.zero in
   let bump f = m := f !m in
+  (* Incrementally maintained scheduling state: the ready sets the
+     scheduler picks from, and the set of non-idle edges the tick branch
+     walks. Every edge mutation (send, receive, tick) is followed by a
+     [refresh_edge] of exactly the touched edges, so one step costs
+     O(active edges), never O(N) — the property that lets this loop
+     drive hundreds of sources. *)
+  let ready = Scheduler.Ready.create n in
+  let active = ref Scheduler.Iset.empty in
+  let inflight_max = ref 0 in
+  let active_max = ref 0 in
+  let coalesced_notes = ref 0 in
+  let coalesced_batches = ref 0 in
+  let refresh_edge i =
+    let st = sites.(i) in
+    Scheduler.Ready.set_source ready i
+      (Messaging.Network.can_receive st.net Messaging.Network.To_source);
+    Scheduler.Ready.set_warehouse ready i
+      (Messaging.Network.can_receive st.net Messaging.Network.To_warehouse);
+    let load = Messaging.Network.load st.net in
+    Scheduler.Ready.set_load ready i load;
+    if load > !inflight_max then inflight_max := load;
+    if Messaging.Network.idle st.net then
+      active := Scheduler.Iset.remove i !active
+    else begin
+      active := Scheduler.Iset.add i !active;
+      if track_scale then begin
+        let c = Scheduler.Iset.cardinal !active in
+        if c > !active_max then active_max := c
+      end
+    end
+  in
+  let refresh_update () =
+    match !pending with
+    | [] ->
+      Scheduler.Ready.set_update ready false;
+      Scheduler.Ready.set_update_site ready (-1)
+    | u :: _ ->
+      Scheduler.Ready.set_update ready true;
+      Scheduler.Ready.set_update_site ready (site_of_update u)
+  in
   (* The spans' logical clock: the engine's step counter, bumped once per
      scheduler decision before the event executes — deterministic across
      PAR settings because the loop itself is single-threaded. *)
@@ -334,8 +389,10 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
     let t = now () in
     List.iter
       (fun (name, ov) ->
-        (match (Warehouse.mv warehouse name, List.assoc_opt name !snapshots) with
-        | Some mv, Some snap when R.Bag.equal mv snap -> ov.ov_last_match <- t
+        (match (Warehouse.mv warehouse name, Hashtbl.find_opt name_to_idx name)
+         with
+        | Some mv, Some vi when R.Bag.equal mv snap.(vi) ->
+          ov.ov_last_match <- t
         | _ -> ());
         let stale = t - ov.ov_last_match in
         ov.ov_samples <- ov.ov_samples + 1;
@@ -386,7 +443,8 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
                 ~algo ~site:sites.(i).spec_name ~ids:[ gid ] ~now:(now ()) ()
             in
             Hashtbl.replace o.query_spans gid (sp, i));
-        Messaging.Network.send sites.(i).net Messaging.Network.To_source msg)
+        Messaging.Network.send sites.(i).net Messaging.Network.To_source msg;
+        refresh_edge i)
       queries
   in
   let apply_update () =
@@ -414,6 +472,41 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
             end
       in
       let batch = take batch_size [] in
+      (* Per-edge coalescing: keep absorbing consecutive updates of the
+         same relation and kind past [batch_size] — one update-class run
+         that ships as a single [Batch_note] and flows down the compiled
+         [apply_batch] path at warehouse, replica and oracle alike,
+         instead of one wire message per update. Only exact same-class
+         neighbors coalesce, so the notification's event semantics (one
+         atomic batch at one source) are unchanged. *)
+      let batch =
+        if not coalesce then batch
+        else
+          match List.rev batch with
+          | [] -> batch
+          | last :: _ ->
+            let rec extend (prev : R.Update.t) acc =
+              match !pending with
+              | u :: rest
+                when site_of_update u = i
+                     && String.equal u.R.Update.rel prev.R.Update.rel
+                     && u.R.Update.kind = prev.R.Update.kind ->
+                pending := rest;
+                incr next_seq;
+                let u =
+                  if u.R.Update.seq = 0 then R.Update.with_seq !next_seq u
+                  else u
+                in
+                extend u (u :: acc)
+              | _ -> List.rev acc
+            in
+            let extras = extend last [] in
+            if extras <> [] then begin
+              coalesced_notes := !coalesced_notes + List.length extras;
+              incr coalesced_batches
+            end;
+            batch @ extras
+      in
       (match oracle with
        | Incremental when R.Delta_program.compiled () ->
          (* Compiled path: execute each update-class run, then advance
@@ -461,7 +554,8 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
           sample_staleness o);
       Trace.record trace
         (Trace.Source_update
-           { updates = batch; source_views = affected_views i })
+           { updates = batch; source_views = affected_views i });
+      i
   in
   let source_receive i =
     match
@@ -657,53 +751,44 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
             produced no reaction — nothing to trace. *)
          ())
   in
-  let multi () =
-    {
-      Scheduler.update_ready = !pending <> [];
-      source_ready =
-        Array.map
-          (fun st ->
-            Messaging.Network.can_receive st.net Messaging.Network.To_source)
-          sites;
-      warehouse_ready =
-        Array.map
-          (fun st ->
-            Messaging.Network.can_receive st.net Messaging.Network.To_warehouse)
-          sites;
-    }
-  in
   let ticks = ref 0 in
+  refresh_update ();
   let rec loop () =
     bump (fun m -> { m with Metrics.steps = m.Metrics.steps + 1 });
     if (!m).Metrics.steps > max_steps then
       raise (Engine_error "simulation exceeded max_steps");
-    match Scheduler.pick_multi sched (multi ()) with
+    match Scheduler.pick_ready sched ready with
     | Some Scheduler.Apply ->
-      apply_update ();
+      let i = apply_update () in
+      refresh_edge i;
+      refresh_update ();
       loop ()
     | Some (Scheduler.Site_source i) ->
       source_receive i;
+      refresh_edge i;
       loop ()
     | Some (Scheduler.Site_warehouse i) ->
       warehouse_receive i;
+      (* [ship_queries] inside already refreshed the edges it sent on;
+         this edge's receive side changed too. *)
+      refresh_edge i;
       loop ()
     | None ->
-      if
-        Array.exists (fun st -> not (Messaging.Network.idle st.net)) sites
-      then begin
+      if not (Scheduler.Iset.is_empty !active) then begin
         (* Messages are in flight but not yet deliverable — delayed
            transmissions ripening, or reliability-layer frames awaiting
            acks/retransmission. Advance the transport clock of every busy
            edge one tick and re-examine; the tick is a scheduler decision,
            so faulty runs stay deterministic. Idle edges are left alone:
-           their clocks only matter relative to their own traffic. *)
-        Array.iter
-          (fun st ->
-            if not (Messaging.Network.idle st.net) then begin
-              Messaging.Network.tick st.net;
-              st.ticks <- st.ticks + 1
-            end)
-          sites;
+           their clocks only matter relative to their own traffic — and
+           the walk visits only the active set, not all N sites. *)
+        Scheduler.Iset.iter
+          (fun i ->
+            let st = sites.(i) in
+            Messaging.Network.tick st.net;
+            st.ticks <- st.ticks + 1;
+            refresh_edge i)
+          !active;
         incr ticks;
         loop ()
       end
@@ -818,6 +903,19 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
             Some { Metrics.shared_evaluated; shared_hits; shared_fanout };
         })
   end;
+  if track_scale then
+    bump (fun m ->
+        {
+          m with
+          Metrics.scale =
+            Some
+              {
+                Metrics.inflight_max = !inflight_max;
+                coalesced_notes = !coalesced_notes;
+                coalesced_batches = !coalesced_batches;
+                active_max = !active_max;
+              };
+        });
   let reports =
     List.map
       (fun (v : R.Viewdef.t) ->
@@ -833,7 +931,8 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
     metrics = !m;
     reports;
     final_mvs = Warehouse.mvs warehouse;
-    final_source_views = !snapshots;
+    final_source_views =
+      Array.to_list (Array.mapi (fun vi b -> (vname.(vi), b)) snap);
     negative_installs = List.rev !negative_installs;
     sources =
       Array.to_list (Array.map (fun st -> (st.spec_name, st.source)) sites);

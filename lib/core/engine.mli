@@ -91,6 +91,9 @@ val run :
   ?oracle:oracle ->
   ?observe:Observe.Collector.t ->
   ?share_deltas:bool ->
+  ?coalesce:bool ->
+  ?shard:Parallel.Pool.t ->
+  ?track_scale:bool ->
   creator:Algorithm.creator ->
   sites:site_spec list ->
   views:R.Viewdef.t list ->
@@ -126,4 +129,21 @@ val run :
     is restricted to distinct instances within one event, so a
     single-view run — and any catalog whose views never coincide — is
     byte-identical to an unshared one apart from the extra metrics
-    field. Default off. *)
+    field. Default off.
+
+    With [~coalesce:true] a source event keeps absorbing {e consecutive
+    same-relation, same-kind} updates of its source past [batch_size]:
+    the whole update-class run executes as one atomic batch and ships as
+    a single [Batch_note], feeding the compiled [apply_batch] path at
+    the warehouse and cutting the notification count on a hot edge.
+    Default off — and off is byte-identical to the historical engine.
+
+    With [~shard] the warehouse fans the independent per-view work of
+    each event across the given domain pool (see {!Warehouse.create});
+    results are deterministic at any worker count. The pool is borrowed,
+    not owned — the caller shuts it down.
+
+    With [~track_scale:true] the run additionally reports
+    [result.metrics.scale]: peak per-edge inflight, coalescing counters
+    and the peak active-edge count — the observables of the scale-out
+    machinery. Off by default so reports stay byte-identical. *)

@@ -11,6 +11,8 @@ type policy = Scheduler.policy =
   | Round_robin
   | Random of int
   | Explicit of Scheduler.action list
+  | Bounded_inflight of int
+  | Weighted_fair of int
   | Drain_first
   | Updates_first
 
@@ -32,8 +34,8 @@ type result = {
    stream ([fault_seed + 2i] — a network pair consumes two seeds). *)
 let run ?(policy = Drain_first) ?allow_cross_source ?rv_period ?batch_size
     ?fault ?(fault_seed = 0) ?reliable ?retransmit_timeout ?max_steps ?oracle
-    ?(observe = false) ?trace_out ?share_deltas ~creator ~sources ~views
-    ~updates () =
+    ?(observe = false) ?trace_out ?share_deltas ?coalesce ?shard ?track_scale
+    ~creator ~sources ~views ~updates () =
   let sites =
     List.mapi
       (fun i (name, catalog, db) ->
@@ -47,7 +49,8 @@ let run ?(policy = Drain_first) ?allow_cross_source ?rv_period ?batch_size
   in
   match
     Engine.run ~schedule:policy ?rv_period ?batch_size ?allow_cross_source
-      ?max_steps ?oracle ?observe:collector ?share_deltas ~creator ~sites
+      ?max_steps ?oracle ?observe:collector ?share_deltas ?coalesce ?shard
+      ?track_scale ~creator ~sites
       ~views:(List.map R.Viewdef.simple views)
       ~updates ()
   with

@@ -33,6 +33,13 @@ type policy = Scheduler.policy =
   | Round_robin
   | Random of int  (** uniform among enabled events, seeded *)
   | Explicit of Scheduler.action list
+  | Bounded_inflight of int
+      (** backpressure: apply updates only while their edge carries
+          fewer than this many undelivered messages; drain the heaviest
+          edges otherwise (see {!Scheduler.policy}) *)
+  | Weighted_fair of int
+      (** starvation-free deficit rotation over the sites with this
+          per-visit quantum (see {!Scheduler.policy}) *)
   | Drain_first
       (** deprecated alias of [Best_case]: deliver and answer everything
           in flight before the next update *)
@@ -70,6 +77,9 @@ val run :
   ?observe:bool ->
   ?trace_out:string ->
   ?share_deltas:bool ->
+  ?coalesce:bool ->
+  ?shard:Parallel.Pool.t ->
+  ?track_scale:bool ->
   creator:Algorithm.creator ->
   sources:(string * Storage.Catalog.t option * R.Db.t) list ->
   views:R.View.t list ->
@@ -95,6 +105,13 @@ val run :
     [metrics.observe]); [trace_out] exports the collected events as JSONL
     to the given path and implies [observe]. Off by default, in which
     case output is byte-identical to an unobserved run.
+
+    [~coalesce:true] additionally merges consecutive same-relation,
+    same-kind updates of one source into a single batched notification
+    past [batch_size]; [~shard] fans the warehouse's per-view work over
+    the given domain pool (deterministic at any worker count);
+    [~track_scale:true] reports the scale-out counters in
+    [metrics.scale]. All off by default — see {!Engine.run}.
 
     @raise Federation_error when a relation is owned by two sources, a
     view spans several sources, or an update targets an unowned

@@ -105,9 +105,18 @@ let shared (s : Metrics.shared) =
       ("fanout", string_of_int s.Metrics.shared_fanout);
     ]
 
-(* The "observe" and "shared" fields appear only on runs that enabled
-   them, so default exports — the golden traces among them — stay
-   byte-identical. *)
+let scale (s : Metrics.scale) =
+  obj
+    [
+      ("inflight_max", string_of_int s.Metrics.inflight_max);
+      ("coalesced_notes", string_of_int s.Metrics.coalesced_notes);
+      ("coalesced_batches", string_of_int s.Metrics.coalesced_batches);
+      ("active_max", string_of_int s.Metrics.active_max);
+    ]
+
+(* The "observe", "shared" and "scale" fields appear only on runs that
+   enabled them, so default exports — the golden traces among them —
+   stay byte-identical. *)
 let metrics (m : Metrics.t) =
   obj
     ([
@@ -124,6 +133,9 @@ let metrics (m : Metrics.t) =
     @ (match m.Metrics.shared with
       | None -> []
       | Some s -> [ ("shared", shared s) ])
+    @ (match m.Metrics.scale with
+      | None -> []
+      | Some s -> [ ("scale", scale s) ])
     @ match m.Metrics.observe with
       | None -> []
       | Some o -> [ ("observe", observe o) ])

@@ -21,6 +21,10 @@ val shared : Metrics.shared -> string
 (** Shared-delta counters. [metrics] appends them as a ["shared"] field
     only when the run enabled MQO sharing. *)
 
+val scale : Metrics.scale -> string
+(** Scale-out counters. [metrics] appends them as a ["scale"] field only
+    when the run enabled tracking them. *)
+
 val observe : Metrics.observe -> string
 (** The derived observability summary. [metrics] appends it as an
     ["observe"] field only when the run collected spans, so unobserved

@@ -162,6 +162,10 @@ let instance cfg =
   let t = create cfg in
   {
     Algorithm.name = "lca";
+    (* LCA's event clock ticks on *every* update (foreign ones advance
+       [updates_seen] and open an empty delta slot), so no update may be
+       skipped: interest is everything. *)
+    interest = None;
     on_update = on_update t;
     on_batch = on_batch t;
     on_answer = (fun ~id a -> on_answer t ~id a);

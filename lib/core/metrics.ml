@@ -101,6 +101,16 @@ type shared = {
   shared_fanout : int;  (* answer deliveries through shared gids *)
 }
 
+(* Scale-out counters — present only when a run asked to track them
+   ([Engine.run ~track_scale:true]), so default output stays
+   byte-identical. *)
+type scale = {
+  inflight_max : int;  (* peak undelivered frames on any one edge *)
+  coalesced_notes : int;  (* update notes that shipped as part of a batch *)
+  coalesced_batches : int;  (* batch notes produced by coalescing *)
+  active_max : int;  (* peak simultaneously non-idle edges *)
+}
+
 type t = {
   updates : int;
   queries_sent : int;
@@ -114,6 +124,7 @@ type t = {
   site_delivery : (string * delivery) list;
   observe : observe option;
   shared : shared option;
+  scale : scale option;
 }
 
 let no_delivery =
@@ -145,6 +156,7 @@ let zero =
     site_delivery = [];
     observe = None;
     shared = None;
+    scale = None;
   }
 
 (* Component-wise sum of two edges' counters; [latency_max] is a maximum,
@@ -245,6 +257,12 @@ let pp ppf t =
     Format.fprintf ppf
       "@.shared: evaluated=%d hits=%d fanout=%d" s.shared_evaluated
       s.shared_hits s.shared_fanout);
+  (match t.scale with
+  | None -> ()
+  | Some s ->
+    Format.fprintf ppf
+      "@.scale: inflight_max=%d coalesced=%d notes/%d batches active_max=%d"
+      s.inflight_max s.coalesced_notes s.coalesced_batches s.active_max);
   match t.observe with
   | None -> ()
   | Some o -> Format.fprintf ppf "@.observe: %a" pp_observe o

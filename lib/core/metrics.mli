@@ -84,6 +84,20 @@ type shared = {
       (** answer deliveries made through multi-subscriber gids *)
 }
 
+(** Scale-out counters (DESIGN.md §4i). *)
+type scale = {
+  inflight_max : int;
+      (** peak undelivered wire frames observed on any single edge —
+          what the {!Scheduler.policy.Bounded_inflight} bound caps *)
+  coalesced_notes : int;
+      (** update notifications that travelled inside a coalesced batch
+          instead of as their own wire message *)
+  coalesced_batches : int;  (** batch notes produced by coalescing *)
+  active_max : int;
+      (** peak number of simultaneously non-idle edges — the [active] of
+          the O(active) event loop; far below N on sparse workloads *)
+}
+
 type t = {
   updates : int;  (** source updates executed *)
   queries_sent : int;  (** query messages, warehouse → source *)
@@ -106,6 +120,9 @@ type t = {
   shared : shared option;
       (** shared-delta counters; [None] (the default) when the run did
           not enable MQO sharing, keeping output byte-identical *)
+  scale : scale option;
+      (** scale-out counters; [None] (the default) unless the run asked
+          to track them, keeping output byte-identical *)
 }
 
 val zero : t

@@ -44,8 +44,8 @@ let export_trace ~trace_out collector =
 let run_defs ?catalog ?(schedule = Scheduler.Best_case) ?(rv_period = 1)
     ?(batch_size = 1) ?local_literal_eval ?unordered_delivery ?fault
     ?fault_seed ?(reliable = false) ?retransmit_timeout ?max_steps ?oracle
-    ?(observe = false) ?trace_out ?share_deltas ~creator ~views ~db ~updates
-    () =
+    ?(observe = false) ?trace_out ?share_deltas ?coalesce ?shard ?track_scale
+    ~creator ~views ~db ~updates () =
   (* [unordered_delivery] predates fault profiles and survives as sugar
      for the reorder-only profile it used to hard-code. *)
   let fault_profile, net_seed =
@@ -66,8 +66,8 @@ let run_defs ?catalog ?(schedule = Scheduler.Best_case) ?(rv_period = 1)
   let collector = collector_of ~observe ~trace_out in
   match
     Engine.run ~schedule ~rv_period ~batch_size ?local_literal_eval ?max_steps
-      ?oracle ?observe:collector ?share_deltas ~creator ~sites ~views ~updates
-      ()
+      ?oracle ?observe:collector ?share_deltas ?coalesce ?shard ?track_scale
+      ~creator ~sites ~views ~updates ()
   with
   | r ->
     export_trace ~trace_out collector;
@@ -84,11 +84,12 @@ let run_defs ?catalog ?(schedule = Scheduler.Best_case) ?(rv_period = 1)
 
 let run ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
-    ?max_steps ?oracle ?observe ?trace_out ?share_deltas ~creator ~views ~db
-    ~updates () =
+    ?max_steps ?oracle ?observe ?trace_out ?share_deltas ?coalesce ?shard
+    ?track_scale ~creator ~views ~db ~updates () =
   run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
-    ?max_steps ?oracle ?observe ?trace_out ?share_deltas ~creator
+    ?max_steps ?oracle ?observe ?trace_out ?share_deltas ?coalesce ?shard
+    ?track_scale ~creator
     ~views:(List.map R.Viewdef.simple views)
     ~db ~updates ()
 
@@ -97,8 +98,8 @@ let run ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
    the per-view choice is total and checked up front. *)
 let run_mixed ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
-    ?max_steps ?oracle ?observe ?trace_out ?share_deltas ~assignments ~db
-    ~updates () =
+    ?max_steps ?oracle ?observe ?trace_out ?share_deltas ?coalesce ?shard
+    ?track_scale ~assignments ~db ~updates () =
   let creator (cfg : Algorithm.Config.t) =
     let name = cfg.Algorithm.Config.view.R.Viewdef.name in
     match
@@ -111,7 +112,8 @@ let run_mixed ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
   in
   run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
-    ?max_steps ?oracle ?observe ?trace_out ?share_deltas ~creator
+    ?max_steps ?oracle ?observe ?trace_out ?share_deltas ?coalesce ?shard
+    ?track_scale ~creator
     ~views:(List.map fst assignments)
     ~db ~updates ()
 
@@ -120,12 +122,12 @@ let run_mixed ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
    is the multi-view warehouse entry point. *)
 let run_catalog ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
-    ?max_steps ?oracle ?observe ?trace_out ?(share_deltas = true) ~entries ~db
-    ~updates () =
+    ?max_steps ?oracle ?observe ?trace_out ?(share_deltas = true) ?coalesce
+    ?shard ?track_scale ~entries ~db ~updates () =
   match Catalog.creator entries with
   | creator ->
     run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
       ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
-      ?max_steps ?oracle ?observe ?trace_out ~share_deltas ~creator
-      ~views:(Catalog.views entries) ~db ~updates ()
+      ?max_steps ?oracle ?observe ?trace_out ~share_deltas ?coalesce ?shard
+      ?track_scale ~creator ~views:(Catalog.views entries) ~db ~updates ()
   | exception Catalog.Catalog_error msg -> raise (Run_error msg)

@@ -58,6 +58,9 @@ val run :
   ?observe:bool ->
   ?trace_out:string ->
   ?share_deltas:bool ->
+  ?coalesce:bool ->
+  ?shard:Parallel.Pool.t ->
+  ?track_scale:bool ->
   creator:Algorithm.creator ->
   views:R.View.t list ->
   db:R.Db.t ->
@@ -81,6 +84,9 @@ val run_defs :
   ?observe:bool ->
   ?trace_out:string ->
   ?share_deltas:bool ->
+  ?coalesce:bool ->
+  ?shard:Parallel.Pool.t ->
+  ?track_scale:bool ->
   creator:Algorithm.creator ->
   views:R.Viewdef.t list ->
   db:R.Db.t ->
@@ -133,6 +139,9 @@ val run_mixed :
   ?observe:bool ->
   ?trace_out:string ->
   ?share_deltas:bool ->
+  ?coalesce:bool ->
+  ?shard:Parallel.Pool.t ->
+  ?track_scale:bool ->
   assignments:(R.Viewdef.t * Algorithm.creator) list ->
   db:R.Db.t ->
   updates:R.Update.t list ->
@@ -163,6 +172,9 @@ val run_catalog :
   ?observe:bool ->
   ?trace_out:string ->
   ?share_deltas:bool ->
+  ?coalesce:bool ->
+  ?shard:Parallel.Pool.t ->
+  ?track_scale:bool ->
   entries:Catalog.entry list ->
   db:R.Db.t ->
   updates:R.Update.t list ->

@@ -65,6 +65,9 @@ let instance cfg =
   let t = create cfg in
   {
     Algorithm.name = "rv";
+    (* on_update counts only updates the view mentions (the [mentions]
+       guard above), so foreign updates are a stateless no-op. *)
+    interest = Some (R.Viewdef.relation_names cfg.Algorithm.Config.view);
     on_update = on_update t;
     on_batch = (fun us -> Algorithm.sequential_batch (on_update t) us);
     on_answer = (fun ~id a -> on_answer t ~id a);

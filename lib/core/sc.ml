@@ -97,6 +97,12 @@ let instance cfg =
   let t = create cfg in
   {
     Algorithm.name = "sc";
+    (* SC replays every update into its replica, so its interest is the
+       replica's schema — not just the view's relations (a non-view
+       relation of the same source still has to reach the replica). An
+       update outside the schema would make [Db.apply] fail; declaring
+       the schema keeps such updates from ever being dispatched here. *)
+    interest = Some (R.Db.relation_names t.replica);
     on_update = on_update t;
     on_batch = (fun us -> on_batch t us);
     on_answer = (fun ~id a -> on_answer t ~id a);

@@ -17,6 +17,12 @@
     is the [N = 1] specialization and is implemented as exactly that, so
     the two entry points cannot drift apart.
 
+    Scheduling state is held in ready {i sets}, not N-wide arrays: the
+    engine marks edges ready/unready as sends, receives and transport
+    ticks happen, and every pick costs O(active edges), not O(N) — the
+    property that lets one event loop drive hundreds of sources. The
+    array-based {!pick_multi} remains as a compatibility wrapper.
+
     FIFO channel order is preserved per edge regardless of the policy,
     matching the paper's delivery assumptions. *)
 
@@ -65,12 +71,79 @@ type policy =
           site where it is enabled; raises {!Schedule_error} on a
           disabled action, and falls back to [Best_case] when
           exhausted *)
+  | Bounded_inflight of int
+      (** backpressure: apply the next update only while its edge
+          carries fewer than this many undelivered messages; past the
+          bound, drain the heaviest-loaded ready edges (warehouse end
+          first) until the update's edge falls back under it. The bound
+          must be >= 1 ({!Schedule_error} otherwise). Needs the caller
+          to maintain {!Ready.set_load} and {!Ready.set_update_site};
+          with all-zero loads it degenerates to an update-eager drain
+          order. *)
+  | Weighted_fair of int
+      (** starvation-free deficit rotation with this quantum (>= 1,
+          {!Schedule_error} otherwise): each visit to a site serves up
+          to [min quantum (1 + load)] consecutive receive events
+          (warehouse end before source end) and then moves on, with the
+          update stream as its own slot in the rotation — a hot edge
+          drains proportionally to its backlog, yet any ready event is
+          served within [1 + (N-1) * quantum] picks of becoming
+          ready. *)
   | Drain_first
       (** deprecated federation alias of [Best_case] — deliver and
           answer everything in flight before the next update *)
   | Updates_first
       (** deprecated federation alias of [Worst_case] — push every
           update into the system before answering queries *)
+
+module Iset : Set.S with type elt = int
+
+(** Incrementally maintained enabled-event state of a site graph. The
+    engine owns one and adjusts it edge by edge ({!Ready.set_source},
+    {!Ready.set_warehouse}, {!Ready.set_update}) as messages move, so a
+    {!pick_ready} never scans the site array. [loads] carries the
+    per-edge in-flight message counts consumed by {!policy.Bounded_inflight}
+    and {!policy.Weighted_fair}; callers that do not maintain it leave
+    it at 0 and those policies degrade gracefully. *)
+module Ready : sig
+  type t
+
+  val create : int -> t
+  (** [create n] — state for [n] sites, nothing ready, all loads 0.
+      Raises {!Schedule_error} when [n < 1]. *)
+
+  val sites : t -> int
+
+  val set_update : t -> bool -> unit
+  (** Whether the next workload update is ready to apply. *)
+
+  val set_update_site : t -> int -> unit
+  (** The owning site of the next pending update ([-1] = unknown); only
+      {!policy.Bounded_inflight} reads it. *)
+
+  val set_source : t -> int -> bool -> unit
+  (** [set_source t i ready] — source [i] has (or no longer has) a
+      deliverable query on its channel end. *)
+
+  val set_warehouse : t -> int -> bool -> unit
+
+  val set_load : t -> int -> int -> unit
+  (** [set_load t i l] — edge [i] currently carries [l] undelivered
+      messages (both directions). *)
+
+  val load : t -> int -> int
+
+  val update_ready : t -> bool
+
+  val idle : t -> bool
+  (** No event is enabled (ticking the transport may enable some). *)
+
+  val enabled_count : t -> int
+
+  val of_multi : multi -> t
+  (** One O(N) conversion from materialized readiness arrays; loads 0,
+      update site unknown. *)
+end
 
 type t
 
@@ -82,7 +155,15 @@ val pick : t -> enabled -> action option
 
 val pick_multi : t -> multi -> event option
 (** The next event over the site graph, or [None] when nothing is
-    enabled. *)
+    enabled. Compatibility wrapper: converts to a {!Ready.t} (O(N)) and
+    delegates to {!pick_ready}; behavior — including the RNG draw
+    sequence of [Random] and the rotation of [Round_robin] — is
+    identical. *)
+
+val pick_ready : t -> Ready.t -> event option
+(** The next event over incrementally maintained ready state, or [None]
+    when nothing is enabled; O(active) per pick. The caller keeps the
+    same [Ready.t] across picks and adjusts it as the graph evolves. *)
 
 val action_name : action -> string
 val enabled_list : enabled -> action list

@@ -28,6 +28,10 @@ let wrap mode (inner : Algorithm.instance) =
     {
       inner with
       Algorithm.name = Printf.sprintf "%s@every-%d" inner.Algorithm.name n;
+      (* The buffer counts every update toward the flush threshold, so
+         the wrapper must see all of them even when the inner algorithm
+         would skip some: interest widens to everything. *)
+      interest = None;
       on_update = (fun u -> push [ u ]);
       on_batch = push;
       on_quiesce =
@@ -47,6 +51,9 @@ let wrap mode (inner : Algorithm.instance) =
     {
       inner with
       Algorithm.name = inner.Algorithm.name ^ "@deferred";
+      (* Deferred buffering observes the whole stream; do not inherit
+         the inner instance's narrower interest. *)
+      interest = None;
       on_update =
         (fun u ->
           buffer := u :: !buffer;

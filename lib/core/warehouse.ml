@@ -19,6 +19,12 @@ type t = {
   routes : (int, (int * int) list) Hashtbl.t;
       (* gid -> subscribers [(instance idx, local id)], owner first *)
   share : bool;
+  pool : Parallel.Pool.t option;
+      (* shard independent per-instance event handlers across domains *)
+  by_rel : (string, int list) Hashtbl.t;
+      (* relation -> interested instance indices, ascending; instances
+         with [interest = None] live in [all_notes] instead *)
+  all_notes : int list;  (* indices reacting to every update, ascending *)
   mutable next_gid : int;
   mutable installs_log : (string * R.Bag.t) list;  (* newest first *)
   mutable anomalies : string list;  (* misrouted messages, newest first *)
@@ -35,12 +41,40 @@ type reaction = {
 
 let no_reaction = { queries = []; installs = [] }
 
-let create ?(share = false) pairs =
+let create ?(share = false) ?pool pairs =
+  let hosted =
+    Array.of_list (List.map (fun (view, inst) -> { view; inst }) pairs)
+  in
+  (* Update-note dispatch index, built once: relation -> interested
+     instances (an instance's [interest] is its promise that foreign
+     updates are stateless no-ops). Indices are kept ascending so a
+     dispatch visits instances in host order, exactly as the historical
+     full fan-out did. *)
+  let by_rel = Hashtbl.create 64 in
+  let all_notes = ref [] in
+  Array.iteri
+    (fun idx h ->
+      match h.inst.Algorithm.interest with
+      | None -> all_notes := idx :: !all_notes
+      | Some rels ->
+        List.iter
+          (fun rel ->
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt by_rel rel)
+            in
+            if not (List.mem idx prev) then
+              Hashtbl.replace by_rel rel (idx :: prev))
+          rels)
+    hosted;
+  Hashtbl.iter (fun rel idxs -> Hashtbl.replace by_rel rel (List.rev idxs))
+    (Hashtbl.copy by_rel);
   {
-    hosted =
-      Array.of_list (List.map (fun (view, inst) -> { view; inst }) pairs);
+    hosted;
     routes = Hashtbl.create 64;
     share;
+    pool;
+    by_rel;
+    all_notes = List.rev !all_notes;
     next_gid = 0;
     installs_log = [];
     anomalies = [];
@@ -49,8 +83,8 @@ let create ?(share = false) pairs =
     shared_fanout = 0;
   }
 
-let of_creator ?share ~creator ~configs () =
-  create ?share
+let of_creator ?share ?pool ~creator ~configs () =
+  create ?share ?pool
     (List.map (fun cfg -> (cfg.Algorithm.Config.view, creator cfg)) configs)
 
 let views t =
@@ -169,23 +203,53 @@ let merge a b = { queries = a.queries @ b.queries; installs = a.installs @ b.ins
 let fresh_event t : event_table option =
   if t.share then Some (Hashtbl.create 16) else None
 
-let handle_update t u =
+(* Sorted (ascending) merge of two dispatch index lists. *)
+let rec merge_idx a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | x :: a', y :: b' ->
+    if x < y then x :: merge_idx a' b
+    else if y < x then y :: merge_idx a b'
+    else x :: merge_idx a' b'
+
+let interested t rel =
+  Option.value ~default:[] (Hashtbl.find_opt t.by_rel rel)
+
+let update_targets t (u : R.Update.t) =
+  merge_idx t.all_notes (interested t u.R.Update.rel)
+
+let batch_targets t us =
+  (* union of the per-relation interest sets over the batch's distinct
+     relations, plus the interest-everything instances *)
+  List.fold_left
+    (fun acc (u : R.Update.t) -> merge_idx acc (interested t u.R.Update.rel))
+    t.all_notes us
+
+(* Run one event handler per target instance and fold the reactions in
+   host order. With a pool, the per-instance handlers — each touching
+   only its own closure state — run on worker domains; the [lift] fold
+   stays sequential, so gid assignment, the shared-delta event table and
+   the install log see outcomes in exactly the sequential order and the
+   result is deterministic at any worker count. *)
+let react t targets f =
   let event = fresh_event t in
-  let r = ref no_reaction in
-  Array.iteri
-    (fun idx h ->
-      r := merge !r (lift ?event t idx (h.inst.Algorithm.on_update u)))
-    t.hosted;
-  !r
+  let outcomes =
+    match t.pool with
+    | Some pool when List.compare_length_with targets 1 > 0 ->
+      Array.to_list (Parallel.Pool.map pool f (Array.of_list targets))
+    | _ -> List.map f targets
+  in
+  List.fold_left2
+    (fun acc idx o -> merge acc (lift ?event t idx o))
+    no_reaction targets outcomes
+
+let handle_update t u =
+  react t (update_targets t u)
+    (fun idx -> t.hosted.(idx).inst.Algorithm.on_update u)
 
 let handle_batch t us =
-  let event = fresh_event t in
-  let r = ref no_reaction in
-  Array.iteri
-    (fun idx h ->
-      r := merge !r (lift ?event t idx (h.inst.Algorithm.on_batch us)))
-    t.hosted;
-  !r
+  react t (batch_targets t us)
+    (fun idx -> t.hosted.(idx).inst.Algorithm.on_batch us)
 
 (* Fan one answer out to every subscriber, owner first. The answer is
    correct for all of them: subscription required structural equality at
@@ -234,12 +298,7 @@ let handle_message t msg =
 let anomalies t = List.rev t.anomalies
 
 let quiesce t =
-  let event = fresh_event t in
-  let r = ref no_reaction in
-  Array.iteri
-    (fun idx h ->
-      r := merge !r (lift ?event t idx (h.inst.Algorithm.on_quiesce ())))
-    t.hosted;
-  !r
+  let all = List.init (Array.length t.hosted) Fun.id in
+  react t all (fun idx -> t.hosted.(idx).inst.Algorithm.on_quiesce ())
 
 let install_history t = List.rev t.installs_log

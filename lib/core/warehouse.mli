@@ -20,7 +20,11 @@ type reaction = {
 
 val no_reaction : reaction
 
-val create : ?share:bool -> (R.Viewdef.t * Algorithm.instance) list -> t
+val create :
+  ?share:bool ->
+  ?pool:Parallel.Pool.t ->
+  (R.Viewdef.t * Algorithm.instance) list ->
+  t
 (** With [~share:true] the warehouse runs shared-delta (MQO)
     maintenance: within one atomic event, structurally equal queries
     produced by {e distinct} hosted instances (matched by
@@ -29,10 +33,20 @@ val create : ?share:bool -> (R.Viewdef.t * Algorithm.instance) list -> t
     never spans events (the source state may change between events) and
     never merges two queries of one instance, so each view's lifecycle —
     and in particular a catalog of one view — is exactly the unshared
-    one. Default off. *)
+    one. Default off.
+
+    With [~pool] the independent per-instance event handlers of one
+    warehouse event are sharded across the pool's domains; query-gid
+    assignment, the shared-delta table and the install log are folded
+    sequentially in host order afterwards, so the reaction is
+    byte-identical at any worker count. Dispatch also consults each
+    instance's {!Algorithm.instance.interest}: updates fan out only to
+    the instances whose relations they touch, O(interested) rather than
+    O(views). *)
 
 val of_creator :
   ?share:bool ->
+  ?pool:Parallel.Pool.t ->
   creator:Algorithm.creator ->
   configs:Algorithm.Config.t list ->
   unit ->

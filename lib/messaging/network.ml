@@ -60,6 +60,8 @@ let idle t =
 
 let quiescent = idle
 
+let load t = Channel.pending t.to_warehouse + Channel.pending t.to_source
+
 let reliability t =
   match t.transport with
   | Direct -> None

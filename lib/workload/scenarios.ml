@@ -13,6 +13,14 @@ let example6_view () =
     ~proj:[ R.Attr.qualified "r1" "W"; R.Attr.qualified "r3" "Z" ]
     Generator.chain_schemas
 
+(* Declared before [setup] so that the shared [updates] field name keeps
+   resolving to [setup] in unannotated client code (latest wins). *)
+type scaled = {
+  sources : (string * Storage.Catalog.t option * R.Db.t) list;
+  views : R.View.t list;
+  updates : R.Update.t list;
+}
+
 type setup = {
   db : R.Db.t;
   view : R.View.t;
@@ -58,6 +66,116 @@ let fault_profiles =
   ]
 
 let chaos_profile = List.assoc "chaos" fault_profiles
+
+(* --- The N-source scaling scenario -------------------------------------
+
+   One keyed two-relation schema per source — s{i}_r1(W KEY, X) ⋈
+   s{i}_r2(X, Y KEY) — and a per-source view v{i} = π_{W,Y} of the join,
+   so the whole rung ladder up to ECAK/ECAL applies at every site. The
+   update stream interleaves the sources by a Zipf draw over the source
+   index: skew 0 is uniform, higher skews concentrate traffic on source 0
+   — the "hot" edge the backpressure and coalescing experiments need.
+   Everything is deterministic from [seed]; the per-source initial
+   databases draw from streams seeded [(seed, i)] so adding sources never
+   perturbs existing ones. *)
+
+let scaled_r1 i =
+  R.Schema.of_names ~key:[ "W" ] (Printf.sprintf "s%d_r1" i) [ "W"; "X" ]
+
+let scaled_r2 i =
+  R.Schema.of_names ~key:[ "Y" ] (Printf.sprintf "s%d_r2" i) [ "X"; "Y" ]
+
+let scaled_view i =
+  let r1 = scaled_r1 i and r2 = scaled_r2 i in
+  R.View.natural_join
+    ~name:(Printf.sprintf "v%d" i)
+    ~proj:
+      [
+        R.Attr.qualified r1.R.Schema.name "W";
+        R.Attr.qualified r2.R.Schema.name "Y";
+      ]
+    [ r1; r2 ]
+
+let scaled_db ~c ~dom ~seed i =
+  let st = Random.State.make [| seed; i |] in
+  let db =
+    List.fold_left
+      (fun db s -> R.Db.add_relation db s)
+      R.Db.empty
+      [ scaled_r1 i; scaled_r2 i ]
+  in
+  let r1 = (scaled_r1 i).R.Schema.name and r2 = (scaled_r2 i).R.Schema.name in
+  let db = ref db in
+  for w = 0 to c - 1 do
+    db :=
+      R.Db.apply !db
+        (R.Update.insert r1 (R.Tuple.ints [ w; Random.State.int st dom ]))
+  done;
+  for y = 0 to c - 1 do
+    db :=
+      R.Db.apply !db
+        (R.Update.insert r2 (R.Tuple.ints [ Random.State.int st dom; y ]))
+  done;
+  !db
+
+let scaled ?(c = 8) ?(updates_per_source = 4) ?(insert_ratio = 0.75)
+    ?(skew = 0.0) ?(seed = 42) ~n () =
+  if n < 1 then invalid_arg "Scenarios.scaled: n must be at least 1";
+  if c < 1 then invalid_arg "Scenarios.scaled: c must be at least 1";
+  if updates_per_source < 0 then
+    invalid_arg "Scenarios.scaled: updates_per_source must be non-negative";
+  if insert_ratio < 0.0 || insert_ratio > 1.0 then
+    invalid_arg "Scenarios.scaled: insert_ratio must lie in [0, 1]";
+  if skew < 0.0 then invalid_arg "Scenarios.scaled: skew must be non-negative";
+  let dom = max 1 (c / 2) in
+  let dbs = Array.init n (scaled_db ~c ~dom ~seed) in
+  let sources =
+    List.init n (fun i -> (Printf.sprintf "s%d" i, None, dbs.(i)))
+  in
+  let views = List.init n scaled_view in
+  (* The interleaved update stream: each step draws its source by the
+     Zipf, its relation uniformly, and inserts fresh keys / deletes
+     existing tuples exactly like the single-source keyed workload. *)
+  let st = Random.State.make [| seed + 1; n |] in
+  let next_w = Array.make n c and next_y = Array.make n c in
+  let fresh_insert i rel_is_r1 =
+    if rel_is_r1 then begin
+      let w = next_w.(i) in
+      next_w.(i) <- w + 1;
+      R.Update.insert (scaled_r1 i).R.Schema.name
+        (R.Tuple.ints [ w; Random.State.int st dom ])
+    end
+    else begin
+      let y = next_y.(i) in
+      next_y.(i) <- y + 1;
+      R.Update.insert (scaled_r2 i).R.Schema.name
+        (R.Tuple.ints [ Random.State.int st dom; y ])
+    end
+  in
+  let total = n * updates_per_source in
+  let rec go acc k =
+    if k >= total then List.rev acc
+    else begin
+      let i = Generator.zipf_below ~skew st n in
+      let rel_is_r1 = Random.State.int st 2 = 0 in
+      let rel =
+        if rel_is_r1 then (scaled_r1 i).R.Schema.name
+        else (scaled_r2 i).R.Schema.name
+      in
+      let is_insert = Random.State.float st 1.0 < insert_ratio in
+      let u =
+        if is_insert then fresh_insert i rel_is_r1
+        else
+          match Generator.pick_existing st dbs.(i) rel with
+          | Some t -> R.Update.delete rel t
+          | None -> fresh_insert i rel_is_r1
+      in
+      dbs.(i) <- R.Db.apply dbs.(i) u;
+      go (u :: acc) (k + 1)
+    end
+  in
+  let updates = go [] 0 in
+  { sources; views; updates }
 
 (* Physical configurations matching Appendix D's two extremes. *)
 let catalog_scenario1 ?(k_per_block = 20) () =

@@ -5,6 +5,16 @@
 
 module R := Relational
 
+type scaled = {
+  sources : (string * Storage.Catalog.t option * R.Db.t) list;
+      (** in {!Federation.run} source order: s0, s1, … *)
+  views : R.View.t list;  (** v{i} = π_{W,Y}(s{i}_r1 ⋈ s{i}_r2) *)
+  updates : R.Update.t list;  (** the interleaved global stream *)
+}
+(** An N-source federation workload for the scaling experiments.
+    Declared before {!setup} so the shared [updates] field name keeps
+    resolving to [setup] in unannotated client code. *)
+
 type setup = {
   db : R.Db.t;
   view : R.View.t;
@@ -27,6 +37,26 @@ val fault_profiles : (string * Messaging.Fault.profile) list
 
 val chaos_profile : Messaging.Fault.profile
 (** Loss + duplication + delay + reordering at once. *)
+
+val scaled :
+  ?c:int ->
+  ?updates_per_source:int ->
+  ?insert_ratio:float ->
+  ?skew:float ->
+  ?seed:int ->
+  n:int ->
+  unit ->
+  scaled
+(** [scaled ~n ()] builds [n] autonomous sources, each owning a keyed
+    two-relation schema s{i}_r1(W KEY, X), s{i}_r2(X, Y KEY) of [c]
+    tuples apiece, one ECAK/ECAL-eligible view per source, and a global
+    stream of [n * updates_per_source] updates whose source index is
+    drawn Zipf([skew]) — [skew = 0] spreads the stream uniformly, higher
+    values concentrate it on source 0, the hot edge. Inserts allocate
+    fresh key values, deletes pick existing tuples of the evolving
+    state. Deterministic from [seed]; per-source databases use
+    independent streams so growing [n] never changes existing sources'
+    contents. *)
 
 val catalog_scenario1 : ?k_per_block:int -> unit -> Storage.Catalog.t
 (** Indexed, ample memory; the exact Example-6 index set. *)

@@ -31,10 +31,13 @@ mkdir "$tmp/seq" "$tmp/par"
 # Keep the observe and throughput objects and the runs array (schema v6
 # puts "observe" then "throughput" just above "runs"); zero out the
 # per-run wall clocks, the observe overhead ratio and the throughput
-# rates — all timing noise.
+# rates — all timing noise. The second wall-clock sed catches the
+# scaling section's flat gate fields (n10_wall_clock_s and friends,
+# schema v8), which the quoted "wall_clock_s" pattern cannot reach.
 normalize() {
   sed -n '/"observe": {/,$p' "$1" \
     | sed 's/"wall_clock_s": [0-9.eE+-]*/"wall_clock_s": 0/' \
+    | sed 's/_wall_clock_s": [0-9.eE+-]*/_wall_clock_s": 0/' \
     | sed 's/"overhead_x": [0-9.eE+-]*/"overhead_x": 0/' \
     | sed 's/"updates_per_s": [0-9.eE+-]*/"updates_per_s": 0/' \
     | sed 's/"interpreted_updates_per_s": [0-9.eE+-]*/"interpreted_updates_per_s": 0/' \
@@ -108,6 +111,25 @@ if ! grep -q '"catalog": {' "$tmp/seq/BENCH_results.json"; then
 fi
 if ! grep -q '"shared_off_identical": true' "$tmp/seq/BENCH_results.json"; then
   echo "check_determinism: FAIL — shared-delta maintenance changed a view state" >&2
+  exit 1
+fi
+
+# The scaling section (schema v8) must be present and PAR-invariant —
+# its cells run with the warehouse sharded over the pool, so it is the
+# section that would diverge first if Pool.map stopped behaving like a
+# sequential map. Its two correctness flags are asserted here too:
+# coalescing must not have changed a view's final state, and the
+# observed 10-view cell must report staleness 0 at every quiescence.
+if ! grep -q '"scaling": {' "$tmp/seq/BENCH_results.json"; then
+  echo "check_determinism: FAIL — scaling section missing from bench output" >&2
+  exit 1
+fi
+if ! grep -q '"coalesce_states_identical": true' "$tmp/seq/BENCH_results.json"; then
+  echo "check_determinism: FAIL — per-edge coalescing changed a view state" >&2
+  exit 1
+fi
+if ! grep -q '"scale_stale_quiesce_max": 0' "$tmp/seq/BENCH_results.json"; then
+  echo "check_determinism: FAIL — an ECA view was stale at quiescence in the scaling cell" >&2
   exit 1
 fi
 

@@ -4,7 +4,7 @@
 # Usage: perf_guard.sh BASELINE_JSON CURRENT_JSON
 #
 # Compares the "sum_run_wall_clock_s" field of two BENCH_results.json
-# files (schema 6, see EXPERIMENTS.md) and fails when the current run is
+# files (schema 8, see EXPERIMENTS.md) and fails when the current run is
 # more than 2x slower than the committed baseline. Also checks the
 # observability ablation's spans-on/spans-off ratio against the same 2x
 # guard when the current file carries one (schema >= 5), and gates the
@@ -14,7 +14,12 @@
 # fall below half the committed baseline's. Schema >= 7 adds the
 # multi-view catalog gate: the "catalog" object must be present and its
 # shared-delta (MQO) maintenance must actually save queries somewhere
-# (best cell's shared_saved > 0). The summed per-run
+# (best cell's shared_saved > 0). Schema >= 8 adds the scaling gates:
+# the "scaling" object must be present, the 100-source cell must run
+# within 5x the 10-source cell on the same total update count (the
+# O(active) event-loop gate — the historical O(N)-per-step readiness
+# rebuild pays ~10x there), and per-edge coalescing must ship strictly
+# fewer wire frames than the uncoalesced baseline. The summed per-run
 # wall clock is compared — not the process total — because it measures
 # the work done and is invariant under the PAR worker count, whereas
 # total_wall_clock_s shrinks with parallel fan-out. Machine noise on
@@ -145,5 +150,53 @@ if [ "$schema_current" -ge 7 ]; then
       exit 1;
     }
     printf "perf_guard: catalog OK\n";
+  }'
+fi
+
+# Scaling gates (schema >= 8). The "scaling" object must be present —
+# a schema-8 file without one means the N-source matrix silently stopped
+# running. Its two perf claims are then gated directly:
+#   - O(active): the n=100 gate cell processes the same 200-update
+#     stream as the n=10 cell, so with per-step cost off N the wall
+#     ratio sits near 1x; the old O(N)-per-step readiness rebuild pays
+#     ~10x. Gated at 5x (both cells are best-of-3, but CI noise is real).
+#   - Coalescing: strictly fewer wire frames than the uncoalesced run
+#     of the identical hot stream.
+if [ "$schema_current" -ge 8 ]; then
+  if ! grep -q '"scaling": {' "$current_file"; then
+    echo "perf_guard: schema $schema_current output carries no" \
+      "\"scaling\" object — the N-source matrix is missing." >&2
+    echo "perf_guard: regenerate with the current bench" \
+      "(dune exec bench/main.exe -- quick) and re-run." >&2
+    exit 2
+  fi
+  n10=$(extract "$current_file" n10_wall_clock_s)
+  n100=$(extract "$current_file" n100_wall_clock_s)
+  if [ -z "$n10" ] || [ -z "$n100" ]; then
+    echo "perf_guard: scaling object carries no n10/n100 wall-clock gate cells" >&2
+    exit 2
+  fi
+  awk -v a="$n10" -v b="$n100" 'BEGIN {
+    ratio = b / a;
+    printf "perf_guard: 200 updates over 100 sources cost %.2fx the 10-source run\n", ratio;
+    if (ratio > 5.0) {
+      printf "perf_guard: FAIL — per-step cost grows with N (O(active) loop regressed)\n";
+      exit 1;
+    }
+    printf "perf_guard: O(active) OK\n";
+  }'
+  c_off=$(extract "$current_file" coalesce_off_wire_messages)
+  c_on=$(extract "$current_file" coalesce_on_wire_messages)
+  if [ -z "$c_off" ] || [ -z "$c_on" ]; then
+    echo "perf_guard: scaling object carries no coalescing wire counts" >&2
+    exit 2
+  fi
+  awk -v off="$c_off" -v on="$c_on" 'BEGIN {
+    printf "perf_guard: coalescing shipped %d wire frames vs %d uncoalesced\n", on, off;
+    if (on >= off) {
+      printf "perf_guard: FAIL — per-edge coalescing no longer reduces shipped frames\n";
+      exit 1;
+    }
+    printf "perf_guard: coalescing OK\n";
   }'
 fi

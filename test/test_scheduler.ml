@@ -110,9 +110,93 @@ let enabled_list_contents () =
   check_int "empty when nothing enabled" 0
     (List.length (S.enabled_list none_enabled))
 
+(* --- the ready-set path ------------------------------------------------ *)
+
+(* pick_ready over incrementally maintained state must agree with
+   pick_multi over materialized arrays — including the stateful policies'
+   cursors and RNG draws — under arbitrary readiness churn. *)
+let ready_equals_multi () =
+  let n = 5 in
+  let st = Random.State.make [| 2024 |] in
+  List.iter
+    (fun policy ->
+      let a = S.create policy and b = S.create policy in
+      let ready = S.Ready.create n in
+      for step = 1 to 300 do
+        let m =
+          {
+            S.update_ready = Random.State.bool st;
+            source_ready = Array.init n (fun _ -> Random.State.bool st);
+            warehouse_ready = Array.init n (fun _ -> Random.State.bool st);
+          }
+        in
+        (* maintain the persistent state edge by edge, as the engine does *)
+        S.Ready.set_update ready m.S.update_ready;
+        Array.iteri (fun i r -> S.Ready.set_source ready i r) m.S.source_ready;
+        Array.iteri
+          (fun i r -> S.Ready.set_warehouse ready i r)
+          m.S.warehouse_ready;
+        let ea = S.pick_multi a m and eb = S.pick_ready b ready in
+        if ea <> eb then
+          Alcotest.failf "step %d: pick_multi and pick_ready diverge" step
+      done)
+    [ S.Best_case; S.Worst_case; S.Round_robin; S.Random 7; S.Random 99 ]
+
+let bounded_inflight_gates_on_load () =
+  let t = S.create (S.Bounded_inflight 2) in
+  let r = S.Ready.create 3 in
+  S.Ready.set_update r true;
+  S.Ready.set_update_site r 1;
+  (* under the bound: the update flows *)
+  S.Ready.set_load r 1 1;
+  Alcotest.(check bool) "under the bound" true (S.pick_ready t r = Some S.Apply);
+  (* at the bound: drain instead — heaviest ready warehouse end first *)
+  S.Ready.set_load r 1 2;
+  S.Ready.set_warehouse r 0 true;
+  S.Ready.set_warehouse r 2 true;
+  S.Ready.set_load r 0 1;
+  S.Ready.set_load r 2 5;
+  Alcotest.(check bool) "drains the heaviest warehouse end" true
+    (S.pick_ready t r = Some (S.Site_warehouse 2));
+  S.Ready.set_warehouse r 0 false;
+  S.Ready.set_warehouse r 2 false;
+  S.Ready.set_source r 0 true;
+  Alcotest.(check bool) "then source ends" true
+    (S.pick_ready t r = Some (S.Site_source 0));
+  S.Ready.set_source r 0 false;
+  (* blocked with nothing deliverable: the engine must tick the clock *)
+  Alcotest.(check bool) "blocked and empty = None" true
+    (S.pick_ready t r = None);
+  (* an unknown update site never blocks *)
+  S.Ready.set_update_site r (-1);
+  Alcotest.(check bool) "unknown site flows" true
+    (S.pick_ready t r = Some S.Apply)
+
+let weighted_fair_serves_cold_edges () =
+  let t = S.create (S.Weighted_fair 2) in
+  let r = S.Ready.create 2 in
+  (* site 0 is a hot edge with a standing backlog; site 1 has one lonely
+     query to answer. The rotation must reach it within the quantum. *)
+  S.Ready.set_warehouse r 0 true;
+  S.Ready.set_load r 0 10;
+  S.Ready.set_source r 1 true;
+  let picks = List.init 6 (fun _ -> Option.get (S.pick_ready t r)) in
+  Alcotest.(check bool) "hot, hot, cold rotation" true
+    (picks
+    = [
+        S.Site_warehouse 0; S.Site_warehouse 0; S.Site_source 1;
+        S.Site_warehouse 0; S.Site_warehouse 0; S.Site_source 1;
+      ])
+
 let suite =
   [
     Alcotest.test_case "best-case priorities" `Quick best_case_priorities;
+    Alcotest.test_case "pick_ready = pick_multi under churn" `Quick
+      ready_equals_multi;
+    Alcotest.test_case "bounded-inflight gates on edge load" `Quick
+      bounded_inflight_gates_on_load;
+    Alcotest.test_case "weighted-fair serves cold edges" `Quick
+      weighted_fair_serves_cold_edges;
     Alcotest.test_case "worst-case priorities" `Quick worst_case_priorities;
     Alcotest.test_case "nothing enabled" `Quick nothing_enabled;
     Alcotest.test_case "round robin rotates" `Quick round_robin_rotates;
