@@ -49,6 +49,7 @@ smoke:
 	dune exec test/main.exe -- test observe
 	dune exec test/main.exe -- test golden
 	dune exec test/main.exe -- test engine
+	dune exec test/main.exe -- test selfmaint
 	dune build bench/main.exe
 	sh scripts/check_determinism.sh ./_build/default/bench/main.exe 4
 	@if [ -f BENCH_results.json ]; then \

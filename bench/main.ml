@@ -177,6 +177,13 @@ let catalog_json : string option ref = ref None
    zeroed by check_determinism.sh. *)
 let scaling_json : string option ref = ref None
 
+(* And for the top-level "selfmaint" object (schema v9), filled by
+   [bench_selfmaint]: the ECA-SM matrix over the self-maintainable
+   family — M/B/IO against the query rungs and SC across the fault ×
+   channel grid — emitted after "scaling" inside the same normalization
+   window. *)
+let selfmaint_json : string option ref = ref None
+
 let write_json ~path ~mode ~total_wall_s =
   let oc = open_out path in
   Fun.protect
@@ -186,7 +193,7 @@ let write_json ~path ~mode ~total_wall_s =
         List.fold_left (fun acc r -> acc +. r.r_wall_s) 0.0 !json_runs
       in
       Printf.fprintf oc "{\n";
-      Printf.fprintf oc "  \"schema_version\": 8,\n";
+      Printf.fprintf oc "  \"schema_version\": 9,\n";
       Printf.fprintf oc "  \"mode\": \"%s\",\n" (json_escape mode);
       Printf.fprintf oc "  \"workers\": %d,\n" workers;
       Printf.fprintf oc "  \"total_wall_clock_s\": %.3f,\n" total_wall_s;
@@ -207,6 +214,9 @@ let write_json ~path ~mode ~total_wall_s =
       | None -> ());
       (match !scaling_json with
       | Some s -> Printf.fprintf oc "  \"scaling\": %s,\n" s
+      | None -> ());
+      (match !selfmaint_json with
+      | Some s -> Printf.fprintf oc "  \"selfmaint\": %s,\n" s
       | None -> ());
       Printf.fprintf oc "  \"runs\": [";
       List.iteri
@@ -1517,8 +1527,11 @@ let bench_catalog () =
         ("BARE", [ R.Attr.qualified "r1" "X" ]);
       ]
   in
+  (* BARE projects r1.X only: no key is covered, but every auxiliary
+     projection is a proper reduction — the ECA-SM rung slots in between
+     eca-key and eca-local on the ladder. *)
   let expected_rungs =
-    [ ("KEYS", "eca-key"); ("HALF", "eca-local"); ("BARE", "eca") ]
+    [ ("KEYS", "eca-key"); ("HALF", "eca-local"); ("BARE", "eca-sm") ]
   in
   if Core.Catalog.algorithms rung_entries <> expected_rungs then
     failwith "catalog: auto_rung picked unexpected algorithm rungs";
@@ -1808,6 +1821,201 @@ let bench_scaling () =
          (inflight bounded) (inflight wf) stale_quiesce_max cells_json)
 
 (* ------------------------------------------------------------------ *)
+(* Self-maintainability (schema v9)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_selfmaint () =
+  header "Self-maintainability: ECA-SM vs the query rungs and SC (k=20)";
+  (* A 70/30 insert/delete mix so both local paths fire: FK-derived and
+     aux-answered inserts, key-answered deletes. *)
+  let spec = W.Spec.make ~c:30 ~j:4 ~k_updates:20 ~insert_ratio:0.7 ~seed:11 () in
+  let { W.Scenarios.db; view; updates } = W.Scenarios.selfmaintainable spec in
+  let vdef = R.Viewdef.simple view in
+  let truth = R.Eval.view (R.Db.apply_all db updates) view in
+  (* Structural gates first: the eligible family really is fully local,
+     and the adversarial family really is refused. *)
+  if not (Core.Eca_sm.applicable vdef) then
+    failwith "selfmaint: the self-maintainable family is not ECA-SM eligible";
+  if Core.Eca_sm.applicable (R.Viewdef.simple (W.Scenarios.adversarial_view ()))
+  then failwith "selfmaint: the adversarial family must not be ECA-SM eligible";
+  (* The algorithm × fault × channel matrix. ECA-SM answers every class
+     warehouse-locally; the query rungs compensate; SC gets M = 0 by
+     storing full base copies — the storage-for-messages trade the
+     auxiliary views undercut. *)
+  let algos = [ "eca"; "eca-local"; "eca-sm"; "sc" ] in
+  let exec_cell (algorithm, (pname, fault), reliable) =
+    let t0 = Unix.gettimeofday () in
+    let result =
+      Core.Runner.run
+        ~schedule:(Core.Scheduler.Random 11)
+        ~fault ~fault_seed:23 ~reliable
+        ~creator:(Core.Registry.creator_exn algorithm)
+        ~views:[ view ] ~db ~updates ()
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let m = result.Core.Runner.metrics in
+    let ok = R.Bag.equal truth (List.assoc "VS" result.Core.Runner.final_mvs) in
+    (algorithm, pname, reliable, wall_s, m, ok)
+  in
+  (* SC replays the stream into a validating replica: on this keyed/FK
+     schema a dropped or duplicated raw delivery is a key or FK violation
+     — a crash, not a divergence — so SC's faulty cells require the
+     reliable sublayer. The compensating rungs never Db.apply a delivered
+     update and degrade gracefully instead. *)
+  let matrix =
+    List.concat_map
+      (fun algorithm ->
+        List.concat_map
+          (fun (pname, fault) ->
+            List.filter_map
+              (fun reliable ->
+                if
+                  String.equal algorithm "sc"
+                  && (not reliable)
+                  && not (String.equal pname "clean")
+                then None
+                else Some (algorithm, (pname, fault), reliable))
+              [ false; true ])
+          W.Scenarios.fault_profiles)
+      algos
+  in
+  let cells = Parallel.Pool.map pool exec_cell (Array.of_list matrix) in
+  Printf.printf "%-26s %8s %8s %10s %5s %8s\n" "cell" "logical" "wire"
+    "bytes" "io" "correct";
+  Array.iter
+    (fun (algorithm, pname, reliable, wall_s, m, ok) ->
+      let d = m.Core.Metrics.delivery in
+      let label =
+        Printf.sprintf "%s[sm/%s/%s]" algorithm pname
+          (if reliable then "reliable" else "raw")
+      in
+      record ~delivery:d ~algorithm:label ~wall_s
+        {
+          m_messages = Core.Metrics.messages m;
+          m_tuples = m.Core.Metrics.answer_tuples;
+          m_bytes = Core.Metrics.bytes_for ~s:s_bytes m;
+          m_io = m.Core.Metrics.source_io;
+        };
+      Printf.printf "%-26s %8d %8d %10d %5d %8s\n" label
+        (Core.Metrics.messages m) d.Core.Metrics.wire_messages
+        (Core.Metrics.bytes_for ~s:s_bytes m)
+        m.Core.Metrics.source_io
+        (if ok then "yes" else "NO");
+      (* Every reliable cell and every clean cell is a correctness gate;
+         raw faulty channels are allowed to diverge (that is their row's
+         point). *)
+      if (reliable || String.equal pname "clean") && not ok then
+        failwith (label ^ ": diverged from the oracle"))
+    cells;
+  let find_cell algorithm pname reliable =
+    match
+      Array.to_list cells
+      |> List.find_opt (fun (a, p, r, _, _, _) ->
+             String.equal a algorithm && String.equal p pname && r = reliable)
+    with
+    | Some c -> c
+    | None -> failwith "selfmaint: matrix cell missing"
+  in
+  let metrics_of (_, _, _, _, m, _) = m in
+  let sm_clean = metrics_of (find_cell "eca-sm" "clean" false) in
+  let eca_clean = metrics_of (find_cell "eca" "clean" false) in
+  let ecal_clean = metrics_of (find_cell "eca-local" "clean" false) in
+  (* The eligible cell: zero messages, zero transferred bytes, and the
+     per-class counters accounting for every update with no fallback. *)
+  if Core.Metrics.messages sm_clean <> 0 then
+    failwith "selfmaint: ECA-SM sent messages on the eligible workload";
+  if Core.Metrics.bytes_for ~s:s_bytes sm_clean <> 0 then
+    failwith "selfmaint: ECA-SM transferred bytes on the eligible workload";
+  let sm =
+    match sm_clean.Core.Metrics.selfmaint with
+    | Some sm -> sm
+    | None -> failwith "selfmaint: ECA-SM run carries no selfmaint counters"
+  in
+  if sm.Core.Metrics.sm_fallback <> 0 then
+    failwith "selfmaint: the eligible workload took the query fallback";
+  if sm.Core.Metrics.sm_self + sm.Core.Metrics.sm_aux <> List.length updates
+  then failwith "selfmaint: per-class counters do not cover the stream";
+  (match eca_clean.Core.Metrics.selfmaint with
+  | None -> ()
+  | Some _ -> failwith "selfmaint: a plain ECA run reported selfmaint counters");
+  (* Staleness at quiescence, observed on the eligible cell. *)
+  let observed =
+    Core.Runner.run
+      ~schedule:(Core.Scheduler.Random 11)
+      ~observe:true
+      ~creator:(Core.Registry.creator_exn "eca-sm")
+      ~views:[ view ] ~db ~updates ()
+  in
+  let stale_quiesce_max =
+    match observed.Core.Runner.metrics.Core.Metrics.observe with
+    | None -> failwith "selfmaint: observed cell carries no gauges"
+    | Some o ->
+      List.fold_left
+        (fun acc (_, g) -> max acc g.Core.Metrics.stale_quiesce_max)
+        0 o.Core.Metrics.staleness
+  in
+  Printf.printf
+    "eligible cell: M=0 B=0, classes self=%d aux=%d fallback=0, aux storage \
+     %d tuples / %d bytes, quiesce staleness max %d\n"
+    sm.Core.Metrics.sm_self sm.Core.Metrics.sm_aux
+    sm.Core.Metrics.sm_aux_tuples sm.Core.Metrics.sm_aux_bytes
+    stale_quiesce_max;
+  if stale_quiesce_max <> 0 then
+    failwith "selfmaint: ECA-SM was stale at a quiescence probe";
+  let cells_json =
+    String.concat ",\n      "
+      (List.map
+         (fun (algorithm, pname, reliable, wall_s, m, ok) ->
+           Printf.sprintf
+             "{ \"algorithm\": \"%s\", \"profile\": \"%s\", \"channel\": \
+              \"%s\", \"wall_clock_s\": %.6f, \"messages\": %d, \
+              \"wire_messages\": %d, \"bytes\": %d, \"source_io\": %d, \
+              \"correct\": %b }"
+             (json_escape algorithm) (json_escape pname)
+             (if reliable then "reliable" else "raw")
+             wall_s (Core.Metrics.messages m)
+             m.Core.Metrics.delivery.Core.Metrics.wire_messages
+             (Core.Metrics.bytes_for ~s:s_bytes m)
+             m.Core.Metrics.source_io ok)
+         (Array.to_list cells))
+  in
+  selfmaint_json :=
+    Some
+      (Printf.sprintf
+         "{\n\
+         \    \"view\": \"VS\",\n\
+         \    \"eligible_algorithm\": \"eca-sm\",\n\
+         \    \"updates\": %d,\n\
+         \    \"messages_eca_sm\": %d,\n\
+         \    \"bytes_eca_sm\": %d,\n\
+         \    \"messages_eca\": %d,\n\
+         \    \"bytes_eca\": %d,\n\
+         \    \"messages_eca_local\": %d,\n\
+         \    \"bytes_eca_local\": %d,\n\
+         \    \"self\": %d,\n\
+         \    \"aux\": %d,\n\
+         \    \"fallback\": %d,\n\
+         \    \"aux_views\": %d,\n\
+         \    \"aux_tuples\": %d,\n\
+         \    \"aux_bytes\": %d,\n\
+         \    \"stale_quiesce_max\": %d,\n\
+         \    \"cells\": [\n\
+         \      %s\n\
+         \    ]\n\
+         \  }"
+         (List.length updates)
+         (Core.Metrics.messages sm_clean)
+         (Core.Metrics.bytes_for ~s:s_bytes sm_clean)
+         (Core.Metrics.messages eca_clean)
+         (Core.Metrics.bytes_for ~s:s_bytes eca_clean)
+         (Core.Metrics.messages ecal_clean)
+         (Core.Metrics.bytes_for ~s:s_bytes ecal_clean)
+         sm.Core.Metrics.sm_self sm.Core.Metrics.sm_aux
+         sm.Core.Metrics.sm_fallback sm.Core.Metrics.sm_aux_views
+         sm.Core.Metrics.sm_aux_tuples sm.Core.Metrics.sm_aux_bytes
+         stale_quiesce_max cells_json)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1935,6 +2143,7 @@ let () =
   bench_federation ();
   bench_catalog ();
   bench_scaling ();
+  bench_selfmaint ();
   bench_throughput ();
   if not quick then bechamel_section ();
   Parallel.Pool.shutdown pool;

@@ -6,6 +6,7 @@
      vmw matrix SCRIPT     every algorithm x every schedule, verdict matrix
      vmw demo              the built-in anomaly demonstration (Example 2)
      vmw inspect SCRIPT    schemas, views, key coverage, initial contents
+     vmw analyze SCRIPT    self-maintainability verdicts + rung pricing
      vmw query SCRIPT SQL  evaluate an ad-hoc SELECT on the initial state
      vmw generate DIR      emit an Example-6 workload as CSVs + script
      vmw algorithms        list the registered maintenance algorithms
@@ -144,9 +145,13 @@ let view_algo_arg =
     & info [ "view-algo" ] ~docv:"VIEW=ALGO"
         ~doc:
           "Per-view algorithm rung for multi-view scripts: maintain $(b,VIEW) \
-           with $(b,ALGO) (a registered algorithm, or $(b,auto) to pick the \
-           cheapest applicable rung: ECAK where every key is projected, ECAL \
-           where a delete class is local, ECA otherwise). Repeatable; views \
+           with $(b,ALGO) (a registered algorithm, $(b,auto) to pick the \
+           cheapest applicable rung — ECAK where every key is projected, \
+           ECA-SM where the self-maintainability analysis makes every class \
+           local, ECAL where a delete class is local, ECA otherwise — or \
+           $(b,auto-cost) to price the eligible rungs with the Appendix-D \
+           closed forms over the script's own update stream and take the \
+           cheapest by messages, transfer, then storage). Repeatable; views \
            without an override use $(b,--algorithm).")
 
 let share_arg =
@@ -190,6 +195,64 @@ let catalog_for scenario =
   if scenario = 2 then Workload.Scenarios.catalog_scenario2 ()
   else Workload.Scenarios.catalog_scenario1 ()
 
+(* --view-algo VIEW=auto-cost: measure the script's own update stream
+   through the self-maintainability analysis (how many deletes are
+   key-answerable, how many updates self-maintenance still compensates,
+   how big the auxiliary views actually are) and let the cost-model
+   chooser price the structurally eligible rungs. SC is deliberately not
+   offered — full base copies are a policy decision, not a cost one. *)
+let cost_measures (script : R.Script.t) (v : R.Viewdef.t) =
+  let analysis = R.Selfmaint.analyze v in
+  let window =
+    List.filter
+      (fun (u : R.Update.t) -> R.Viewdef.mentions v u.R.Update.rel)
+      script.R.Script.updates
+  in
+  let class_of (u : R.Update.t) =
+    R.Selfmaint.find_class analysis ~rel:u.R.Update.rel ~kind:u.R.Update.kind
+  in
+  let local_delete (u : R.Update.t) =
+    u.R.Update.kind = R.Update.Delete
+    &&
+    match class_of u with
+    | Some { R.Selfmaint.cls_verdict = R.Selfmaint.Self _; _ } -> true
+    | _ -> false
+  in
+  let falls_back u =
+    match class_of u with
+    | Some { R.Selfmaint.cls_plan = R.Selfmaint.Use_fallback _; _ } -> true
+    | _ -> false
+  in
+  let db = R.Script.initial_db script in
+  let aux_bytes =
+    if analysis.R.Selfmaint.fully_local then
+      snd (R.Selfmaint.storage analysis (R.Selfmaint.seed_aux_db analysis db))
+    else 0
+  in
+  let base_bytes =
+    List.fold_left
+      (fun acc rel -> acc + R.Bag.byte_size (R.Db.contents db rel))
+      0 (R.Viewdef.relation_names v)
+  in
+  {
+    Costmodel.Chooser.updates = List.length window;
+    local_deletes = List.length (List.filter local_delete window);
+    sm_fallback = List.length (List.filter falls_back window);
+    aux_bytes;
+    base_bytes;
+  }
+
+let eligible_rungs (v : R.Viewdef.t) =
+  [ "eca" ]
+  @ (if Core.Eca_key.applicable v then [ "eca-key" ] else [])
+  @ (if Core.Eca_sm.applicable v then [ "eca-sm" ] else [])
+  @ if Core.Eca_local.local_capable v then [ "eca-local" ] else []
+
+let cost_rung script v =
+  match Costmodel.Chooser.choose (cost_measures script v) (eligible_rungs v) with
+  | Some c -> c.Costmodel.Chooser.algo
+  | None -> "eca"
+
 let run_script path algorithm schedule rv_period scenario trace json loads
     batch_size timing trace_out view_algos share_deltas =
   match
@@ -216,6 +279,8 @@ let run_script path algorithm schedule rv_period scenario trace json loads
              (fun (v : R.Viewdef.t) ->
                match List.assoc_opt v.R.Viewdef.name view_algos with
                | Some "auto" -> Core.Catalog.entry v
+               | Some "auto-cost" ->
+                 Core.Catalog.entry ~algo:(cost_rung script v) v
                | Some a -> Core.Catalog.entry ~algo:a v
                | None -> Core.Catalog.entry ~algo:algorithm v)
              script.R.Script.views)
@@ -379,6 +444,42 @@ let inspect_script path =
             script.R.Script.updates))
   with
   | exception Sys_error m -> Error m
+  | exception R.Parser.Parse_error m -> Error ("parse error: " ^ m)
+  | exception R.Schema.Schema_error m -> Error ("schema error: " ^ m)
+  | exception R.View.View_error m -> Error ("view error: " ^ m)
+  | exception R.Db.Db_error m -> Error ("database error: " ^ m)
+  | () -> Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* vmw analyze                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_script path =
+  match
+    let script = R.Parser.parse_script (read_file path) in
+    if script.R.Script.views = [] then failwith "the script defines no view";
+    List.iteri
+      (fun i (v : R.Viewdef.t) ->
+        if i > 0 then Format.printf "@.";
+        let analysis = R.Selfmaint.analyze v in
+        Format.printf "%a" R.Selfmaint.pp_report analysis;
+        let eligible = eligible_rungs v in
+        let candidates =
+          Costmodel.Chooser.score (cost_measures script v) eligible
+        in
+        Format.printf "  eligible rungs over this script's %d updates:@."
+          (List.length
+             (List.filter
+                (fun (u : R.Update.t) -> R.Viewdef.mentions v u.R.Update.rel)
+                script.R.Script.updates));
+        List.iter
+          (fun c -> Format.printf "    %a@." Costmodel.Chooser.pp_candidate c)
+          candidates;
+        Format.printf "  auto-cost picks: %s@." (cost_rung script v))
+      script.R.Script.views
+  with
+  | exception Sys_error m -> Error m
+  | exception Failure m -> Error m
   | exception R.Parser.Parse_error m -> Error ("parse error: " ^ m)
   | exception R.Schema.Schema_error m -> Error ("schema error: " ^ m)
   | exception R.View.View_error m -> Error ("view error: " ^ m)
@@ -559,6 +660,17 @@ let inspect_cmd =
   Cmd.v (Cmd.info "inspect" ~doc)
     Term.(const (fun p -> exits_of (inspect_script p)) $ script_arg)
 
+let analyze_cmd =
+  let script_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT")
+  in
+  let doc =
+    "Classify each view's update classes for self-maintainability and \
+     price the eligible maintenance rungs over the script's update stream"
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const (fun p -> exits_of (analyze_script p)) $ script_arg)
+
 let generate_cmd =
   let out_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT_DIR")
@@ -670,4 +782,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ run_cmd; demo_cmd; algorithms_cmd; model_cmd; inspect_cmd;
-            generate_cmd; query_cmd; matrix_cmd ]))
+            analyze_cmd; generate_cmd; query_cmd; matrix_cmd ]))

@@ -1,0 +1,29 @@
+-- A self-maintainable join (DESIGN.md §4j).
+--
+-- The foreign key orders.cid REFERENCES customers(cid) lets the
+-- warehouse derive an inserted order's join partner from the inserted
+-- tuple itself, and the KEY on orders.oid answers deletes by key — so
+-- every update class is warehouse-local and ECA-SM sends no
+-- compensating queries at all.
+--
+-- Try:  vmw analyze examples/scripts/selfmaint.sql
+--       vmw run examples/scripts/selfmaint.sql --view-algo order_amounts=auto-cost -s worst
+TABLE customers (cid INT KEY, region INT);
+TABLE orders (oid INT KEY, cid INT REFERENCES customers(cid), amount INT, note INT);
+
+VIEW order_amounts AS
+  SELECT orders.oid, orders.amount
+  FROM orders, customers
+  WHERE orders.cid = customers.cid;
+
+INSERT INTO customers VALUES (1, 10);
+INSERT INTO customers VALUES (2, 20);
+INSERT INTO orders VALUES (100, 1, 250, 0);
+INSERT INTO orders VALUES (101, 2, 120, 0);
+
+UPDATES;
+INSERT INTO orders VALUES (102, 1, 75, 0);
+INSERT INTO customers VALUES (3, 10);
+INSERT INTO orders VALUES (103, 3, 410, 0);
+DELETE FROM orders VALUES (101, 2, 120, 0);
+DELETE FROM orders VALUES (100, 1, 250, 0);

@@ -44,6 +44,7 @@ type instance = {
   mv : unit -> R.Bag.t;
   on_quiesce : unit -> outcome;
   quiescent : unit -> bool;
+  counters : unit -> (string * int) list;
 }
 
 type creator = Config.t -> instance

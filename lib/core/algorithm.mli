@@ -85,6 +85,10 @@ type instance = {
       (** called by the runner when the update stream is exhausted and no
           message is in flight; lets RV issue its final recompute. *)
   quiescent : unit -> bool;  (** no unanswered queries or buffered work *)
+  counters : unit -> (string * int) list;
+      (** algorithm-specific counters for the metrics surfaces ([[]] for
+          most algorithms; ECA-SM reports its self-maintenance tallies
+          here). Reading must not change state. *)
 }
 
 type creator = Config.t -> instance

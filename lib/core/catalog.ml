@@ -16,13 +16,18 @@ type entry = {
 }
 
 (* The algorithm ladder, cheapest round trips first: ECAK handles every
-   update class that can go wrong with no compensation at all, ECAL
-   still saves the round trip on covered deletes, ECA is the universal
-   compensating fallback. SC (zero round trips, full base copies) is
-   deliberately not auto-chosen — its storage cost is a policy decision,
-   not a structural one. *)
+   update class that can go wrong with no compensation at all, ECA-SM
+   buys zero round trips on every class for the storage cost of its
+   auxiliary views (its [applicable] requires full locality, so the
+   guarantee is structural), ECAL still saves the round trip on covered
+   deletes, ECA is the universal compensating fallback. SC (zero round
+   trips, full base copies) is deliberately not auto-chosen — its
+   storage cost is a policy decision, not a structural one; ECA-SM's
+   proper-reduction requirement is what keeps it on the right side of
+   that line. *)
 let auto_rung (vd : R.Viewdef.t) =
   if Eca_key.applicable vd then "eca-key"
+  else if Eca_sm.applicable vd then "eca-sm"
   else if Eca_local.local_capable vd then "eca-local"
   else "eca"
 

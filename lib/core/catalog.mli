@@ -16,10 +16,12 @@ type entry = {
 
 val auto_rung : R.Viewdef.t -> string
 (** The rung ladder, cheapest round trips first: ["eca-key"] when the
-    view projects a declared key of every base relation, ["eca-local"]
-    when at least one deletion class is autonomously computable, ["eca"]
-    otherwise. SC is never auto-chosen — full base copies are a policy
-    decision. *)
+    view projects a declared key of every base relation, ["eca-sm"] when
+    the self-maintainability analysis makes every update class locally
+    answerable (and not already by literal evaluation alone),
+    ["eca-local"] when at least one deletion class is autonomously
+    computable, ["eca"] otherwise. SC is never auto-chosen — full base
+    copies are a policy decision. *)
 
 val entry : ?algo:string -> R.Viewdef.t -> entry
 (** A catalog entry; without [?algo] the rung is {!auto_rung}.

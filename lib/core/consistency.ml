@@ -8,9 +8,12 @@ type report = {
   complete : bool;
 }
 
-let last = function
+(* One pass, no double traversal: state sequences grow with the trace
+   length, and every consistency check starts here. *)
+let rec last = function
   | [] -> None
-  | l -> Some (List.nth l (List.length l - 1))
+  | [ x ] -> Some x
+  | _ :: rest -> last rest
 
 let convergent ~source_states ~warehouse_states =
   match last source_states, last warehouse_states with

@@ -1,0 +1,50 @@
+(** The ECA-SM rung: self-maintenance with auxiliary views — the middle
+    ground between ECA's compensating round trips and SC's full base
+    copies (ROADMAP item 2).
+
+    At creation the view is run through the {!Relational.Selfmaint}
+    analyzer. Updates whose class it marks [Self] or [Aux] are handled
+    entirely at the warehouse through the staged per-part delta programs
+    (the §4g compiled path), reading only the update tuple, the view and
+    the {e auxiliary views} — reduced projections of join partners that
+    the instance maintains alongside the primary view. Classes marked
+    [Remote] fall back to the inner ECA's compensating query, as does any
+    update arriving while such a query is pending (ECAL's conservative
+    ordering protocol, which keeps the interleaving provably safe).
+
+    On fully local views the instance never sends a message, so it is
+    permanently quiescent: messages M = 0 and transfer B = 0
+    post-registration, at the storage cost of the auxiliary views —
+    tracked in {!counters} and weighed against SC by the cost-model
+    chooser. *)
+
+module R := Relational
+
+type t
+
+exception Not_applicable of string
+
+val applicable : R.Viewdef.t -> bool
+(** Consulted by the catalog's auto-rung ladder: every update class is
+    locally answerable (M = 0 guaranteed) {e and} some class actually
+    needs more than ECA's literal-term evaluation — single-relation views
+    stay on the plainer rungs. Explicit {!create} accepts partially local
+    views too; the ladder does not pick them. *)
+
+val create : Algorithm.Config.t -> t
+(** @raise Not_applicable when the analysis calls for maintained
+    auxiliary views but [Config.init_db] is [None] — they must be seeded
+    from the initial base state. *)
+
+val analysis : t -> R.Selfmaint.t
+val mv : t -> R.Bag.t
+val quiescent : t -> bool
+val on_update : t -> R.Update.t -> Algorithm.outcome
+val on_answer : t -> id:int -> R.Bag.t -> Algorithm.outcome
+
+val counters : t -> (string * int) list
+(** [sm_self], [sm_aux], [sm_fallback] (updates by handling path) and
+    [sm_aux_views]/[sm_aux_tuples]/[sm_aux_bytes] (current auxiliary
+    storage). *)
+
+val instance : Algorithm.creator

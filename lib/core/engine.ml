@@ -916,6 +916,9 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
                 active_max = !active_max;
               };
         });
+  (match Warehouse.selfmaint_counters warehouse with
+  | None -> ()
+  | Some sm -> bump (fun m -> { m with Metrics.selfmaint = Some sm }));
   let reports =
     List.map
       (fun (v : R.Viewdef.t) ->

@@ -105,6 +105,17 @@ let shared (s : Metrics.shared) =
       ("fanout", string_of_int s.Metrics.shared_fanout);
     ]
 
+let selfmaint (s : Metrics.selfmaint) =
+  obj
+    [
+      ("self", string_of_int s.Metrics.sm_self);
+      ("aux", string_of_int s.Metrics.sm_aux);
+      ("fallback", string_of_int s.Metrics.sm_fallback);
+      ("aux_views", string_of_int s.Metrics.sm_aux_views);
+      ("aux_tuples", string_of_int s.Metrics.sm_aux_tuples);
+      ("aux_bytes", string_of_int s.Metrics.sm_aux_bytes);
+    ]
+
 let scale (s : Metrics.scale) =
   obj
     [
@@ -114,9 +125,9 @@ let scale (s : Metrics.scale) =
       ("active_max", string_of_int s.Metrics.active_max);
     ]
 
-(* The "observe", "shared" and "scale" fields appear only on runs that
-   enabled them, so default exports — the golden traces among them —
-   stay byte-identical. *)
+(* The "observe", "shared", "scale" and "selfmaint" fields appear only on
+   runs that enabled them, so default exports — the golden traces among
+   them — stay byte-identical. *)
 let metrics (m : Metrics.t) =
   obj
     ([
@@ -136,6 +147,9 @@ let metrics (m : Metrics.t) =
     @ (match m.Metrics.scale with
       | None -> []
       | Some s -> [ ("scale", scale s) ])
+    @ (match m.Metrics.selfmaint with
+      | None -> []
+      | Some s -> [ ("selfmaint", selfmaint s) ])
     @ match m.Metrics.observe with
       | None -> []
       | Some o -> [ ("observe", observe o) ])

@@ -111,6 +111,18 @@ type scale = {
   active_max : int;  (* peak simultaneously non-idle edges *)
 }
 
+(* Self-maintenance counters — present only when the run hosted at least
+   one algorithm reporting them (the ECA-SM rung), so default output
+   stays byte-identical. *)
+type selfmaint = {
+  sm_self : int;  (* updates handled by key-delete or FK derivation *)
+  sm_aux : int;  (* updates handled by reading auxiliary views *)
+  sm_fallback : int;  (* updates that fell back to the compensating path *)
+  sm_aux_views : int;  (* maintained auxiliary views, end of run *)
+  sm_aux_tuples : int;  (* their tuples, end of run *)
+  sm_aux_bytes : int;  (* their value bytes, end of run *)
+}
+
 type t = {
   updates : int;
   queries_sent : int;
@@ -125,6 +137,7 @@ type t = {
   observe : observe option;
   shared : shared option;
   scale : scale option;
+  selfmaint : selfmaint option;
 }
 
 let no_delivery =
@@ -157,6 +170,7 @@ let zero =
     observe = None;
     shared = None;
     scale = None;
+    selfmaint = None;
   }
 
 (* Component-wise sum of two edges' counters; [latency_max] is a maximum,
@@ -263,6 +277,14 @@ let pp ppf t =
     Format.fprintf ppf
       "@.scale: inflight_max=%d coalesced=%d notes/%d batches active_max=%d"
       s.inflight_max s.coalesced_notes s.coalesced_batches s.active_max);
+  (match t.selfmaint with
+  | None -> ()
+  | Some s ->
+    Format.fprintf ppf
+      "@.selfmaint: self=%d aux=%d fallback=%d aux_views=%d aux_tuples=%d \
+       aux_bytes=%d"
+      s.sm_self s.sm_aux s.sm_fallback s.sm_aux_views s.sm_aux_tuples
+      s.sm_aux_bytes);
   match t.observe with
   | None -> ()
   | Some o -> Format.fprintf ppf "@.observe: %a" pp_observe o

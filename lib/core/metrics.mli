@@ -98,6 +98,20 @@ type scale = {
           the O(active) event loop; far below N on sparse workloads *)
 }
 
+(** Self-maintenance counters of the ECA-SM rung (DESIGN.md §4j). *)
+type selfmaint = {
+  sm_self : int;
+      (** updates answered from the view and the update tuple alone —
+          key-deletes and FK-derived joins *)
+  sm_aux : int;  (** updates answered by reading auxiliary views *)
+  sm_fallback : int;
+      (** updates that fell back to the compensating (ECA) path: remote
+          classes, or arrivals while a compensation was pending *)
+  sm_aux_views : int;  (** maintained auxiliary views at end of run *)
+  sm_aux_tuples : int;  (** tuples across them at end of run *)
+  sm_aux_bytes : int;  (** their value bytes at end of run *)
+}
+
 type t = {
   updates : int;  (** source updates executed *)
   queries_sent : int;  (** query messages, warehouse → source *)
@@ -123,6 +137,10 @@ type t = {
   scale : scale option;
       (** scale-out counters; [None] (the default) unless the run asked
           to track them, keeping output byte-identical *)
+  selfmaint : selfmaint option;
+      (** self-maintenance counters; [None] (the default) unless some
+          hosted algorithm reported them — runs without an ECA-SM
+          instance stay byte-identical *)
 }
 
 val zero : t

@@ -31,6 +31,12 @@ let entries =
       creator = Eca_local.instance;
     };
     {
+      key = "eca-sm";
+      description = "ECA-SM: self-maintenance via key/FK analysis and \
+                     auxiliary views, ECA fallback for the rest";
+      creator = Eca_sm.instance;
+    };
+    {
       key = "lca";
       description = "Lazy Compensating Algorithm: per-update in-order \
                      installation, complete (Section 5.3)";

@@ -16,8 +16,9 @@ type hosted = {
    queries from different events can have different answers. *)
 type t = {
   hosted : hosted array;
-  routes : (int, (int * int) list) Hashtbl.t;
-      (* gid -> subscribers [(instance idx, local id)], owner first *)
+  routes : (int, (int * int) * (int * int) list) Hashtbl.t;
+      (* gid -> (owner, later subscribers newest-first); subscribing is
+         an O(1) cons, readers rebuild the owner-first order *)
   share : bool;
   pool : Parallel.Pool.t option;
       (* shard independent per-instance event handlers across domains *)
@@ -118,26 +119,59 @@ let sharing t = t.share
 
 let shared_counters t = (t.shared_evaluated, t.shared_hits, t.shared_fanout)
 
+(* Fold the hosted instances' algorithm-specific counters into the
+   self-maintenance metrics block; [None] when no instance reports any,
+   so runs without an ECA-SM rung keep their output byte-identical. *)
+let selfmaint_counters t =
+  let get k c = Option.value ~default:0 (List.assoc_opt k c) in
+  let any = ref false in
+  let s, a, f, v, tu, b =
+    Array.fold_left
+      (fun ((s, a, f, v, tu, b) as acc) h ->
+        match h.inst.Algorithm.counters () with
+        | [] -> acc
+        | c ->
+          any := true;
+          ( s + get "sm_self" c,
+            a + get "sm_aux" c,
+            f + get "sm_fallback" c,
+            v + get "sm_aux_views" c,
+            tu + get "sm_aux_tuples" c,
+            b + get "sm_aux_bytes" c ))
+      (0, 0, 0, 0, 0, 0) t.hosted
+  in
+  if not !any then None
+  else
+    Some
+      {
+        Metrics.sm_self = s;
+        sm_aux = a;
+        sm_fallback = f;
+        sm_aux_views = v;
+        sm_aux_tuples = tu;
+        sm_aux_bytes = b;
+      }
+
 (* Looked up while the gid's route is still live — i.e. before
    [handle_answer] consumes it — so the observability layer can tag a
    query span with its owning view. A shared gid is labelled by its
    owner, the instance that actually shipped the query. *)
 let gid_view t gid =
   match Hashtbl.find_opt t.routes gid with
-  | None | Some [] -> None
-  | Some ((idx, _) :: _) ->
+  | None -> None
+  | Some ((idx, _), _) ->
     let h = t.hosted.(idx) in
     Some (h.view.R.Viewdef.name, h.inst.Algorithm.name)
 
 let gid_subscribers t gid =
   match Hashtbl.find_opt t.routes gid with
   | None -> []
-  | Some subs ->
+  | Some (owner, extras_rev) ->
     List.map
       (fun (idx, _) ->
         let h = t.hosted.(idx) in
         (h.view.R.Viewdef.name, h.inst.Algorithm.name))
-      subs
+      (owner :: List.rev extras_rev)
 
 (* The per-event shared-delta table: query signature -> candidates
    shipped earlier in the same event, oldest first. [None] when sharing
@@ -152,7 +186,7 @@ let lift ?event t idx (o : Algorithm.outcome) =
         let ship () =
           let gid = t.next_gid in
           t.next_gid <- gid + 1;
-          Hashtbl.replace t.routes gid [ (idx, lid) ];
+          Hashtbl.replace t.routes gid ((idx, lid), []);
           (match event with
           | None -> ()
           | Some tbl -> (
@@ -179,10 +213,10 @@ let lift ?event t idx (o : Algorithm.outcome) =
             match candidate with
             | None -> ship ()
             | Some (_, gid, _) ->
-              let subs = Hashtbl.find t.routes gid in
-              Hashtbl.replace t.routes gid (subs @ [ (idx, lid) ]);
+              let owner, extras_rev = Hashtbl.find t.routes gid in
+              Hashtbl.replace t.routes gid (owner, (idx, lid) :: extras_rev);
               t.shared_hits <- t.shared_hits + 1;
-              if List.length subs = 1 then
+              if extras_rev = [] then
                 t.shared_evaluated <- t.shared_evaluated + 1;
               None)))
       o.Algorithm.send
@@ -261,8 +295,9 @@ let handle_batch t us =
 let handle_answer t ~gid answer =
   match Hashtbl.find_opt t.routes gid with
   | None -> no_reaction
-  | Some subs ->
+  | Some (owner, extras_rev) ->
     Hashtbl.remove t.routes gid;
+    let subs = owner :: List.rev extras_rev in
     (match subs with
     | _ :: _ :: _ -> t.shared_fanout <- t.shared_fanout + List.length subs
     | _ -> ());

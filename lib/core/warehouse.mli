@@ -72,6 +72,12 @@ val shared_counters : t -> int * int * int
     by sharing; answer deliveries made through multi-subscriber gids.
     All 0 when sharing is off. *)
 
+val selfmaint_counters : t -> Metrics.selfmaint option
+(** Fold of the hosted instances' {!Algorithm.instance.counters} into the
+    self-maintenance metrics block — [Some] iff at least one instance
+    (the ECA-SM rung) reports counters, so every other run's metrics stay
+    byte-identical. *)
+
 val gid_view : t -> int -> (string * string) option
 (** The [(view name, algorithm name)] owning an outstanding query gid —
     for a shared gid, the instance that actually shipped it; [None] once

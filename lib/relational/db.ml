@@ -39,6 +39,53 @@ let check_keys schema bag =
         Hashtbl.replace seen key ())
       (Bag.to_counted_list bag)
 
+(* Declared foreign keys are enforced on the insert side, like keys: the
+   self-maintainability analyzer ([Selfmaint]) derives join partners from
+   an inserted tuple *assuming* its FK targets exist, so a source that
+   admitted a dangling reference would silently break ECA-SM. Checks only
+   fire when both relations live in the same [t]; deletes are not checked
+   (classic RESTRICT-free semantics — a later insert referencing the gap
+   is rejected at that point instead). *)
+let fk_pairs schema (target : Schema.t) (fk : Schema.fk) =
+  List.map2
+    (fun c rc ->
+      match (Schema.column_index schema c, Schema.column_index target rc) with
+      | Some i, Some j -> (i, j)
+      | _, None ->
+        error "foreign key %s -> %s: %s is not a column of %s"
+          schema.Schema.name fk.Schema.fk_ref rc fk.Schema.fk_ref
+      | None, _ ->
+        (* unreachable: Schema.make validated the source columns *)
+        error "foreign key %s -> %s: bad source column" schema.Schema.name
+          fk.Schema.fk_ref)
+    fk.Schema.fk_cols fk.Schema.fk_ref_cols
+
+let fk_satisfied pairs target_bag tuple =
+  let wanted = List.map (fun (i, _) -> Tuple.get tuple i) pairs in
+  Bag.fold
+    (fun t n acc ->
+      acc
+      || n > 0
+         && List.equal Value.equal
+              (List.map (fun (_, j) -> Tuple.get t j) pairs)
+              wanted)
+    target_bag false
+
+let check_fk_contents db (schema : Schema.t) bag =
+  List.iter
+    (fun (fk : Schema.fk) ->
+      match Smap.find_opt fk.Schema.fk_ref db.relations with
+      | None -> ()
+      | Some (target, tb) ->
+        let pairs = fk_pairs schema target fk in
+        Bag.iter
+          (fun t n ->
+            if n > 0 && not (fk_satisfied pairs tb t) then
+              error "relation %s: tuple %s has no match in %s for its foreign key"
+                schema.Schema.name (Tuple.to_string t) fk.Schema.fk_ref)
+          bag)
+    schema.Schema.fks
+
 let add_relation ?(contents = Bag.empty) db schema =
   if Smap.mem schema.Schema.name db.relations then
     error "relation %s already exists" schema.Schema.name;
@@ -46,7 +93,22 @@ let add_relation ?(contents = Bag.empty) db schema =
   if Bag.has_negative contents then
     error "base relation %s cannot hold negative counts" schema.Schema.name;
   check_keys schema contents;
-  { relations = Smap.add schema.Schema.name (schema, contents) db.relations }
+  let db' =
+    { relations = Smap.add schema.Schema.name (schema, contents) db.relations }
+  in
+  check_fk_contents db' schema contents;
+  (* Earlier relations may declare FKs into the one just added. *)
+  Smap.iter
+    (fun name (s, b) ->
+      if
+        (not (String.equal name schema.Schema.name))
+        && List.exists
+             (fun (fk : Schema.fk) ->
+               String.equal fk.Schema.fk_ref schema.Schema.name)
+             s.Schema.fks
+      then check_fk_contents db' s b)
+    db'.relations;
+  db'
 
 let of_list l =
   List.fold_left
@@ -89,7 +151,18 @@ let apply ?(strict = true) db (u : Update.t) =
         if key_violation s b u.tuple then
           error "insert violates the declared key of %s: %s" u.rel
             (Update.to_string u)
-        else Bag.add u.tuple b
+        else begin
+          List.iter
+            (fun (fk : Schema.fk) ->
+              match Smap.find_opt fk.Schema.fk_ref db.relations with
+              | None -> ()
+              | Some (target, tb) ->
+                if not (fk_satisfied (fk_pairs s target fk) tb u.tuple) then
+                  error "insert has no match in %s for the foreign key of %s: %s"
+                    fk.Schema.fk_ref u.rel (Update.to_string u))
+            s.Schema.fks;
+          Bag.add u.tuple b
+        end
       | Update.Delete ->
         if Bag.count b u.tuple <= 0 then
           if strict then

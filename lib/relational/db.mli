@@ -15,7 +15,10 @@ val empty : t
 
 val add_relation : ?contents:Bag.t -> t -> Schema.t -> t
 (** @raise Db_error on duplicate names, arity mismatches, negative counts
-    in [contents], or contents violating the schema's declared key. *)
+    in [contents], contents violating the schema's declared key, or a
+    declared foreign key left dangling by [contents] (checked in both
+    directions whenever referencing and referenced relation are both
+    present, whatever order they were added in). *)
 
 val of_list : (Schema.t * Bag.t) list -> t
 
@@ -33,7 +36,11 @@ val apply : ?strict:bool -> t -> Update.t -> t
     delete is a no-op on absent tuples. Inserts that would put two tuples
     with equal declared-key values into a relation raise [Db_error]
     regardless of strictness — ECAK's correctness depends on declared keys
-    being real. *)
+    being real. Inserts whose declared foreign keys find no referenced
+    tuple (when the referenced relation is present) are rejected the same
+    way — ECA-SM derives join partners from inserted tuples assuming
+    referential integrity. Deletes are never FK-checked: a reference may
+    dangle transiently, and any insert relying on the gap fails then. *)
 
 val apply_all : ?strict:bool -> t -> Update.t list -> t
 

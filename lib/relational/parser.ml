@@ -17,7 +17,7 @@ type token =
 let keywords =
   [ "TABLE"; "VIEW"; "AS"; "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT";
     "INSERT"; "INTO"; "VALUES"; "DELETE"; "UPDATES"; "TRUE"; "FALSE"; "KEY";
-    "UNION"; "EXCEPT" ]
+    "REFERENCES"; "UNION"; "EXCEPT" ]
 
 let is_keyword s = List.mem (String.uppercase_ascii s) keywords
 
@@ -259,7 +259,19 @@ let column_def st =
     | None -> error "unknown column type %s" ty_name
   in
   let is_key = accept_kw st "KEY" in
-  ({ Schema.col_name = name; col_type = ty }, is_key)
+  (* Column-level foreign key, mirroring the column-level KEY marker:
+     [cid INT REFERENCES customers(cid)]. *)
+  let fk =
+    if accept_kw st "REFERENCES" then begin
+      let target = ident st in
+      expect_sym st "(";
+      let ref_cols = comma_separated st ident in
+      expect_sym st ")";
+      Some { Schema.fk_cols = [ name ]; fk_ref = target; fk_ref_cols = ref_cols }
+    end
+    else None
+  in
+  ({ Schema.col_name = name; col_type = ty }, is_key, fk)
 
 let table_def st =
   let name = ident st in
@@ -267,8 +279,17 @@ let table_def st =
   let cols = comma_separated st column_def in
   expect_sym st ")";
   expect_sym st ";";
-  let key = List.filter_map (fun (c, k) -> if k then Some c.Schema.col_name else None) cols in
-  Schema.make ~key name (List.map fst cols)
+  let key =
+    List.filter_map (fun (c, k, _) -> if k then Some c.Schema.col_name else None) cols
+  in
+  let fks = List.filter_map (fun (_, _, fk) -> fk) cols in
+  List.iter
+    (fun fk ->
+      if List.length fk.Schema.fk_ref_cols <> 1 then
+        error "table %s: REFERENCES %s(...) must name exactly one column"
+          name fk.Schema.fk_ref)
+    fks;
+  Schema.make ~key ~fks name (List.map (fun (c, _, _) -> c) cols)
 
 (* One SELECT block of a view definition (the part after the keyword). *)
 let select_block ~view_name ~part tables st =

@@ -3,27 +3,41 @@
 
     Key declarations drive the ECA-Key algorithm (Section 5.4): a view is
     ECAK-eligible only when it projects a declared key of every base
-    relation it ranges over. *)
+    relation it ranges over. Foreign-key declarations feed the
+    self-maintainability analyzer ([Selfmaint]): an insert into a relation
+    with a declared FK carries, by referential integrity, enough
+    information to derive its join partner without querying the source. *)
 
 type column = {
   col_name : string;
   col_type : Value.ty;
 }
 
+type fk = {
+  fk_cols : string list;  (** referencing columns, in pair order *)
+  fk_ref : string;  (** referenced relation name *)
+  fk_ref_cols : string list;  (** referenced columns, paired positionally *)
+}
+
 type t = private {
   name : string;
   columns : column list;
   key : string list;  (** declared key attributes; [[]] when unknown *)
+  fks : fk list;  (** declared foreign keys; [[]] when unknown *)
 }
 
 exception Schema_error of string
 
-val make : ?key:string list -> string -> column list -> t
-(** [make ?key name columns] validates that column names are distinct and
-    that every key attribute is a column.
+val make : ?key:string list -> ?fks:fk list -> string -> column list -> t
+(** [make ?key ?fks name columns] validates that column names are distinct,
+    that every key attribute is a column, and that every foreign key pairs
+    distinct local columns 1:1 with distinct columns of a named relation.
+    Whether [fk_ref] exists — and whether [fk_ref_cols] are columns (or a
+    key) of it — is checked where both schemas are in scope: at
+    [Db.add_relation].
     @raise Schema_error otherwise. *)
 
-val of_names : ?key:string list -> string -> string list -> t
+val of_names : ?key:string list -> ?fks:fk list -> string -> string list -> t
 (** [of_names name cols] builds an all-[INT] schema; the paper's examples
     (r1(W,X), r2(X,Y), ...) are all integer relations. *)
 

@@ -170,3 +170,166 @@ let keyed_updates (spec : Spec.t) ~db =
     end
   in
   go db [] 0
+
+(* --- Self-maintainable and adversarial families (DESIGN.md §4j) ---
+
+   The self-maintainable family declares both keys and a foreign key
+   r1.X → r2(X): with the view π_{W,Y}, deletes answer by key and both
+   insert classes are warehouse-local through proper auxiliary
+   projections, so ECA-SM maintains the whole stream without a single
+   compensating query. The generator preserves referential integrity the
+   way a source transaction would: r1 inserts reference a live r2 key,
+   r2 deletes only remove unreferenced rows.
+
+   The adversarial family is the same join with every scrap of metadata
+   stripped and every column referenced by the view: each candidate
+   auxiliary view degenerates to a full base copy, the analyzer honestly
+   reports every class Remote, and ECA-SM refuses. *)
+
+let selfmaint_r2 = R.Schema.of_names ~key:[ "X" ] "r2" [ "X"; "Y"; "B" ]
+
+let selfmaint_r1 =
+  R.Schema.of_names ~key:[ "W" ]
+    ~fks:[ { R.Schema.fk_cols = [ "X" ]; fk_ref = "r2"; fk_ref_cols = [ "X" ] } ]
+    "r1" [ "W"; "X"; "A" ]
+
+(* FK target first: [Db.add_relation] validates references on the way in. *)
+let selfmaint_schemas = [ selfmaint_r2; selfmaint_r1 ]
+
+let selfmaint_db (spec : Spec.t) =
+  let vr = spec.Spec.value_range in
+  let db =
+    List.fold_left
+      (fun db s -> R.Db.add_relation db s)
+      R.Db.empty selfmaint_schemas
+  in
+  let st = Random.State.make [| spec.Spec.seed |] in
+  let db = ref db in
+  for x = 0 to spec.Spec.c - 1 do
+    db :=
+      R.Db.apply !db
+        (R.Update.insert "r2"
+           (R.Tuple.ints [ x; rand_below st vr; rand_below st 4 ]))
+  done;
+  for w = 0 to spec.Spec.c - 1 do
+    db :=
+      R.Db.apply !db
+        (R.Update.insert "r1"
+           (R.Tuple.ints [ w; rand_below st spec.Spec.c; rand_below st 4 ]))
+  done;
+  !db
+
+let int_at t i =
+  match R.Tuple.get t i with R.Value.Int n -> n | _ -> assert false
+
+let selfmaint_updates (spec : Spec.t) ~db =
+  let vr = spec.Spec.value_range in
+  let st = Random.State.make [| spec.Spec.seed + 1 |] in
+  let next_w = ref spec.Spec.c and next_x = ref spec.Spec.c in
+  let live_r2_key db =
+    Option.map (fun t -> int_at t 0) (pick_existing st db "r2")
+  in
+  let insert_r2 () =
+    let x = !next_x in
+    incr next_x;
+    R.Update.insert "r2" (R.Tuple.ints [ x; rand_below st vr; rand_below st 4 ])
+  in
+  let insert_r1 db =
+    match live_r2_key db with
+    | None -> insert_r2 ()  (* no partner to reference yet *)
+    | Some x ->
+      let w = !next_w in
+      incr next_w;
+      R.Update.insert "r1" (R.Tuple.ints [ w; x; rand_below st 4 ])
+  in
+  let unreferenced_r2 db =
+    let referenced =
+      R.Bag.fold
+        (fun t _ acc -> int_at t 1 :: acc)
+        (R.Db.contents db "r1") []
+    in
+    let free =
+      List.filter
+        (fun (t, _) -> not (List.mem (int_at t 0) referenced))
+        (R.Bag.to_counted_list (R.Db.contents db "r2"))
+    in
+    match free with
+    | [] -> None
+    | l -> Some (fst (List.nth l (rand_below st (List.length l))))
+  in
+  let rec go db acc i =
+    if i >= spec.Spec.k_updates then List.rev acc
+    else begin
+      let is_insert = Random.State.float st 1.0 < spec.Spec.insert_ratio in
+      let u =
+        match (rand_below st 2 = 0, is_insert) with
+        | true, true -> insert_r1 db
+        | false, true -> insert_r2 ()
+        | true, false -> (
+          match pick_existing st db "r1" with
+          | Some t -> R.Update.delete "r1" t
+          | None -> insert_r1 db)
+        | false, false -> (
+          match unreferenced_r2 db with
+          | Some t -> R.Update.delete "r2" t
+          | None -> insert_r2 ())
+      in
+      go (R.Db.apply db u) (u :: acc) (i + 1)
+    end
+  in
+  go db [] 0
+
+let adversarial_r1 = R.Schema.of_names "r1" [ "W"; "X" ]
+let adversarial_r2 = R.Schema.of_names "r2" [ "X"; "Y" ]
+let adversarial_schemas = [ adversarial_r1; adversarial_r2 ]
+
+let adversarial_db (spec : Spec.t) =
+  let dom = Spec.join_domain spec in
+  let vr = spec.Spec.value_range in
+  let db =
+    List.fold_left
+      (fun db s -> R.Db.add_relation db s)
+      R.Db.empty adversarial_schemas
+  in
+  let st = Random.State.make [| spec.Spec.seed |] in
+  let db = ref db in
+  for _ = 1 to spec.Spec.c do
+    db :=
+      R.Db.apply !db
+        (R.Update.insert "r1" (R.Tuple.ints [ rand_below st vr; rand_below st dom ]))
+  done;
+  for _ = 1 to spec.Spec.c do
+    db :=
+      R.Db.apply !db
+        (R.Update.insert "r2" (R.Tuple.ints [ rand_below st dom; rand_below st vr ]))
+  done;
+  !db
+
+let adversarial_updates (spec : Spec.t) ~db =
+  let dom = Spec.join_domain spec in
+  let vr = spec.Spec.value_range in
+  let st = Random.State.make [| spec.Spec.seed + 1 |] in
+  let fresh_insert rel =
+    let t =
+      if String.equal rel "r1" then
+        R.Tuple.ints [ rand_below st vr; rand_below st dom ]
+      else R.Tuple.ints [ rand_below st dom; rand_below st vr ]
+    in
+    R.Update.insert rel t
+  in
+  let rec go db acc i =
+    if i >= spec.Spec.k_updates then List.rev acc
+    else begin
+      let rel = if rand_below st 2 = 0 then "r1" else "r2" in
+      let is_insert = Random.State.float st 1.0 < spec.Spec.insert_ratio in
+      let u =
+        if is_insert then fresh_insert rel
+        else
+          match pick_existing st db rel with
+          | Some t -> R.Update.delete rel t
+          | None -> fresh_insert rel
+      in
+      go (R.Db.apply db u) (u :: acc) (i + 1)
+    end
+  in
+  go db [] 0

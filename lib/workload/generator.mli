@@ -42,3 +42,27 @@ val pick_existing : Random.State.t -> R.Db.t -> string -> R.Tuple.t option
 
 val zipf_below : skew:float -> Random.State.t -> int -> int
 (** Zipf-distributed value in [[0, n)]; [skew = 0] is uniform. *)
+
+val selfmaint_r1 : R.Schema.t
+val selfmaint_r2 : R.Schema.t
+
+val selfmaint_schemas : R.Schema.t list
+(** FK target [r2] first — [Db.add_relation] validates references. *)
+
+val selfmaint_db : Spec.t -> R.Db.t
+(** r1(W KEY, X → r2(X), A) and r2(X KEY, Y, B), C tuples each, with
+    referential integrity holding by construction. *)
+
+val selfmaint_updates : Spec.t -> db:R.Db.t -> R.Update.t list
+(** Integrity-preserving stream: r1 inserts reference a live r2 key,
+    r2 deletes only remove unreferenced rows (substituting an insert
+    when no candidate exists). *)
+
+val adversarial_r1 : R.Schema.t
+val adversarial_r2 : R.Schema.t
+val adversarial_schemas : R.Schema.t list
+
+val adversarial_db : Spec.t -> R.Db.t
+(** The same join with no keys and no foreign keys. *)
+
+val adversarial_updates : Spec.t -> db:R.Db.t -> R.Update.t list

@@ -50,6 +50,45 @@ let keyed spec =
     updates = Generator.keyed_updates spec ~db;
   }
 
+(* The self-maintainable family: the keyed join plus a declared foreign
+   key r1.X → r2(X). π_{W,Y} leaves a column of each relation untouched,
+   so both auxiliary projections are proper reductions and every update
+   class is warehouse-local — ECA-SM's best case. The adversarial family
+   is the same join with all metadata stripped and every column
+   referenced: each candidate auxiliary view degenerates to a full base
+   copy and the analyzer reports every class Remote — ECA-SM refuses and
+   the ladder stays on the query rungs. *)
+let selfmaintainable_view () =
+  R.View.natural_join ~name:"VS"
+    ~proj:[ R.Attr.qualified "r1" "W"; R.Attr.qualified "r2" "Y" ]
+    [ Generator.selfmaint_r1; Generator.selfmaint_r2 ]
+
+let selfmaintainable spec =
+  let db = Generator.selfmaint_db spec in
+  {
+    db;
+    view = selfmaintainable_view ();
+    updates = Generator.selfmaint_updates spec ~db;
+  }
+
+let adversarial_view () =
+  R.View.natural_join ~name:"VA"
+    ~proj:
+      [
+        R.Attr.qualified "r1" "W";
+        R.Attr.qualified "r1" "X";
+        R.Attr.qualified "r2" "Y";
+      ]
+    [ Generator.adversarial_r1; Generator.adversarial_r2 ]
+
+let adversarial spec =
+  let db = Generator.adversarial_db spec in
+  {
+    db;
+    view = adversarial_view ();
+    updates = Generator.adversarial_updates spec ~db;
+  }
+
 (* The fault-profile matrix: one axis per channel misbehavior, plus the
    combined profile the acceptance experiments run — loss, duplication,
    delay and reordering at once. Rates are high enough that every fault

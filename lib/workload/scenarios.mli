@@ -31,6 +31,22 @@ val keyed_view : unit -> R.View.t
 
 val keyed : Spec.t -> setup
 
+val selfmaintainable_view : unit -> R.View.t
+(** [VS = π_{W,Y} (r1 ⋈ r2)] over r1(W KEY, X → r2(X), A) and
+    r2(X KEY, Y, B): every update class is warehouse-local, so ECA-SM
+    maintains it with zero compensating queries (DESIGN.md §4j). *)
+
+val selfmaintainable : Spec.t -> setup
+(** The ECA-SM best case, with an integrity-preserving update stream. *)
+
+val adversarial_view : unit -> R.View.t
+(** [VA = π_{W,X,Y} (r1 ⋈ r2)] with no keys and no foreign keys: every
+    candidate auxiliary view is a full base copy, so the analyzer
+    reports every class [Remote] and ECA-SM is not applicable. *)
+
+val adversarial : Spec.t -> setup
+(** The analyzer's worst case — exercises the honest-refusal path. *)
+
 val fault_profiles : (string * Messaging.Fault.profile) list
 (** The delivery-fault matrix the reliability experiments sweep: clean,
     each fault class in isolation, and the combined "chaos" profile. *)

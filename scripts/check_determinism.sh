@@ -133,5 +133,24 @@ if ! grep -q '"scale_stale_quiesce_max": 0' "$tmp/seq/BENCH_results.json"; then
   exit 1
 fi
 
+# The self-maintainability section (schema v9) must be present, its
+# eligible cell must report zero messages and zero fallbacks (ECA-SM
+# answering the whole stream warehouse-locally), and the observed run
+# must show staleness 0 at every quiescence probe. The section sits
+# inside the normalization window above, so its cells are also
+# PAR-invariance-checked like every other run.
+if ! grep -q '"selfmaint": {' "$tmp/seq/BENCH_results.json"; then
+  echo "check_determinism: FAIL — selfmaint section missing from bench output" >&2
+  exit 1
+fi
+if ! grep -q '"messages_eca_sm": 0' "$tmp/seq/BENCH_results.json"; then
+  echo "check_determinism: FAIL — ECA-SM sent messages on the self-maintainable workload" >&2
+  exit 1
+fi
+if ! grep -q '"fallback": 0' "$tmp/seq/BENCH_results.json"; then
+  echo "check_determinism: FAIL — ECA-SM took the query fallback on an eligible class" >&2
+  exit 1
+fi
+
 runs=$(grep -c '"figure"' "$tmp/seq/BENCH_results.json" || true)
 echo "check_determinism: OK — $runs runs identical between PAR=1 and PAR=$par (modulo wall clocks)"

@@ -19,7 +19,11 @@
 # within 5x the 10-source cell on the same total update count (the
 # O(active) event-loop gate — the historical O(N)-per-step readiness
 # rebuild pays ~10x there), and per-edge coalescing must ship strictly
-# fewer wire frames than the uncoalesced baseline. The summed per-run
+# fewer wire frames than the uncoalesced baseline. Schema >= 9 adds the
+# self-maintainability gate: the "selfmaint" object must be present and
+# its eligible cell must report messages_eca_sm = 0, bytes_eca_sm = 0
+# and fallback = 0 — ECA-SM answering the whole self-maintainable
+# stream warehouse-locally. The summed per-run
 # wall clock is compared — not the process total — because it measures
 # the work done and is invariant under the PAR worker count, whereas
 # total_wall_clock_s shrinks with parallel fan-out. Machine noise on
@@ -53,6 +57,10 @@ if [ "$schema_baseline" != "$schema_current" ]; then
   if [ "$schema_current" -ge 7 ] && [ "$schema_baseline" -lt 7 ]; then
     echo "perf_guard: the committed baseline predates the schema-7" \
       "multi-view catalog section." >&2
+  fi
+  if [ "$schema_current" -ge 9 ] && [ "$schema_baseline" -lt 9 ]; then
+    echo "perf_guard: the committed baseline predates the schema-9" \
+      "self-maintainability (ECA-SM) section." >&2
   fi
   echo "perf_guard: regenerate the committed baseline with the current" \
     "bench (dune exec bench/main.exe -- quick) before comparing." >&2
@@ -198,5 +206,38 @@ if [ "$schema_current" -ge 8 ]; then
       exit 1;
     }
     printf "perf_guard: coalescing OK\n";
+  }'
+fi
+
+# Self-maintainability gate (schema >= 9). The "selfmaint" object must
+# be present — a schema-9 file without one means the ECA-SM matrix
+# silently stopped running. Its eligible cell is then gated directly:
+# ECA-SM maintains the self-maintainable family with zero compensating
+# messages, zero transferred bytes and zero fallbacks. A mismatch here
+# usually means one of the two files predates schema 9 — the
+# schema_version check above reports that case explicitly.
+if [ "$schema_current" -ge 9 ]; then
+  if ! grep -q '"selfmaint": {' "$current_file"; then
+    echo "perf_guard: schema $schema_current output carries no" \
+      "\"selfmaint\" object — the self-maintainability section is missing." >&2
+    echo "perf_guard: regenerate with the current bench" \
+      "(dune exec bench/main.exe -- quick) and re-run." >&2
+    exit 2
+  fi
+  sm_msgs=$(extract "$current_file" messages_eca_sm)
+  sm_bytes=$(extract "$current_file" bytes_eca_sm)
+  sm_fallback=$(extract "$current_file" fallback)
+  if [ -z "$sm_msgs" ] || [ -z "$sm_bytes" ] || [ -z "$sm_fallback" ]; then
+    echo "perf_guard: selfmaint object carries no eligible-cell gate fields" \
+      "(messages_eca_sm / bytes_eca_sm / fallback)" >&2
+    exit 2
+  fi
+  awk -v m="$sm_msgs" -v b="$sm_bytes" -v f="$sm_fallback" 'BEGIN {
+    printf "perf_guard: ECA-SM eligible cell: M=%d B=%d fallbacks=%d\n", m, b, f;
+    if (m != 0 || b != 0 || f != 0) {
+      printf "perf_guard: FAIL — ECA-SM sent traffic on the self-maintainable workload\n";
+      exit 1;
+    }
+    printf "perf_guard: selfmaint OK\n";
   }'
 fi

@@ -387,12 +387,13 @@ let correct_algorithms_never_go_negative () =
     [ "eca"; "lca"; "rv"; "sc"; "eca-local" ]
 
 let registry_contents () =
-  check_int "eight algorithms" 8 (List.length Core.Registry.names);
+  check_int "nine algorithms" 9 (List.length Core.Registry.names);
   List.iter
     (fun name ->
       check_bool (name ^ " registered") true
         (Option.is_some (Core.Registry.find name)))
-    [ "basic"; "eca"; "eca-key"; "eca-local"; "lca"; "rv"; "sc"; "fetch-join" ];
+    [ "basic"; "eca"; "eca-key"; "eca-local"; "eca-sm"; "lca"; "rv"; "sc";
+      "fetch-join" ];
   match (Core.Registry.creator_exn "no-such" : A.creator) with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"

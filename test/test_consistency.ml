@@ -57,6 +57,20 @@ let invalid_intermediate_state () =
     ~source:[ s 0; s 2 ]
     ~warehouse:[ s 0; s 9; s 2 ]
 
+(* [last] must be a single tail-recursive pass: convergence only reads
+   the final states, and state sequences grow with the trace length. *)
+let long_histories_converge () =
+  let n = 100_000 in
+  let source = List.init n s in
+  check_bool "convergent reads only the final states" true
+    (C.convergent ~source_states:source ~warehouse_states:[ s (n - 1) ]);
+  check_bool "wrong tail detected" false
+    (C.convergent ~source_states:source ~warehouse_states:[ s 0 ]);
+  check_bool "empty warehouse history never converges" false
+    (C.convergent ~source_states:source ~warehouse_states:[]);
+  check_bool "empty source history never converges" false
+    (C.convergent ~source_states:[] ~warehouse_states:[ s 0 ])
+
 let out_of_order_states () =
   (* Every warehouse state is valid but the order is reversed: weakly
      consistent, convergent, yet not consistent. *)
@@ -165,6 +179,8 @@ let suite =
     Alcotest.test_case "wrong final state" `Quick wrong_final_state;
     Alcotest.test_case "invalid intermediate state" `Quick
       invalid_intermediate_state;
+    Alcotest.test_case "long histories converge" `Quick
+      long_histories_converge;
     Alcotest.test_case "out-of-order states" `Quick out_of_order_states;
     Alcotest.test_case "repeated matches allowed" `Quick
       repeated_matches_allowed;

@@ -146,6 +146,62 @@ let crossover_edges () =
        (fun k -> if k = 2 then 10.0 else float_of_int k)
        (fun _ -> 3.5))
 
+(* ------------------------------------------------------------------ *)
+(* The adaptive rung chooser (DESIGN.md 4j)                            *)
+(* ------------------------------------------------------------------ *)
+
+let m ?(updates = 10) ?(local_deletes = 0) ?(sm_fallback = 0) ?(aux_bytes = 0)
+    ?(base_bytes = 0) () =
+  { CM.Chooser.updates; local_deletes; sm_fallback; aux_bytes; base_bytes }
+
+let algo_of = function
+  | Some c -> c.CM.Chooser.algo
+  | None -> "<none>"
+
+let chooser_ladder () =
+  let ladder = [ "eca"; "eca-key"; "eca-sm"; "eca-local" ] in
+  (* fully self-maintainable window: ECA-SM ships nothing *)
+  let c =
+    CM.Chooser.choose (m ~local_deletes:4 ~aux_bytes:64 ()) ladder
+    |> Option.get
+  in
+  Alcotest.(check string)
+    "zero-fallback window picks eca-sm" "eca-sm" c.CM.Chooser.algo;
+  check_int "eca-sm ships no messages" 0 c.CM.Chooser.messages;
+  check_int "eca-sm storage is the measured aux bytes" 64 c.CM.Chooser.storage;
+  (* every class falls back: eca-sm degenerates to ECA's traffic plus
+     storage, so the key rung (fewer shipped updates) wins *)
+  Alcotest.(check string)
+    "all-fallback window rejects eca-sm" "eca-key"
+    (algo_of
+       (CM.Chooser.choose
+          (m ~local_deletes:4 ~sm_fallback:10 ~aux_bytes:64 ())
+          ladder));
+  (* identical prices everywhere: the tie breaks on storage, then on the
+     registry key, so plain eca beats the storage-carrying rung *)
+  Alcotest.(check string)
+    "flat window ties break to eca" "eca"
+    (algo_of (CM.Chooser.choose (m ~sm_fallback:10 ()) [ "eca"; "eca-sm" ]))
+
+let chooser_budget_and_policy () =
+  let mm = m ~aux_bytes:500 ~base_bytes:5000 () in
+  Alcotest.(check string)
+    "budget admits the aux views" "eca-sm"
+    (algo_of
+       (CM.Chooser.choose ~storage_budget:1000 mm [ "eca"; "eca-sm"; "sc" ]));
+  (* the budget excludes every candidate: degrade to leanest storage
+     rather than refusing to choose *)
+  Alcotest.(check string)
+    "over budget degrades to leanest storage" "eca-sm"
+    (algo_of (CM.Chooser.choose ~storage_budget:0 mm [ "eca-sm"; "sc" ]));
+  (* why SC's eligibility is a caller policy, not a price: an
+     M-minimizing chooser picks full base copies whenever admitted *)
+  Alcotest.(check string)
+    "sc wins whenever admitted" "sc"
+    (algo_of (CM.Chooser.choose (m ~base_bytes:9999 ()) [ "eca"; "sc" ]));
+  check_int "unpriceable keys are skipped" 0
+    (List.length (CM.Chooser.score (m ()) [ "basic"; "fetch-join"; "lca" ]))
+
 let suite =
   [
     Alcotest.test_case "parameter defaults" `Quick defaults;
@@ -158,4 +214,7 @@ let suite =
     Alcotest.test_case "IO: crossovers" `Quick io_crossovers;
     Alcotest.test_case "M: message counts" `Quick message_counts;
     Alcotest.test_case "crossover edge cases" `Quick crossover_edges;
+    Alcotest.test_case "chooser: rung ladder pricing" `Quick chooser_ladder;
+    Alcotest.test_case "chooser: budget and policy" `Quick
+      chooser_budget_and_policy;
   ]

@@ -89,6 +89,37 @@ let warehouse_routes_answers () =
     (Core.Warehouse.handle_answer wh ~gid:999 R.Bag.empty
      = Core.Warehouse.no_reaction)
 
+(* Shared gids must keep their subscribers owner-first in host order —
+   the answer fan-out and the observability labels both depend on it, and
+   the subscription path appends one entry at a time (regression test for
+   the O(1)-append route representation). *)
+let shared_route_order_pins_owner_first () =
+  let db = small_db () in
+  let names = [ "A"; "B"; "C"; "D" ] in
+  let wh =
+    Core.Warehouse.of_creator ~share:true ~creator:Core.Eca.instance
+      ~configs:
+        (List.map
+           (fun n ->
+             Core.Algorithm.Config.of_view_db (view_w ~name:n ()) db)
+           names)
+      ()
+  in
+  let reaction = Core.Warehouse.handle_update wh (ins "r2" [ 2; 3 ]) in
+  (match reaction.Core.Warehouse.queries with
+  | [ (gid, _) ] ->
+    Alcotest.(check (list string))
+      "subscribers owner-first in host order" names
+      (List.map fst (Core.Warehouse.gid_subscribers wh gid));
+    (match Core.Warehouse.gid_view wh gid with
+    | Some ("A", _) -> ()
+    | _ -> Alcotest.fail "gid must be owned by the first host");
+    let r = Core.Warehouse.handle_answer wh ~gid (bag [ [ 1; 3 ] ]) in
+    Alcotest.(check (list string))
+      "answers delivered owner-first" names
+      (List.map fst r.Core.Warehouse.installs)
+  | qs -> Alcotest.failf "expected one shared query, got %d" (List.length qs))
+
 (* Dispatch is total: message kinds the warehouse never legitimately
    receives are absorbed as recorded anomalies — a misrouted message must
    not take down every hosted view (used to raise Invalid_argument). *)
@@ -290,6 +321,8 @@ let suite =
     Alcotest.test_case "trace entry order" `Quick trace_entry_order;
     Alcotest.test_case "warehouse routes answers" `Quick
       warehouse_routes_answers;
+    Alcotest.test_case "shared routes stay owner-first" `Quick
+      shared_route_order_pins_owner_first;
     Alcotest.test_case "warehouse absorbs misrouted messages" `Quick
       warehouse_absorbs_misrouted_messages;
     Alcotest.test_case "install history" `Quick install_history_accumulates;
