@@ -34,8 +34,9 @@ bench-throughput:
 # One-stop pre-commit gate: build everything, run the test suite (plus
 # the fault-injection/reliability suites, the golden-trace equivalence
 # check pinning Runner/Federation to the engine byte-for-byte, and the
-# engine suite, all explicitly, so a filtered or cached runtest can
-# never silently skip them), check that the parallel
+# engine, selfmaint and evolution suites, all explicitly, so a filtered
+# or cached runtest can never silently skip them), check that the
+# parallel
 # bench is deterministic (PAR=1 and PAR=4 emit identical runs arrays),
 # run the quick benchmark, and fail if its summed per-run wall clock
 # regressed more than 2x against the committed BENCH_results.json
@@ -50,6 +51,7 @@ smoke:
 	dune exec test/main.exe -- test golden
 	dune exec test/main.exe -- test engine
 	dune exec test/main.exe -- test selfmaint
+	dune exec test/main.exe -- test evolution
 	dune build bench/main.exe
 	sh scripts/check_determinism.sh ./_build/default/bench/main.exe 4
 	@if [ -f BENCH_results.json ]; then \

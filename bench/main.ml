@@ -184,6 +184,12 @@ let scaling_json : string option ref = ref None
    window. *)
 let selfmaint_json : string option ref = ref None
 
+(* And for the top-level "evolution" object (schema v10), filled by
+   [bench_evolution]: online schema changes (DDL × fault × channel) and
+   the windowed-view counters — emitted after "selfmaint" inside the
+   same normalization window. *)
+let evolution_json : string option ref = ref None
+
 let write_json ~path ~mode ~total_wall_s =
   let oc = open_out path in
   Fun.protect
@@ -193,7 +199,7 @@ let write_json ~path ~mode ~total_wall_s =
         List.fold_left (fun acc r -> acc +. r.r_wall_s) 0.0 !json_runs
       in
       Printf.fprintf oc "{\n";
-      Printf.fprintf oc "  \"schema_version\": 9,\n";
+      Printf.fprintf oc "  \"schema_version\": 10,\n";
       Printf.fprintf oc "  \"mode\": \"%s\",\n" (json_escape mode);
       Printf.fprintf oc "  \"workers\": %d,\n" workers;
       Printf.fprintf oc "  \"total_wall_clock_s\": %.3f,\n" total_wall_s;
@@ -217,6 +223,9 @@ let write_json ~path ~mode ~total_wall_s =
       | None -> ());
       (match !selfmaint_json with
       | Some s -> Printf.fprintf oc "  \"selfmaint\": %s,\n" s
+      | None -> ());
+      (match !evolution_json with
+      | Some s -> Printf.fprintf oc "  \"evolution\": %s,\n" s
       | None -> ());
       Printf.fprintf oc "  \"runs\": [";
       List.iteri
@@ -2016,6 +2025,173 @@ let bench_selfmaint () =
          stale_quiesce_max cells_json)
 
 (* ------------------------------------------------------------------ *)
+(* Online schema evolution and windowed views (schema v10)             *)
+(* ------------------------------------------------------------------ *)
+
+let bench_evolution () =
+  header "Online schema evolution: DDL x fault x channel, and windowed views";
+  let spec = W.Spec.make ~c:20 ~j:2 ~k_updates:24 ~insert_ratio:0.6 ~seed:13 () in
+  let { W.Scenarios.db; view; updates; ddls } = W.Scenarios.evolution spec in
+  (* The evolved-schema oracle: weave the DDLs through the stream exactly
+     as the engine does, then recompute over the final database with the
+     final view definition. *)
+  let final_db =
+    let fire db ddls applied =
+      let now, later = List.partition (fun (p, _) -> p <= applied) ddls in
+      (List.fold_left (fun db (_, d) -> R.Evolve.db db d) db now, later)
+    in
+    let rec go db applied ups ddls =
+      let db, ddls = fire db ddls applied in
+      match ups with
+      | [] -> fst (fire db ddls max_int)
+      | u :: rest -> go (R.Db.apply db u) (applied + 1) rest ddls
+    in
+    go db 0 updates ddls
+  in
+  let final_vd =
+    List.fold_left
+      (fun vd (_, d) ->
+        if R.Evolve.affects vd d then R.Evolve.viewdef vd d else vd)
+      (R.Viewdef.simple view) ddls
+  in
+  let truth = R.Viewdef.eval final_db final_vd in
+  let exec_cell ((pname, fault), reliable) =
+    let t0 = Unix.gettimeofday () in
+    let result =
+      Core.Runner.run
+        ~schedule:(Core.Scheduler.Random 13)
+        ~fault ~fault_seed:29 ~reliable ~evolution:ddls
+        ~creator:(Core.Registry.creator_exn "eca")
+        ~views:[ view ] ~db ~updates ()
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let m = result.Core.Runner.metrics in
+    let ok = R.Bag.equal truth (List.assoc "VK" result.Core.Runner.final_mvs) in
+    (pname, reliable, wall_s, m, ok)
+  in
+  let matrix =
+    List.concat_map
+      (fun (pname, fault) ->
+        List.map (fun reliable -> ((pname, fault), reliable)) [ false; true ])
+      W.Scenarios.fault_profiles
+  in
+  let cells = Parallel.Pool.map pool exec_cell (Array.of_list matrix) in
+  Printf.printf "%-26s %8s %8s %5s %7s %8s %8s\n" "cell" "logical" "rebuilt"
+    "ddl" "stale" "retired" "correct";
+  Array.iter
+    (fun (pname, reliable, wall_s, m, ok) ->
+      let e =
+        match m.Core.Metrics.evolution with
+        | Some e -> e
+        | None -> failwith "evolution: run carries no evolution metrics"
+      in
+      let label =
+        Printf.sprintf "eca[ddl/%s/%s]" pname
+          (if reliable then "reliable" else "raw")
+      in
+      record ~delivery:m.Core.Metrics.delivery ~algorithm:label ~wall_s
+        {
+          m_messages = Core.Metrics.messages m;
+          m_tuples = m.Core.Metrics.answer_tuples;
+          m_bytes = Core.Metrics.bytes_for ~s:s_bytes m;
+          m_io = m.Core.Metrics.source_io;
+        };
+      Printf.printf "%-26s %8d %8d %5d %7d %8d %8s\n" label
+        (Core.Metrics.messages m) e.Core.Metrics.views_rebuilt
+        e.Core.Metrics.ddl_applied e.Core.Metrics.stale_answers
+        e.Core.Metrics.retired_answers
+        (if ok then "yes" else "NO");
+      (* The surviving rung: every FIFO cell (clean or reliable) must end
+         at the evolved-schema oracle with its tombstone budget closed;
+         raw faulty channels may diverge — that is the witness that FIFO
+         carries the DDL protocol. *)
+      if reliable || String.equal pname "clean" then begin
+        if not ok then failwith (label ^ ": diverged from the evolved oracle");
+        if e.Core.Metrics.ddl_applied <> List.length ddls then
+          failwith (label ^ ": not every schema change was applied");
+        if e.Core.Metrics.stale_answers > e.Core.Metrics.retired_answers then
+          failwith (label ^ ": a stale answer was never absorbed")
+      end)
+    cells;
+  (* The windowed view: a delete-heavy keyed workload (deletes reach back
+     into old partitions, so compensation prunes out-of-window terms and
+     answers locally) under a trailing-4-partition window on r2.Y, judged
+     against the windowed recompute. *)
+  let wspec = W.Spec.make ~c:20 ~j:2 ~k_updates:24 ~insert_ratio:0.35 ~seed:13 () in
+  let { W.Scenarios.db = wdb; view = wview; updates = wupdates } =
+    W.Scenarios.keyed wspec
+  in
+  let window = { Core.Window.rel = "r2"; col = "Y"; k = 4 } in
+  let wresult =
+    Core.Runner.run
+      ~schedule:(Core.Scheduler.Random 13)
+      ~windows:[ ("VK", window) ]
+      ~creator:(Core.Registry.creator_exn "eca")
+      ~views:[ wview ] ~db:wdb ~updates:wupdates ()
+  in
+  let wvd = R.Viewdef.simple wview in
+  let wst = Core.Window.make window wvd in
+  Core.Window.init_watermark wst (R.Viewdef.eval wdb wvd);
+  List.iter (Core.Window.observe_update wst) wupdates;
+  let wtruth =
+    Core.Window.filter wst (R.Viewdef.eval (R.Db.apply_all wdb wupdates) wvd)
+  in
+  if
+    not
+      (R.Bag.equal wtruth (List.assoc "VK" wresult.Core.Runner.final_mvs))
+  then failwith "evolution: the windowed run diverged from windowed recompute";
+  let we =
+    match wresult.Core.Runner.metrics.Core.Metrics.evolution with
+    | Some e -> e
+    | None -> failwith "evolution: windowed run carries no evolution metrics"
+  in
+  Printf.printf
+    "windowed cell (k=4): pruned_terms=%d local_answers=%d aged_partitions=%d\n"
+    we.Core.Metrics.win_pruned_terms we.Core.Metrics.win_local_answers
+    we.Core.Metrics.win_aged_partitions;
+  if we.Core.Metrics.win_aged_partitions = 0 then
+    failwith "evolution: the windowed workload aged no partition out";
+  if we.Core.Metrics.win_pruned_terms = 0 then
+    failwith "evolution: the windowed workload pruned no compensation term";
+  let cells_json =
+    String.concat ",\n      "
+      (List.map
+         (fun (pname, reliable, wall_s, m, ok) ->
+           let e = Option.get m.Core.Metrics.evolution in
+           Printf.sprintf
+             "{ \"profile\": \"%s\", \"channel\": \"%s\", \
+              \"wall_clock_s\": %.6f, \"messages\": %d, \
+              \"ddl_applied\": %d, \"views_rebuilt\": %d, \
+              \"refresh_queries\": %d, \"stale_answers\": %d, \
+              \"retired_answers\": %d, \"correct\": %b }"
+             (json_escape pname)
+             (if reliable then "reliable" else "raw")
+             wall_s (Core.Metrics.messages m) e.Core.Metrics.ddl_applied
+             e.Core.Metrics.views_rebuilt e.Core.Metrics.refresh_queries
+             e.Core.Metrics.stale_answers e.Core.Metrics.retired_answers ok)
+         (Array.to_list cells))
+  in
+  evolution_json :=
+    Some
+      (Printf.sprintf
+         "{\n\
+         \    \"view\": \"VK\",\n\
+         \    \"updates\": %d,\n\
+         \    \"ddls\": %d,\n\
+         \    \"stale_quiesce_max\": 0,\n\
+         \    \"window_k\": %d,\n\
+         \    \"win_pruned_terms\": %d,\n\
+         \    \"win_local_answers\": %d,\n\
+         \    \"win_aged_partitions\": %d,\n\
+         \    \"cells\": [\n\
+         \      %s\n\
+         \    ]\n\
+         \  }"
+         (List.length updates) (List.length ddls) window.Core.Window.k
+         we.Core.Metrics.win_pruned_terms we.Core.Metrics.win_local_answers
+         we.Core.Metrics.win_aged_partitions cells_json)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -2144,6 +2320,7 @@ let () =
   bench_catalog ();
   bench_scaling ();
   bench_selfmaint ();
+  bench_evolution ();
   bench_throughput ();
   if not quick then bechamel_section ();
   Parallel.Pool.shutdown pool;

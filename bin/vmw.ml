@@ -309,7 +309,7 @@ let run_script path algorithm schedule rv_period scenario trace json loads
     Core.Runner.run_defs
       ~catalog:(catalog_for scenario)
       ~schedule ~rv_period ~batch_size ?trace_out
-      ~share_deltas
+      ~share_deltas ~evolution:script.R.Script.ddls
       ~creator:(Core.Timing.creator timing base_creator)
       ~views:script.R.Script.views ~db ~updates:script.R.Script.updates ()
   with
@@ -323,6 +323,7 @@ let run_script path algorithm schedule rv_period scenario trace json loads
   | exception Core.Eca_key.Not_applicable m -> Error m
   | exception Core.Sc.Not_applicable m -> Error m
   | exception Core.Catalog.Catalog_error m -> Error m
+  | exception Core.Runner.Run_error m -> Error ("run error: " ^ m)
   | result ->
     if json then print_endline (Core.Json_export.result result)
     else begin
@@ -441,7 +442,10 @@ let inspect_script path =
       (List.length
          (List.filter
             (fun (u : R.Update.t) -> u.R.Update.kind = R.Update.Delete)
-            script.R.Script.updates))
+            script.R.Script.updates));
+    if script.R.Script.ddls <> [] then
+      Format.printf "schema changes: %d (ALTER TABLE, woven into the stream)@."
+        (List.length script.R.Script.ddls)
   with
   | exception Sys_error m -> Error m
   | exception R.Parser.Parse_error m -> Error ("parse error: " ^ m)
@@ -715,6 +719,7 @@ let consistency_matrix path =
               let cell =
                 match
                   Core.Runner.run_defs ~schedule
+                    ~evolution:script.R.Script.ddls
                     ~creator:(Core.Registry.creator_exn algorithm)
                     ~views:script.R.Script.views ~db
                     ~updates:script.R.Script.updates ()
@@ -748,6 +753,7 @@ let consistency_matrix path =
   | exception R.View.View_error m -> Error ("view error: " ^ m)
   | exception R.Db.Db_error m -> Error ("database error: " ^ m)
   | exception Failure m -> Error m
+  | exception Core.Runner.Run_error m -> Error ("run error: " ^ m)
   | () -> Ok ()
 
 let matrix_cmd =

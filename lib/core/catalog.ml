@@ -13,6 +13,7 @@ let error fmt = Format.kasprintf (fun s -> raise (Catalog_error s)) fmt
 type entry = {
   view : R.Viewdef.t;
   algo : string;  (* a Registry key *)
+  window : Window.spec option;  (* trailing-k-partition restriction *)
 }
 
 (* The algorithm ladder, cheapest round trips first: ECAK handles every
@@ -31,7 +32,7 @@ let auto_rung (vd : R.Viewdef.t) =
   else if Eca_local.local_capable vd then "eca-local"
   else "eca"
 
-let entry ?algo view =
+let entry ?algo ?window view =
   let algo =
     match algo with
     | Some a ->
@@ -42,9 +43,20 @@ let entry ?algo view =
       a
     | None -> auto_rung view
   in
-  { view; algo }
+  (* Validate the window spec eagerly — registration, not first
+     dispatch, is where a bad partition attribute should fail. *)
+  (match window with
+  | Some spec -> ignore (Window.make spec view)
+  | None -> ());
+  { view; algo; window }
 
 let views entries = List.map (fun e -> e.view) entries
+
+let windows entries =
+  List.filter_map
+    (fun e ->
+      Option.map (fun spec -> (e.view.R.Viewdef.name, spec)) e.window)
+    entries
 
 let algorithms entries =
   List.map (fun e -> (e.view.R.Viewdef.name, e.algo)) entries

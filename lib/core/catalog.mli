@@ -12,6 +12,9 @@ exception Catalog_error of string
 type entry = {
   view : R.Viewdef.t;
   algo : string;  (** a {!Registry} key *)
+  window : Window.spec option;
+      (** when set, the view is registered as a trailing-k-partition
+          (windowed) view — see {!Window} *)
 }
 
 val auto_rung : R.Viewdef.t -> string
@@ -23,12 +26,18 @@ val auto_rung : R.Viewdef.t -> string
     computable, ["eca"] otherwise. SC is never auto-chosen — full base
     copies are a policy decision. *)
 
-val entry : ?algo:string -> R.Viewdef.t -> entry
-(** A catalog entry; without [?algo] the rung is {!auto_rung}.
-    @raise Catalog_error on an unknown algorithm key. *)
+val entry : ?algo:string -> ?window:Window.spec -> R.Viewdef.t -> entry
+(** A catalog entry; without [?algo] the rung is {!auto_rung}. A
+    [?window] registers the view as windowed and is validated eagerly.
+    @raise Catalog_error on an unknown algorithm key.
+    @raise Window.Window_error on an invalid window spec. *)
 
 val views : entry list -> R.Viewdef.t list
 val algorithms : entry list -> (string * string) list
+
+val windows : entry list -> (string * Window.spec) list
+(** The windowed entries as [(view name, spec)] pairs — what
+    {!Runner.run_catalog} passes to {!Engine.run}'s [?windows]. *)
 
 val creator : entry list -> Algorithm.creator
 (** One creator dispatching on the view's name — what

@@ -107,14 +107,13 @@ let on_batch t us =
     Algorithm.send_one id !batch_remote
   end
 
-let instance cfg =
-  let t = create cfg in
+let of_state t =
   {
     Algorithm.name = "eca";
     (* Viewdef.delta and Query.subst are both empty for a foreign base
        relation, so an update outside the view's relations provably
        yields [nothing] and touches no state: safe to skip at dispatch. *)
-    interest = Some (R.Viewdef.relation_names cfg.Algorithm.Config.view);
+    interest = Some (R.Viewdef.relation_names t.view);
     on_update = on_update t;
     on_batch = on_batch t;
     on_answer = (fun ~id a -> on_answer t ~id a);
@@ -123,3 +122,24 @@ let instance cfg =
     quiescent = (fun () -> quiescent t);
     counters = (fun () -> []);
   }
+
+let instance cfg = of_state (create cfg)
+
+(* Online (re)initialization: start from an empty materialization with the
+   full view query V' already pending in the UQS, as if the view's birth
+   were the maintenance of one big insertion (Section 5.2's observation
+   that initialization is just maintenance of the full query). Updates
+   arriving while the query is in flight are compensated by the ordinary
+   ECA algebra — V'⟨U⟩ − Q0⟨U⟩ — so the state installed when the UQS
+   drains reflects every update the source executed, on whichever side of
+   the query it landed. This is what the warehouse swaps in when a schema
+   change invalidates a hosted view. *)
+let refresh cfg =
+  let t = create { cfg with Algorithm.Config.init_mv = R.Bag.empty } in
+  let q = R.Query.simplify (R.Viewdef.full_query t.view) in
+  if R.Query.is_empty q then (of_state t, Algorithm.install t.mv)
+  else begin
+    t.uqs <- R.Fqueue.push t.uqs (0, q);
+    t.next_id <- 1;
+    (of_state t, Algorithm.send_one 0 q)
+  end

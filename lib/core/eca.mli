@@ -47,3 +47,12 @@ val on_update : t -> R.Update.t -> Algorithm.outcome
 val on_answer : t -> id:int -> R.Bag.t -> Algorithm.outcome
 
 val instance : Algorithm.creator
+
+val refresh : Algorithm.Config.t -> Algorithm.instance * Algorithm.outcome
+(** Online (re)initialization: an instance born with an empty
+    materialization and the full view query already pending (id 0),
+    returned together with the outcome that ships that query. Updates
+    arriving before the answer are compensated by the ordinary ECA
+    algebra — initialization {e is} maintenance of the full view query.
+    The warehouse swaps this in when a source schema change invalidates
+    a hosted view. *)

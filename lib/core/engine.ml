@@ -80,8 +80,8 @@ type obs_state = {
 let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
     ?local_literal_eval ?(allow_cross_source = false) ?(max_steps = 2_000_000)
     ?(oracle = Incremental) ?observe ?(share_deltas = false)
-    ?(coalesce = false) ?shard ?(track_scale = false) ~creator ~sites:specs
-    ~views ~updates () =
+    ?(coalesce = false) ?shard ?(track_scale = false) ?(evolution = [])
+    ?(windows = []) ~creator ~sites:specs ~views ~updates () =
   if batch_size < 1 then raise (Engine_error "batch_size must be at least 1");
   if specs = [] then
     raise (Engine_error "a site graph needs at least one source");
@@ -167,9 +167,41 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
         Algorithm.Config.of_db ~rv_period ?local_literal_eval v db)
       views view_site
   in
+  (* Windowed views: one Window.state drives the warehouse-side wrapper
+     (watermark advanced by *delivered* notifications) and an independent
+     one windows the centralized oracle (watermark advanced at source
+     execution). Under reliable delivery the two watermarks agree at
+     every quiescent point; under raw faulty channels they may diverge —
+     exactly the divergence the consistency checkers then witness. *)
+  let wh_win = Hashtbl.create 8 in
+  let oracle_win = Hashtbl.create 8 in
+  List.iter
+    (fun (name, spec) ->
+      match
+        List.find_opt
+          (fun (v : R.Viewdef.t) -> String.equal v.R.Viewdef.name name)
+          views
+      with
+      | None -> error "window declared for unknown view %s" name
+      | Some v ->
+        Hashtbl.replace wh_win name (Window.make spec v);
+        Hashtbl.replace oracle_win name (Window.make spec v))
+    windows;
+  let creator cfg =
+    let inst = creator cfg in
+    match
+      Hashtbl.find_opt wh_win cfg.Algorithm.Config.view.R.Viewdef.name
+    with
+    | None -> inst
+    | Some st -> Window.wrap st inst
+  in
   let warehouse =
     Warehouse.of_creator ~share:share_deltas ?pool:shard ~creator ~configs ()
   in
+  (* With DDLs in the stream, a faulty channel can deliver a notification
+     before the Ddl_note explaining its new shape — arm the warehouse's
+     schema screen up front, not at the first (possibly late) note. *)
+  if evolution <> [] then Warehouse.enable_ddl_guard warehouse;
   let sched = Scheduler.create schedule in
   (* Oracle state: the current source-view contents, one slot per view in
      [views] order, advanced as updates execute at the sources. A
@@ -211,16 +243,38 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
     | Some i -> R.Viewdef.eval (Source_site.Source.db sites.(i).source) v
     | None -> R.Viewdef.eval (merged_db ()) v
   in
+  let snap = Array.init nviews snapshot_view in
+  (* The oracle's windowed lens: the snapshot array stays unwindowed (the
+     delta programs maintain the full view), and the window filter is
+     applied at every reporting boundary — trace states, staleness
+     samples, final states — so windowed runs are judged
+     windowed-vs-windowed. *)
+  let owin vi = Hashtbl.find_opt oracle_win vname.(vi) in
+  Array.iteri
+    (fun vi b ->
+      match owin vi with Some st -> Window.init_watermark st b | None -> ())
+    snap;
+  let oracle_view vi =
+    match owin vi with
+    | Some st -> Window.filter st snap.(vi)
+    | None -> snap.(vi)
+  in
   let initial_views =
-    Array.to_list (Array.init nviews (fun vi -> (vname.(vi), snapshot_view vi)))
+    Array.to_list (Array.init nviews (fun vi -> (vname.(vi), oracle_view vi)))
   in
   let trace = Trace.create ~initial_views in
-  let snap = Array.of_list (List.map snd initial_views) in
-  (* Staged delta programs for the compiled oracle advance, built on
-     first use so runs with the compiled path disabled never pay for
-     staging. *)
-  let staged_programs =
-    lazy (Array.map R.Delta_program.stage views_arr)
+  (* Staged delta programs for the compiled oracle advance, built per
+     view on first use so runs with the compiled path disabled never pay
+     for staging — and invalidated individually when a schema change
+     rewrites a view mid-stream. *)
+  let staged_programs = Array.make nviews None in
+  let staged vi =
+    match staged_programs.(vi) with
+    | Some p -> p
+    | None ->
+      let p = R.Delta_program.stage views_arr.(vi) in
+      staged_programs.(vi) <- Some p;
+      p
   in
   let advance_cross () =
     match !cross_views with
@@ -254,10 +308,9 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
     | first :: _ ->
       let tuples = List.map (fun (u : R.Update.t) -> u.R.Update.tuple) us in
       let db = Source_site.Source.db sites.(i).source in
-      let staged = Lazy.force staged_programs in
       List.iter
         (fun vi ->
-          match R.Delta_program.of_update staged.(vi) first with
+          match R.Delta_program.of_update (staged vi) first with
           | None -> ()
           | Some prog ->
             snap.(vi) <-
@@ -274,7 +327,7 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
      site's own views plus every cross-source view. Only these appear in
      the trace entry, so per-source state sequences stay per-source. *)
   let affected_views i =
-    List.map (fun vi -> (vname.(vi), snap.(vi))) affected_idx.(i)
+    List.map (fun vi -> (vname.(vi), oracle_view vi)) affected_idx.(i)
   in
   let site_of_update (u : R.Update.t) =
     if n = 1 then 0
@@ -293,7 +346,39 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
         | None -> error "no source owns relation %s" rel)
       | [] -> 0  (* all-literal queries can go anywhere; pick the first *)
   in
-  let pending = ref updates in
+  let site_of_ddl (d : R.Update.ddl) =
+    if n = 1 then 0
+    else
+      match Hashtbl.find_opt owner (R.Update.ddl_rel d) with
+      | Some i -> i
+      | None -> error "no source owns relation %s" (R.Update.ddl_rel d)
+  in
+  (* The workload item stream: DML updates woven with the scheduled
+     schema changes. A change at position [p] fires after [p] updates
+     have been applied; with no [evolution] the stream is exactly the
+     update list and the run is byte-identical to a pre-evolution one. *)
+  let items =
+    match evolution with
+    | [] -> List.map (fun u -> `U u) updates
+    | evo ->
+      let evo =
+        List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) evo
+      in
+      let rec weave applied ups evo acc =
+        match evo with
+        | (p, d) :: evo' when p <= applied -> weave applied ups evo' (`D d :: acc)
+        | _ -> (
+          match ups with
+          | [] -> List.rev_append acc (List.map (fun (_, d) -> `D d) evo)
+          | u :: ups' -> weave (applied + 1) ups' evo (`U u :: acc))
+      in
+      weave 0 updates evo []
+  in
+  let site_of_item = function
+    | `U u -> site_of_update u
+    | `D d -> site_of_ddl d
+  in
+  let pending = ref items in
   let next_seq = ref 0 in
   let m = ref Metrics.zero in
   let bump f = m := f !m in
@@ -333,9 +418,9 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
     | [] ->
       Scheduler.Ready.set_update ready false;
       Scheduler.Ready.set_update_site ready (-1)
-    | u :: _ ->
+    | it :: _ ->
       Scheduler.Ready.set_update ready true;
-      Scheduler.Ready.set_update_site ready (site_of_update u)
+      Scheduler.Ready.set_update_site ready (site_of_item it)
   in
   (* The spans' logical clock: the engine's step counter, bumped once per
      scheduler decision before the event executes — deterministic across
@@ -391,7 +476,7 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
       (fun (name, ov) ->
         (match (Warehouse.mv warehouse name, Hashtbl.find_opt name_to_idx name)
          with
-        | Some mv, Some vi when R.Bag.equal mv snap.(vi) ->
+        | Some mv, Some vi when R.Bag.equal mv (oracle_view vi) ->
           ov.ov_last_match <- t
         | _ -> ());
         let stale = t - ov.ov_last_match in
@@ -447,29 +532,70 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
         refresh_edge i)
       queries
   in
+  let ddl_applied = ref 0 in
+  let refresh_queries = ref 0 in
+  (* One atomic source event for a schema change: apply it to the base
+     relations, rewrite the oracle's definitions of every affected view
+     (their delta programs are restaged on next use), and notify the
+     warehouse with a [Ddl_note] on the owning edge. On a FIFO edge the
+     note precedes every later message, so the warehouse always rebuilds
+     before any tombstone answer arrives — the order raw faulty channels
+     may break. *)
+  let apply_ddl_at_source i (d : R.Update.ddl) =
+    (try
+       Source_site.Source.execute_ddl sites.(i).source d;
+       for vi = 0 to nviews - 1 do
+         if R.Evolve.affects views_arr.(vi) d then begin
+           views_arr.(vi) <- R.Evolve.viewdef views_arr.(vi) d;
+           staged_programs.(vi) <- None;
+           (match owin vi with
+           | Some st -> Window.rebuild st views_arr.(vi)
+           | None -> ());
+           snap.(vi) <- snapshot_view vi
+         end
+       done
+     with R.Evolve.Evolve_error msg ->
+       error "schema change %s rejected: %s" (R.Update.ddl_to_string d) msg);
+    R.Delta_program.clear_cache ();
+    incr ddl_applied;
+    let affected = ref [] in
+    for vi = nviews - 1 downto 0 do
+      if R.Evolve.affects views_arr.(vi) d then
+        affected := (vname.(vi), oracle_view vi) :: !affected
+    done;
+    let msg = Messaging.Message.Ddl_note d in
+    Log.debug (fun f -> f "ddl %a" Messaging.Message.pp msg);
+    Messaging.Network.send sites.(i).net Messaging.Network.To_warehouse msg;
+    with_obs (fun o -> sample_staleness o);
+    Trace.record trace
+      (Trace.Source_ddl { ddl = d; source_views = !affected });
+    i
+  in
   let apply_update () =
     (* One atomic source event: execute up to [batch_size] consecutive
        updates of one source, then notify the warehouse once. A batch
-       never spans sources — each notification travels one edge. *)
+       never spans sources — each notification travels one edge. A
+       schema change is always its own event: it never batches or
+       coalesces with DML. *)
     match !pending with
     | [] -> raise (Engine_error "apply_update with empty workload")
-    | first :: _ ->
+    | `D d :: rest ->
+      pending := rest;
+      apply_ddl_at_source (site_of_ddl d) d
+    | `U first :: _ ->
       let i = site_of_update first in
       let rec take k acc =
         if k = 0 then List.rev acc
         else
           match !pending with
-          | [] -> List.rev acc
-          | u :: rest ->
-            if site_of_update u <> i then List.rev acc
-            else begin
-              pending := rest;
-              incr next_seq;
-              let u =
-                if u.R.Update.seq = 0 then R.Update.with_seq !next_seq u else u
-              in
-              take (k - 1) (u :: acc)
-            end
+          | `U u :: rest when site_of_update u = i ->
+            pending := rest;
+            incr next_seq;
+            let u =
+              if u.R.Update.seq = 0 then R.Update.with_seq !next_seq u else u
+            in
+            take (k - 1) (u :: acc)
+          | _ -> List.rev acc
       in
       let batch = take batch_size [] in
       (* Per-edge coalescing: keep absorbing consecutive updates of the
@@ -487,7 +613,7 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
           | last :: _ ->
             let rec extend (prev : R.Update.t) acc =
               match !pending with
-              | u :: rest
+              | `U u :: rest
                 when site_of_update u = i
                      && String.equal u.R.Update.rel prev.R.Update.rel
                      && u.R.Update.kind = prev.R.Update.kind ->
@@ -529,6 +655,10 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
            (fun u -> Source_site.Source.execute_update sites.(i).source u)
            batch;
          recompute_snapshots ());
+      if windows <> [] then
+        List.iter
+          (fun u -> Hashtbl.iter (fun _ st -> Window.observe_update st u) oracle_win)
+          batch;
       let note =
         match batch with
         | [ u ] -> Messaging.Message.Update_note u
@@ -583,14 +713,37 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
       Trace.record trace (Trace.Source_answer { gid = id; answer; cost })
     | Some
         ( Messaging.Message.Update_note _ | Messaging.Message.Batch_note _
-        | Messaging.Message.Answer _ | Messaging.Message.Data _
-        | Messaging.Message.Ack _ ) ->
+        | Messaging.Message.Answer _ | Messaging.Message.Ddl_note _
+        | Messaging.Message.Data _ | Messaging.Message.Ack _ ) ->
       raise (Engine_error "source received a non-query message")
   in
   let algo_of_view name =
     match List.assoc_opt name (Warehouse.algorithms warehouse) with
     | Some a -> a
     | None -> ""
+  in
+  (* The warehouse's rebuild callback for one schema change: rewrite the
+     hosted definition and swap in an online-refreshing ECA instance
+     (the universal rung — a view that sat on a cheaper rung is demoted
+     until its next registration), re-wrapped in its window when the
+     view is windowed. The refresh instance starts from an empty
+     materialization and a full-view query; it never reads source state
+     directly. *)
+  let rebuild_view d vd =
+    let vd' = R.Evolve.viewdef vd d in
+    let cfg =
+      Algorithm.Config.make ~rv_period ?local_literal_eval ~view:vd'
+        ~init_mv:R.Bag.empty ()
+    in
+    let inst, outcome = Eca.refresh cfg in
+    let inst =
+      match Hashtbl.find_opt wh_win vd'.R.Viewdef.name with
+      | None -> inst
+      | Some st ->
+        Window.rebuild st vd';
+        Window.wrap st inst
+    in
+    (vd', inst, outcome)
   in
   (* A notification landed at the warehouse: close its flight span, then
      derive one Compensation event per query still outstanding — those
@@ -684,7 +837,17 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
               | None -> ())
             | None -> ())
           | _ -> ());
-      let reaction = Warehouse.handle_message warehouse msg in
+      let reaction, ddl_rebuilt =
+        match msg with
+        | Messaging.Message.Ddl_note d ->
+          let reaction, rebuilt =
+            Warehouse.apply_ddl warehouse d ~rebuild:(rebuild_view d)
+          in
+          refresh_queries :=
+            !refresh_queries + List.length reaction.Warehouse.queries;
+          (reaction, rebuilt)
+        | _ -> (Warehouse.handle_message warehouse msg, [])
+      in
       ship_queries reaction.Warehouse.queries;
       watch_installs reaction.Warehouse.installs;
       with_obs (fun o ->
@@ -745,6 +908,15 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
          Trace.record trace
            (Trace.Warehouse_answer
               { gid = id; installs = reaction.Warehouse.installs })
+       | Messaging.Message.Ddl_note d ->
+         Trace.record trace
+           (Trace.Warehouse_ddl
+              {
+                ddl = d;
+                rebuilt = ddl_rebuilt;
+                queries = reaction.Warehouse.queries;
+                installs = reaction.Warehouse.installs;
+              })
        | Messaging.Message.Query _ | Messaging.Message.Data _
        | Messaging.Message.Ack _ ->
          (* Misrouted: the warehouse recorded it as an anomaly and
@@ -919,6 +1091,35 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
   (match Warehouse.selfmaint_counters warehouse with
   | None -> ()
   | Some sm -> bump (fun m -> { m with Metrics.selfmaint = Some sm }));
+  if !ddl_applied > 0 || windows <> [] then begin
+    let views_rebuilt, retired_answers =
+      Warehouse.evolution_counters warehouse
+    in
+    let stale_answers =
+      Array.fold_left
+        (fun acc st -> acc + Source_site.Source.stale_answers st.source)
+        0 sites
+    in
+    let win_pruned_terms, win_local_answers, win_aged_partitions =
+      Option.value ~default:(0, 0, 0) (Warehouse.window_counters warehouse)
+    in
+    bump (fun m ->
+        {
+          m with
+          Metrics.evolution =
+            Some
+              {
+                Metrics.ddl_applied = !ddl_applied;
+                views_rebuilt;
+                refresh_queries = !refresh_queries;
+                stale_answers;
+                retired_answers;
+                win_pruned_terms;
+                win_local_answers;
+                win_aged_partitions;
+              };
+        })
+  end;
   let reports =
     List.map
       (fun (v : R.Viewdef.t) ->
@@ -935,7 +1136,8 @@ let run ?(schedule = Scheduler.Best_case) ?(rv_period = 1) ?(batch_size = 1)
     reports;
     final_mvs = Warehouse.mvs warehouse;
     final_source_views =
-      Array.to_list (Array.mapi (fun vi b -> (vname.(vi), b)) snap);
+      Array.to_list
+        (Array.mapi (fun vi _ -> (vname.(vi), oracle_view vi)) snap);
     negative_installs = List.rev !negative_installs;
     sources =
       Array.to_list (Array.map (fun st -> (st.spec_name, st.source)) sites);

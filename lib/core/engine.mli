@@ -94,6 +94,8 @@ val run :
   ?coalesce:bool ->
   ?shard:Parallel.Pool.t ->
   ?track_scale:bool ->
+  ?evolution:(int * R.Update.ddl) list ->
+  ?windows:(string * Window.spec) list ->
   creator:Algorithm.creator ->
   sites:site_spec list ->
   views:R.Viewdef.t list ->
@@ -146,4 +148,30 @@ val run :
     With [~track_scale:true] the run additionally reports
     [result.metrics.scale]: peak per-edge inflight, coalescing counters
     and the peak active-edge count — the observables of the scale-out
-    machinery. Off by default so reports stay byte-identical. *)
+    machinery. Off by default so reports stay byte-identical.
+
+    With [~evolution] the update stream carries online schema changes: a
+    [(p, ddl)] pair fires after [p] DML updates have executed, as its
+    own atomic source event (never batched or coalesced). The change
+    applies to the owning source's base relations, the oracle rewrites
+    every affected view definition and restages its delta programs, and
+    a [Ddl_note] travels the owning edge; on arrival the warehouse
+    rewrites its hosted definitions, swaps affected instances for
+    online-refreshing ECA ones ({!Eca.refresh}) and retires the routes
+    of in-flight queries that straddle the change — the sources answer
+    those empty at zero cost, and the warehouse absorbs the tombstones.
+    On clean or reliable (FIFO) edges the note precedes every tombstone,
+    so consistency and convergence survive the boundary; raw faulty
+    edges may reorder the note and lose both. [result.metrics.evolution]
+    carries the counters. Empty [evolution] is byte-identical to the
+    historical engine.
+
+    With [~windows] the named views are trailing-k-partition views (see
+    {!Window}): their warehouse instances are wrapped to filter installs
+    to the live window, prune out-of-window compensation terms and age
+    partitions out deterministically at quiescence probes, while the
+    oracle's states are filtered through an independent watermark
+    advanced at source execution — windowed runs are judged
+    windowed-vs-windowed.
+    @raise Window.Window_error when a window spec names an unknown view
+    or an invalid partition attribute. *)

@@ -116,6 +116,19 @@ let selfmaint (s : Metrics.selfmaint) =
       ("aux_bytes", string_of_int s.Metrics.sm_aux_bytes);
     ]
 
+let evolution (e : Metrics.evolution) =
+  obj
+    [
+      ("ddl_applied", string_of_int e.Metrics.ddl_applied);
+      ("views_rebuilt", string_of_int e.Metrics.views_rebuilt);
+      ("refresh_queries", string_of_int e.Metrics.refresh_queries);
+      ("stale_answers", string_of_int e.Metrics.stale_answers);
+      ("retired_answers", string_of_int e.Metrics.retired_answers);
+      ("win_pruned_terms", string_of_int e.Metrics.win_pruned_terms);
+      ("win_local_answers", string_of_int e.Metrics.win_local_answers);
+      ("win_aged_partitions", string_of_int e.Metrics.win_aged_partitions);
+    ]
+
 let scale (s : Metrics.scale) =
   obj
     [
@@ -150,6 +163,9 @@ let metrics (m : Metrics.t) =
     @ (match m.Metrics.selfmaint with
       | None -> []
       | Some s -> [ ("selfmaint", selfmaint s) ])
+    @ (match m.Metrics.evolution with
+      | None -> []
+      | Some e -> [ ("evolution", evolution e) ])
     @ match m.Metrics.observe with
       | None -> []
       | Some o -> [ ("observe", observe o) ])
@@ -196,6 +212,21 @@ let trace_entry = function
       [
         ("event", str "quiesce");
         ("queries_sent", arr (List.map (fun (gid, _) -> string_of_int gid) queries));
+      ]
+  | Trace.Source_ddl { ddl; _ } ->
+    obj
+      [
+        ("event", str "source_ddl");
+        ("ddl", str (R.Update.ddl_to_string ddl));
+      ]
+  | Trace.Warehouse_ddl { ddl; rebuilt; queries; installs } ->
+    obj
+      [
+        ("event", str "warehouse_ddl");
+        ("ddl", str (R.Update.ddl_to_string ddl));
+        ("rebuilt", arr (List.map str rebuilt));
+        ("queries_sent", arr (List.map (fun (gid, _) -> string_of_int gid) queries));
+        ("installs", string_of_int (List.length installs));
       ]
 
 (* The federation summary pins the behavior-defining observables of a

@@ -123,6 +123,20 @@ type selfmaint = {
   sm_aux_bytes : int;  (* their value bytes, end of run *)
 }
 
+(* Schema-evolution and windowed-view counters — present only when the
+   run fired at least one DDL statement or hosted a windowed view, so
+   every other run's output stays byte-identical. *)
+type evolution = {
+  ddl_applied : int;  (* schema changes executed at the sources *)
+  views_rebuilt : int;  (* hosted instances re-initialized *)
+  refresh_queries : int;  (* full-view queries shipped by rebuilds *)
+  stale_answers : int;  (* queries the sources answered empty as stale *)
+  retired_answers : int;  (* tombstone answers absorbed at the warehouse *)
+  win_pruned_terms : int;  (* compensation terms pruned as out-of-window *)
+  win_local_answers : int;  (* queries answered locally, fully pruned *)
+  win_aged_partitions : int;  (* watermark advances summed over views *)
+}
+
 type t = {
   updates : int;
   queries_sent : int;
@@ -138,6 +152,7 @@ type t = {
   shared : shared option;
   scale : scale option;
   selfmaint : selfmaint option;
+  evolution : evolution option;
 }
 
 let no_delivery =
@@ -171,6 +186,7 @@ let zero =
     shared = None;
     scale = None;
     selfmaint = None;
+    evolution = None;
   }
 
 (* Component-wise sum of two edges' counters; [latency_max] is a maximum,
@@ -285,6 +301,15 @@ let pp ppf t =
        aux_bytes=%d"
       s.sm_self s.sm_aux s.sm_fallback s.sm_aux_views s.sm_aux_tuples
       s.sm_aux_bytes);
+  (match t.evolution with
+  | None -> ()
+  | Some e ->
+    Format.fprintf ppf
+      "@.evolution: ddl=%d rebuilt=%d refresh_q=%d stale=%d retired=%d \
+       win=%d pruned/%d local/%d aged"
+      e.ddl_applied e.views_rebuilt e.refresh_queries e.stale_answers
+      e.retired_answers e.win_pruned_terms e.win_local_answers
+      e.win_aged_partitions);
   match t.observe with
   | None -> ()
   | Some o -> Format.fprintf ppf "@.observe: %a" pp_observe o

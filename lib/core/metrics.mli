@@ -112,6 +112,25 @@ type selfmaint = {
   sm_aux_bytes : int;  (** their value bytes at end of run *)
 }
 
+(** Schema-evolution and windowed-view counters (DESIGN.md §4k). *)
+type evolution = {
+  ddl_applied : int;  (** schema changes executed at the sources *)
+  views_rebuilt : int;
+      (** hosted instances replaced by online re-initialization *)
+  refresh_queries : int;
+      (** full-view queries shipped by those rebuilds *)
+  stale_answers : int;
+      (** queries the sources answered empty as schema-stale *)
+  retired_answers : int;
+      (** tombstone answers absorbed through retired routes *)
+  win_pruned_terms : int;
+      (** compensating-query terms pruned as out-of-window *)
+  win_local_answers : int;
+      (** queries answered empty locally because every term pruned *)
+  win_aged_partitions : int;
+      (** watermark advances, summed over the windowed views *)
+}
+
 type t = {
   updates : int;  (** source updates executed *)
   queries_sent : int;  (** query messages, warehouse → source *)
@@ -141,6 +160,10 @@ type t = {
       (** self-maintenance counters; [None] (the default) unless some
           hosted algorithm reported them — runs without an ECA-SM
           instance stay byte-identical *)
+  evolution : evolution option;
+      (** schema-evolution / windowed-view counters; [None] (the default)
+          unless the run fired a DDL statement or hosted a windowed view,
+          keeping every other run's output byte-identical *)
 }
 
 val zero : t

@@ -45,7 +45,7 @@ let run_defs ?catalog ?(schedule = Scheduler.Best_case) ?(rv_period = 1)
     ?(batch_size = 1) ?local_literal_eval ?unordered_delivery ?fault
     ?fault_seed ?(reliable = false) ?retransmit_timeout ?max_steps ?oracle
     ?(observe = false) ?trace_out ?share_deltas ?coalesce ?shard ?track_scale
-    ~creator ~views ~db ~updates () =
+    ?evolution ?windows ~creator ~views ~db ~updates () =
   (* [unordered_delivery] predates fault profiles and survives as sugar
      for the reorder-only profile it used to hard-code. *)
   let fault_profile, net_seed =
@@ -67,7 +67,7 @@ let run_defs ?catalog ?(schedule = Scheduler.Best_case) ?(rv_period = 1)
   match
     Engine.run ~schedule ~rv_period ~batch_size ?local_literal_eval ?max_steps
       ?oracle ?observe:collector ?share_deltas ?coalesce ?shard ?track_scale
-      ~creator ~sites ~views ~updates ()
+      ?evolution ?windows ~creator ~sites ~views ~updates ()
   with
   | r ->
     export_trace ~trace_out collector;
@@ -85,11 +85,11 @@ let run_defs ?catalog ?(schedule = Scheduler.Best_case) ?(rv_period = 1)
 let run ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
     ?max_steps ?oracle ?observe ?trace_out ?share_deltas ?coalesce ?shard
-    ?track_scale ~creator ~views ~db ~updates () =
+    ?track_scale ?evolution ?windows ~creator ~views ~db ~updates () =
   run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
     ?max_steps ?oracle ?observe ?trace_out ?share_deltas ?coalesce ?shard
-    ?track_scale ~creator
+    ?track_scale ?evolution ?windows ~creator
     ~views:(List.map R.Viewdef.simple views)
     ~db ~updates ()
 
@@ -99,7 +99,7 @@ let run ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
 let run_mixed ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
     ?max_steps ?oracle ?observe ?trace_out ?share_deltas ?coalesce ?shard
-    ?track_scale ~assignments ~db ~updates () =
+    ?track_scale ?evolution ?windows ~assignments ~db ~updates () =
   let creator (cfg : Algorithm.Config.t) =
     let name = cfg.Algorithm.Config.view.R.Viewdef.name in
     match
@@ -113,7 +113,7 @@ let run_mixed ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
   run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
     ?max_steps ?oracle ?observe ?trace_out ?share_deltas ?coalesce ?shard
-    ?track_scale ~creator
+    ?track_scale ?evolution ?windows ~creator
     ~views:(List.map fst assignments)
     ~db ~updates ()
 
@@ -123,11 +123,13 @@ let run_mixed ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
 let run_catalog ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
     ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
     ?max_steps ?oracle ?observe ?trace_out ?(share_deltas = true) ?coalesce
-    ?shard ?track_scale ~entries ~db ~updates () =
+    ?shard ?track_scale ?evolution ~entries ~db ~updates () =
   match Catalog.creator entries with
   | creator ->
     run_defs ?catalog ?schedule ?rv_period ?batch_size ?local_literal_eval
       ?unordered_delivery ?fault ?fault_seed ?reliable ?retransmit_timeout
       ?max_steps ?oracle ?observe ?trace_out ~share_deltas ?coalesce ?shard
-      ?track_scale ~creator ~views:(Catalog.views entries) ~db ~updates ()
+      ?track_scale ?evolution
+      ~windows:(Catalog.windows entries)
+      ~creator ~views:(Catalog.views entries) ~db ~updates ()
   | exception Catalog.Catalog_error msg -> raise (Run_error msg)

@@ -61,6 +61,8 @@ val run :
   ?coalesce:bool ->
   ?shard:Parallel.Pool.t ->
   ?track_scale:bool ->
+  ?evolution:(int * R.Update.ddl) list ->
+  ?windows:(string * Window.spec) list ->
   creator:Algorithm.creator ->
   views:R.View.t list ->
   db:R.Db.t ->
@@ -87,6 +89,8 @@ val run_defs :
   ?coalesce:bool ->
   ?shard:Parallel.Pool.t ->
   ?track_scale:bool ->
+  ?evolution:(int * R.Update.ddl) list ->
+  ?windows:(string * Window.spec) list ->
   creator:Algorithm.creator ->
   views:R.Viewdef.t list ->
   db:R.Db.t ->
@@ -120,6 +124,11 @@ val run_defs :
     additionally exports the collected spans and gauges as JSONL to the
     given path (and implies [observe]). Both default off, in which case
     output is byte-identical to an unobserved run.
+
+    [?evolution] weaves online schema changes into the update stream and
+    [?windows] registers trailing-k-partition views — both forwarded to
+    {!Engine.run} unchanged (see there for semantics); omitting both is
+    byte-identical to the historical runner.
     @raise Run_error on protocol violations or when [max_steps] is
     exceeded. *)
 
@@ -142,6 +151,8 @@ val run_mixed :
   ?coalesce:bool ->
   ?shard:Parallel.Pool.t ->
   ?track_scale:bool ->
+  ?evolution:(int * R.Update.ddl) list ->
+  ?windows:(string * Window.spec) list ->
   assignments:(R.Viewdef.t * Algorithm.creator) list ->
   db:R.Db.t ->
   updates:R.Update.t list ->
@@ -175,6 +186,7 @@ val run_catalog :
   ?coalesce:bool ->
   ?shard:Parallel.Pool.t ->
   ?track_scale:bool ->
+  ?evolution:(int * R.Update.ddl) list ->
   entries:Catalog.entry list ->
   db:R.Db.t ->
   updates:R.Update.t list ->
@@ -182,8 +194,10 @@ val run_catalog :
   result
 (** The multi-view warehouse entry point: run a {!Catalog} of views,
     each on its own algorithm rung, with shared-delta maintenance on by
-    default. Catalog validation errors ({!Catalog.Catalog_error}) are
-    re-raised as [Run_error]. *)
+    default; entries registered with a window spec run as windowed views
+    ({!Catalog.windows} feeds {!Engine.run}'s [?windows]). Catalog
+    validation errors ({!Catalog.Catalog_error}) are re-raised as
+    [Run_error]. *)
 
 val snapshot_views : R.View.t list -> R.Db.t -> (string * R.Bag.t) list
 val snapshot_defs : R.Viewdef.t list -> R.Db.t -> (string * R.Bag.t) list

@@ -43,14 +43,16 @@ let of_trace trace name =
   List.iter
     (fun entry ->
       (match entry with
-       | Trace.Source_update { source_views; _ } -> (
+       | Trace.Source_update { source_views; _ }
+       | Trace.Source_ddl { source_views; _ } -> (
          incr current;
          match List.assoc_opt name source_views with
          | Some v -> source_states := (!current, v) :: !source_states
          | None -> ())
        | Trace.Warehouse_note { installs; _ }
        | Trace.Warehouse_answer { installs; _ }
-       | Trace.Quiesce_probe { installs; _ } -> (
+       | Trace.Quiesce_probe { installs; _ }
+       | Trace.Warehouse_ddl { installs; _ } -> (
          match List.assoc_opt name installs with
          | Some states -> (
            match List.rev states with

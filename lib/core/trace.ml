@@ -26,6 +26,18 @@ type entry =
       queries : (int * R.Query.t) list;
       installs : (string * R.Bag.t list) list;
     }
+  | Source_ddl of {
+      ddl : R.Update.ddl;
+      source_views : (string * R.Bag.t) list;
+          (* only the views the change affects — whose definitions were
+             rewritten over the evolved schema *)
+    }
+  | Warehouse_ddl of {
+      ddl : R.Update.ddl;
+      rebuilt : string list;  (* views swapped to refreshing instances *)
+      queries : (int * R.Query.t) list;  (* their full-view queries *)
+      installs : (string * R.Bag.t list) list;
+    }
 
 type t = {
   mutable entries : entry list;  (* newest first *)
@@ -49,18 +61,20 @@ let source_states t name =
   initial
   @ List.filter_map
       (function
-        | Source_update { source_views; _ } -> List.assoc_opt name source_views
+        | Source_update { source_views; _ } | Source_ddl { source_views; _ } ->
+          List.assoc_opt name source_views
         | Source_answer _ | Warehouse_note _ | Warehouse_answer _
-        | Quiesce_probe _ ->
+        | Quiesce_probe _ | Warehouse_ddl _ ->
           None)
       (entries t)
 
 let installs_of = function
   | Warehouse_note { installs; _ }
   | Warehouse_answer { installs; _ }
-  | Quiesce_probe { installs; _ } ->
+  | Quiesce_probe { installs; _ }
+  | Warehouse_ddl { installs; _ } ->
     installs
-  | Source_update _ | Source_answer _ -> []
+  | Source_update _ | Source_answer _ | Source_ddl _ -> []
 
 let warehouse_states t name =
   let initial =
@@ -101,6 +115,14 @@ let pp_entry ppf = function
       (if installs = [] then "" else " installs MV")
   | Quiesce_probe { queries; installs } ->
     Format.fprintf ppf "quiesce%a%s" pp_queries queries
+      (if installs = [] then "" else " installs MV")
+  | Source_ddl { ddl; _ } ->
+    Format.fprintf ppf "S_ddl %s" (R.Update.ddl_to_string ddl)
+  | Warehouse_ddl { ddl; rebuilt; queries; installs } ->
+    Format.fprintf ppf "W_ddl %s rebuilds [%s]%a%s"
+      (R.Update.ddl_to_string ddl)
+      (String.concat "; " rebuilt)
+      pp_queries queries
       (if installs = [] then "" else " installs MV")
 
 let pp ppf t =

@@ -33,6 +33,19 @@ type entry =
       queries : (int * R.Query.t) list;
       installs : (string * R.Bag.t list) list;
     }
+  | Source_ddl of {
+      ddl : R.Update.ddl;
+      source_views : (string * R.Bag.t) list;
+          (** the affected views' contents under their {e rewritten}
+              definitions — a new [ss] only for those views *)
+    }
+  | Warehouse_ddl of {
+      ddl : R.Update.ddl;
+      rebuilt : string list;
+          (** views whose instances were swapped for refreshing ones *)
+      queries : (int * R.Query.t) list;
+      installs : (string * R.Bag.t list) list;
+    }
 
 type t
 

@@ -1,8 +1,10 @@
 module R = Relational
 
 type hosted = {
-  view : R.Viewdef.t;
-  inst : Algorithm.instance;
+  mutable view : R.Viewdef.t;
+  mutable inst : Algorithm.instance;
+      (* both mutable: a source schema change mid-stream rewrites the
+         view definition and swaps in a freshly initializing instance *)
 }
 
 (* Queries are routed by globally unique ids. Without sharing every gid
@@ -26,9 +28,18 @@ type t = {
       (* relation -> interested instance indices, ascending; instances
          with [interest = None] live in [all_notes] instead *)
   all_notes : int list;  (* indices reacting to every update, ascending *)
+  retired : (int, unit) Hashtbl.t;
+      (* gids whose routes were dropped by a schema change while their
+         queries were in flight; their (empty) answers are absorbed
+         silently — expected tombstones, not anomalies *)
   mutable next_gid : int;
   mutable installs_log : (string * R.Bag.t) list;  (* newest first *)
   mutable anomalies : string list;  (* misrouted messages, newest first *)
+  mutable rebuilds : int;  (* instances re-initialized by schema changes *)
+  mutable retired_hits : int;  (* answers absorbed through [retired] *)
+  mutable ddl_guard : bool;
+      (* schema changes are in play: screen notifications against the
+         hosted schemas (they may have reordered across a Ddl_note) *)
   (* shared-delta counters, all 0 when [share = false] *)
   mutable shared_evaluated : int;  (* shipped queries with >1 subscriber *)
   mutable shared_hits : int;  (* queries deduplicated away *)
@@ -76,9 +87,13 @@ let create ?(share = false) ?pool pairs =
     pool;
     by_rel;
     all_notes = List.rev !all_notes;
+    retired = Hashtbl.create 16;
     next_gid = 0;
     installs_log = [];
     anomalies = [];
+    rebuilds = 0;
+    retired_hits = 0;
+    ddl_guard = false;
     shared_evaluated = 0;
     shared_hits = 0;
     shared_fanout = 0;
@@ -124,12 +139,16 @@ let shared_counters t = (t.shared_evaluated, t.shared_hits, t.shared_fanout)
    so runs without an ECA-SM rung keep their output byte-identical. *)
 let selfmaint_counters t =
   let get k c = Option.value ~default:0 (List.assoc_opt k c) in
+  let is_sm (k, _) = String.length k > 3 && String.equal (String.sub k 0 3) "sm_" in
   let any = ref false in
   let s, a, f, v, tu, b =
     Array.fold_left
       (fun ((s, a, f, v, tu, b) as acc) h ->
         match h.inst.Algorithm.counters () with
-        | [] -> acc
+        | c when not (List.exists is_sm c) ->
+          (* window wrappers also report counters; only sm_* keys mean a
+             self-maintenance rung is hosted *)
+          acc
         | c ->
           any := true;
           ( s + get "sm_self" c,
@@ -212,13 +231,27 @@ let lift ?event t idx (o : Algorithm.outcome) =
             in
             match candidate with
             | None -> ship ()
-            | Some (_, gid, _) ->
-              let owner, extras_rev = Hashtbl.find t.routes gid in
-              Hashtbl.replace t.routes gid (owner, (idx, lid) :: extras_rev);
-              t.shared_hits <- t.shared_hits + 1;
-              if extras_rev = [] then
-                t.shared_evaluated <- t.shared_evaluated + 1;
-              None)))
+            | Some (_, gid, _) -> (
+              (* Total lookup: the candidate's route should still be live
+                 (sharing never spans events, and routes are only consumed
+                 by answers), but if it is not — say a schema change
+                 retired it inside this very event — ship a private copy
+                 and log the oddity instead of dying on [Not_found]. *)
+              match Hashtbl.find_opt t.routes gid with
+              | None ->
+                t.anomalies <-
+                  Printf.sprintf
+                    "shared-delta candidate Q%d has no live route; shipping \
+                     a private copy"
+                    gid
+                  :: t.anomalies;
+                ship ()
+              | Some (owner, extras_rev) ->
+                Hashtbl.replace t.routes gid (owner, (idx, lid) :: extras_rev);
+                t.shared_hits <- t.shared_hits + 1;
+                if extras_rev = [] then
+                  t.shared_evaluated <- t.shared_evaluated + 1;
+                None))))
       o.Algorithm.send
   in
   let name = t.hosted.(idx).view.R.Viewdef.name in
@@ -277,13 +310,53 @@ let react t targets f =
     (fun acc idx o -> merge acc (lift ?event t idx o))
     no_reaction targets outcomes
 
+(* A notification whose tuple no longer matches the hosted view's schema
+   for its relation. Impossible on FIFO edges — the Ddl_note explaining
+   the new arity travels the same channel as the updates on either side
+   of it — but raw faulty channels reorder the two, and substituting the
+   mismatched tuple into the view's terms would crash the site. Checked
+   only once a rebuild has happened, so DDL-free runs pay nothing. *)
+let schema_mismatch (h : hosted) (u : R.Update.t) =
+  List.exists
+    (fun ((_, v) : R.Sign.t * R.View.t) ->
+      List.exists
+        (fun (s : R.Schema.t) ->
+          String.equal s.R.Schema.name u.R.Update.rel
+          && R.Schema.arity s <> R.Tuple.arity u.R.Update.tuple)
+        v.R.View.sources)
+    h.view.R.Viewdef.parts
+
+let enable_ddl_guard t = t.ddl_guard <- true
+
+let drop_mismatched t targets u =
+  if not t.ddl_guard then targets
+  else
+    List.filter
+      (fun idx ->
+        let h = t.hosted.(idx) in
+        if schema_mismatch h u then begin
+          t.anomalies <-
+            Printf.sprintf
+              "update %s does not match %s's current schema (notification \
+               reordered across a schema change); dropped"
+              (R.Update.to_string u)
+              h.view.R.Viewdef.name
+            :: t.anomalies;
+          false
+        end
+        else true)
+      targets
+
 let handle_update t u =
-  react t (update_targets t u)
+  react t
+    (drop_mismatched t (update_targets t u) u)
     (fun idx -> t.hosted.(idx).inst.Algorithm.on_update u)
 
 let handle_batch t us =
-  react t (batch_targets t us)
-    (fun idx -> t.hosted.(idx).inst.Algorithm.on_batch us)
+  let targets =
+    List.fold_left (fun acc u -> drop_mismatched t acc u) (batch_targets t us) us
+  in
+  react t targets (fun idx -> t.hosted.(idx).inst.Algorithm.on_batch us)
 
 (* Fan one answer out to every subscriber, owner first. The answer is
    correct for all of them: subscription required structural equality at
@@ -294,7 +367,27 @@ let handle_batch t us =
    one event and may share again. *)
 let handle_answer t ~gid answer =
   match Hashtbl.find_opt t.routes gid with
-  | None -> no_reaction
+  | None ->
+    if Hashtbl.mem t.retired gid then begin
+      (* A schema change retired this route while the query was in
+         flight; the source answered it empty (it straddles the change).
+         Expected tombstone — absorb it and count it. *)
+      Hashtbl.remove t.retired gid;
+      t.retired_hits <- t.retired_hits + 1;
+      no_reaction
+    end
+    else begin
+      (* Historically this was a silent drop, which let genuinely
+         misrouted or duplicated answers pass unnoticed — and a
+         [Hashtbl.find] further down this path crashed the site when the
+         MQO table was involved. Record it instead. *)
+      t.anomalies <-
+        Printf.sprintf
+          "answer for unknown query id Q%d (stale or duplicate); dropped"
+          gid
+        :: t.anomalies;
+      no_reaction
+    end
   | Some (owner, extras_rev) ->
     Hashtbl.remove t.routes gid;
     let subs = owner :: List.rev extras_rev in
@@ -327,10 +420,108 @@ let handle_message t msg =
     handle_answer t ~gid:id answer
   | Messaging.Message.Query _ ->
     anomaly t "warehouses do not receive queries" msg
+  | Messaging.Message.Ddl_note _ ->
+    (* Schema changes need the engine-provided rebuild callback; the
+       event loop routes them through [apply_ddl], never through the
+       plain dispatcher. *)
+    anomaly t "schema changes are applied via apply_ddl" msg
   | Messaging.Message.Data _ | Messaging.Message.Ack _ ->
     anomaly t "protocol frame leaked past the reliability sublayer" msg
 
 let anomalies t = List.rev t.anomalies
+
+(* A source schema change reached the warehouse. Every hosted view that
+   mentions the changed relation is rewritten and its instance replaced
+   by the [rebuild] callback (typically [Eca.refresh] over the evolved
+   viewdef — online re-initialization, DESIGN.md §4k). In-flight routes
+   lose their affected subscribers first: a route with no survivor is
+   retired — its tombstone answer, when it arrives, is absorbed in
+   [handle_answer] — while a shared route with an unaffected survivor
+   promotes that survivor to owner. Unaffected views' in-flight queries
+   never reference the changed relation (compensation terms only mention
+   the owning view's relations), so their answers stay valid across the
+   boundary and their routes survive untouched. *)
+let apply_ddl t d ~rebuild =
+  t.ddl_guard <- true;
+  let affected = Array.map (fun h -> R.Evolve.affects h.view d) t.hosted in
+  if not (Array.exists Fun.id affected) then (no_reaction, [])
+  else begin
+    (* Validate before committing: rebuild every affected definition
+       first, so an inapplicable note leaves the site untouched. The
+       source validated the change before sending the note, so this can
+       only fire when a faulty channel duplicated or reordered notes —
+       an anomaly to record, not a crash. *)
+    match
+      Array.map (fun h -> if R.Evolve.affects h.view d then Some (rebuild h.view) else None)
+        t.hosted
+    with
+    | exception R.Evolve.Evolve_error msg ->
+      t.anomalies <-
+        Printf.sprintf
+          "schema change %s is not applicable to the hosted views (%s; note \
+           duplicated or reordered by the channel); dropped"
+          (R.Update.ddl_to_string d) msg
+        :: t.anomalies;
+      (no_reaction, [])
+    | rebuilt ->
+    let all_routes =
+      Hashtbl.fold (fun gid route acc -> (gid, route) :: acc) t.routes []
+    in
+    List.iter
+      (fun (gid, (owner, extras_rev)) ->
+        let subs = owner :: List.rev extras_rev in
+        let live = List.filter (fun (idx, _) -> not affected.(idx)) subs in
+        if List.compare_lengths live subs <> 0 then
+          match live with
+          | [] ->
+            Hashtbl.remove t.routes gid;
+            Hashtbl.replace t.retired gid ()
+          | new_owner :: rest ->
+            Hashtbl.replace t.routes gid (new_owner, List.rev rest))
+      all_routes;
+    let names = ref [] in
+    let event = fresh_event t in
+    let reaction =
+      Array.to_list t.hosted
+      |> List.mapi (fun idx h -> (idx, h))
+      |> List.fold_left
+           (fun acc (idx, h) ->
+             match rebuilt.(idx) with
+             | None -> acc
+             | Some (view', inst', outcome) ->
+               h.view <- view';
+               h.inst <- inst';
+               t.rebuilds <- t.rebuilds + 1;
+               names := view'.R.Viewdef.name :: !names;
+               merge acc (lift ?event t idx outcome)
+           )
+           no_reaction
+    in
+    (reaction, List.rev !names)
+  end
+
+let evolution_counters t = (t.rebuilds, t.retired_hits)
+
+(* Aggregate the window wrappers' counters across hosted instances;
+   [None] when no instance is windowed, keeping unwindowed runs
+   byte-identical. *)
+let window_counters t =
+  let get k c = Option.value ~default:0 (List.assoc_opt k c) in
+  let any = ref false in
+  let p, l, a =
+    Array.fold_left
+      (fun ((p, l, a) as acc) h ->
+        let c = h.inst.Algorithm.counters () in
+        if not (List.mem_assoc "win_aged_partitions" c) then acc
+        else begin
+          any := true;
+          ( p + get "win_pruned_terms" c,
+            l + get "win_local_answers" c,
+            a + get "win_aged_partitions" c )
+        end)
+      (0, 0, 0) t.hosted
+  in
+  if !any then Some (p, l, a) else None
 
 let quiesce t =
   let all = List.init (Array.length t.hosted) Fun.id in

@@ -98,14 +98,53 @@ val handle_batch : t -> R.Update.t list -> reaction
 
 val handle_answer : t -> gid:int -> R.Bag.t -> reaction
 (** A [W_ans] event, routed to the owning instance — and, for a shared
-    gid, fanned out to every subscriber in subscription order. *)
+    gid, fanned out to every subscriber in subscription order. An answer
+    whose route was retired by a schema change is absorbed silently (a
+    counted tombstone, see {!apply_ddl}); an answer for a gid that was
+    never outstanding is recorded as an anomaly and dropped. *)
+
+val enable_ddl_guard : t -> unit
+(** Arm the notification screen: with schema changes in play, a faulty
+    channel may reorder an update notification across the [Ddl_note]
+    that explains its new shape, so {!handle_update}/{!handle_batch}
+    check each tuple against the hosted views' current schemas and drop
+    mismatches as anomalies instead of crashing mid-substitution. The
+    engine arms it up front whenever its run carries DDLs ({!apply_ddl}
+    also arms it, but a reordered notification can arrive {e before} the
+    first note does); DDL-free runs never pay for the check. *)
+
+val apply_ddl :
+  t ->
+  R.Update.ddl ->
+  rebuild:(R.Viewdef.t -> R.Viewdef.t * Algorithm.instance * Algorithm.outcome) ->
+  reaction * string list
+(** A source schema change reached the warehouse. Every hosted view
+    mentioning the changed relation is passed to [rebuild] — which
+    returns the rewritten definition, a replacement instance and the
+    outcome that starts it (typically {!Eca.refresh}'s full-view query) —
+    and the in-flight routes are reconciled: routes whose subscribers are
+    all affected are retired (their tombstone answers will be absorbed by
+    {!handle_answer}), shared routes with an unaffected survivor promote
+    that survivor to owner. Returns the folded reaction plus the names of
+    the rebuilt views. [no_reaction] and [[]] when no hosted view
+    mentions the relation. *)
+
+val evolution_counters : t -> int * int
+(** [(rebuilds, retired_hits)]: instances re-initialized by schema
+    changes, and tombstone answers absorbed through retired routes. *)
+
+val window_counters : t -> (int * int * int) option
+(** Fold of the window wrappers' counters over all hosted instances,
+    [(win_pruned_terms, win_local_answers, win_aged_partitions)] — [Some]
+    iff at least one hosted view is windowed. *)
 
 val handle_message : t -> Messaging.Message.t -> reaction
 (** Dispatch on the message kind. Total: message kinds the warehouse
-    never legitimately receives ([Query], and the [Data]/[Ack] frames
-    that belong to the reliability sublayer) are recorded as anomalies
-    (see {!anomalies}) and produce {!no_reaction} — a misrouted message
-    must not take down every hosted view. *)
+    never legitimately receives ([Query], a [Ddl_note] that bypassed
+    {!apply_ddl}, and the [Data]/[Ack] frames that belong to the
+    reliability sublayer) are recorded as anomalies (see {!anomalies})
+    and produce {!no_reaction} — a misrouted message must not take down
+    every hosted view. *)
 
 val anomalies : t -> string list
 (** Human-readable records of misrouted messages, oldest first; empty on

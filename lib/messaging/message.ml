@@ -3,6 +3,7 @@ module R = Relational
 type t =
   | Update_note of R.Update.t
   | Batch_note of R.Update.t list
+  | Ddl_note of R.Update.ddl
   | Query of {
       id : int;
       query : R.Query.t;
@@ -22,6 +23,7 @@ let rec byte_size = function
   | Update_note u -> R.Update.byte_size u
   | Batch_note us ->
     8 + List.fold_left (fun acc u -> acc + R.Update.byte_size u) 0 us
+  | Ddl_note d -> 8 + R.Update.ddl_byte_size d
   | Query { query; _ } -> 8 + R.Query.byte_size query
   | Answer { answer; _ } -> 8 + R.Bag.byte_size answer
   | Data { payload; _ } -> 8 + byte_size payload
@@ -30,6 +32,7 @@ let rec byte_size = function
 let kind_name = function
   | Update_note _ -> "update"
   | Batch_note _ -> "batch"
+  | Ddl_note _ -> "ddl"
   | Query _ -> "query"
   | Answer _ -> "answer"
   | Data _ -> "data"
@@ -40,6 +43,7 @@ let rec pp ppf = function
   | Batch_note us ->
     Format.fprintf ppf "Batch [%s]"
       (String.concat "; " (List.map R.Update.to_string us))
+  | Ddl_note d -> Format.fprintf ppf "Ddl %a" R.Update.pp_ddl d
   | Query { id; query } -> Format.fprintf ppf "Query Q%d = %a" id R.Query.pp query
   | Answer { id; answer; _ } ->
     Format.fprintf ppf "Answer A%d = %a" id R.Bag.pp answer

@@ -11,6 +11,10 @@ type t =
   | Batch_note of Relational.Update.t list
       (** several source updates executed atomically and notified in one
           message — the batched-update extension of Section 7 *)
+  | Ddl_note of Relational.Update.ddl
+      (** a source schema change, notified mid-stream like any update:
+          the warehouse must rewrite and re-initialize every view that
+          reads the changed relation *)
   | Query of {
       id : int;
       query : Relational.Query.t;

@@ -1,0 +1,136 @@
+(* Applying online schema changes (DDL, {!Update.ddl}) to the relational
+   layer: schemas, tuples, whole databases and view definitions. All
+   rewrites are pure — the engine applies them to the source database at
+   fire time and re-derives every affected view definition at the
+   warehouse when the notification arrives.
+
+   Semantics are deliberately conservative:
+   - [Add_column] appends at the end of the column list, so the slot
+     positions of every existing column are untouched; existing tuples
+     are backfilled with the declared default.
+   - [Drop_column] is RESTRICT: dropping a key column, a foreign-key
+     column (on either end) or a column some view still references is an
+     error, never a cascade.
+   - [Key_change] re-validates the current contents against the new key
+     before accepting the declaration — ECAK's correctness depends on
+     declared keys being real. *)
+
+exception Evolve_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Evolve_error s)) fmt
+
+let schema (s : Schema.t) (d : Update.ddl) =
+  if not (String.equal s.Schema.name (Update.ddl_rel d)) then s
+  else
+    match d with
+    | Update.Add_column { col; ty; _ } ->
+      if Schema.has_column s col then
+        error "relation %s already has a column %s" s.Schema.name col;
+      Schema.make ~key:s.Schema.key ~fks:s.Schema.fks s.Schema.name
+        (s.Schema.columns @ [ { Schema.col_name = col; col_type = ty } ])
+    | Update.Drop_column { col; _ } ->
+      if not (Schema.has_column s col) then
+        error "relation %s has no column %s to drop" s.Schema.name col;
+      if List.mem col s.Schema.key then
+        error "cannot drop key column %s of %s" col s.Schema.name;
+      List.iter
+        (fun (fk : Schema.fk) ->
+          if List.mem col fk.Schema.fk_cols then
+            error "cannot drop foreign-key column %s of %s" col s.Schema.name)
+        s.Schema.fks;
+      let columns =
+        List.filter (fun c -> not (String.equal c.Schema.col_name col))
+          s.Schema.columns
+      in
+      Schema.make ~key:s.Schema.key ~fks:s.Schema.fks s.Schema.name columns
+    | Update.Key_change { key; _ } ->
+      (* Schema.make validates that every key column exists. *)
+      Schema.make ~key ~fks:s.Schema.fks s.Schema.name s.Schema.columns
+
+(* Referential RESTRICT across relations: another relation's FK may target
+   the dropped column. *)
+let check_inbound_fks db (d : Update.ddl) =
+  match d with
+  | Update.Drop_column { rel; col } ->
+    List.iter
+      (fun (s : Schema.t) ->
+        List.iter
+          (fun (fk : Schema.fk) ->
+            if String.equal fk.Schema.fk_ref rel
+               && List.mem col fk.Schema.fk_ref_cols
+            then
+              error "cannot drop %s.%s: referenced by the foreign key of %s"
+                rel col s.Schema.name)
+          s.Schema.fks)
+      (Db.schemas db)
+  | Update.Add_column _ | Update.Key_change _ -> ()
+
+(* Backfill/project one tuple of the evolved relation. [old_schema] is the
+   schema the tuple was written under. *)
+let tuple (old_schema : Schema.t) (d : Update.ddl) (t : Tuple.t) =
+  match d with
+  | Update.Add_column { default; _ } ->
+    Tuple.of_list (Tuple.to_list t @ [ default ])
+  | Update.Drop_column { col; _ } -> (
+    match Schema.column_index old_schema col with
+    | None -> t
+    | Some i ->
+      Tuple.of_list
+        (List.filteri (fun j _ -> j <> i) (Tuple.to_list t)))
+  | Update.Key_change _ -> t
+
+let db (database : Db.t) (d : Update.ddl) =
+  let rel = Update.ddl_rel d in
+  if not (Db.mem database rel) then
+    error "schema change targets unknown relation %s" rel;
+  check_inbound_fks database d;
+  let old_schema = Db.schema database rel in
+  let schema' = schema old_schema d in
+  let contents =
+    Bag.fold
+      (fun t n acc -> Bag.add ~count:n (tuple old_schema d t) acc)
+      (Db.contents database rel)
+      Bag.empty
+  in
+  (* Rebuild the database around the evolved relation; [add_relation]
+     re-validates keys (the [Key_change] contents check) and foreign keys
+     against the surviving columns. *)
+  match
+    List.fold_left
+      (fun acc (s : Schema.t) ->
+        if String.equal s.Schema.name rel then
+          Db.add_relation ~contents acc schema'
+        else
+          Db.add_relation ~contents:(Db.contents database s.Schema.name) acc s)
+      Db.empty (Db.schemas database)
+  with
+  | db' -> db'
+  | exception Db.Db_error msg -> error "%s" msg
+  | exception Schema.Schema_error msg -> error "%s" msg
+
+let affects_view (v : View.t) (d : Update.ddl) =
+  View.mentions v (Update.ddl_rel d)
+
+let view (v : View.t) (d : Update.ddl) =
+  if not (affects_view v d) then v
+  else
+    let sources = List.map (fun s -> schema s d) v.View.sources in
+    (* Re-resolving the projection and condition against the evolved
+       sources is the RESTRICT check for views: an attribute that no
+       longer exists fails resolution. *)
+    match
+      View.make ~name:v.View.name ~proj:v.View.proj ~cond:v.View.cond sources
+    with
+    | v' -> v'
+    | exception View.View_error msg ->
+      error "view %s does not survive %s: %s" v.View.name
+        (Update.ddl_to_string d) msg
+
+let affects (vd : Viewdef.t) (d : Update.ddl) =
+  Viewdef.mentions vd (Update.ddl_rel d)
+
+let viewdef (vd : Viewdef.t) (d : Update.ddl) =
+  if not (affects vd d) then vd
+  else
+    Viewdef.make ~name:vd.Viewdef.name
+      (List.map (fun (sign, v) -> (sign, view v d)) vd.Viewdef.parts)

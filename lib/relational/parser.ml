@@ -17,7 +17,8 @@ type token =
 let keywords =
   [ "TABLE"; "VIEW"; "AS"; "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT";
     "INSERT"; "INTO"; "VALUES"; "DELETE"; "UPDATES"; "TRUE"; "FALSE"; "KEY";
-    "REFERENCES"; "UNION"; "EXCEPT" ]
+    "REFERENCES"; "UNION"; "EXCEPT"; "ALTER"; "ADD"; "DROP"; "COLUMN";
+    "DEFAULT" ]
 
 let is_keyword s = List.mem (String.uppercase_ascii s) keywords
 
@@ -336,21 +337,70 @@ let view_def tables st =
   try Viewdef.make ~name ((Sign.Pos, first) :: rest)
   with Viewdef.Viewdef_error m -> error "%s" m
 
+(* ALTER TABLE r ADD COLUMN c TYPE DEFAULT v
+   | ALTER TABLE r DROP COLUMN c
+   | ALTER TABLE r KEY (c1, …)
+   | ALTER TABLE r DROP KEY *)
+let alter_def st =
+  expect_kw st "TABLE";
+  let rel = ident st in
+  let d =
+    if accept_kw st "ADD" then begin
+      expect_kw st "COLUMN";
+      let col = ident st in
+      let ty_name =
+        match next st with
+        | Ident t -> t
+        | t -> error "expected a column type but found %s" (token_to_string t)
+      in
+      let ty =
+        match Value.ty_of_string ty_name with
+        | Some t -> t
+        | None -> error "unknown column type %s" ty_name
+      in
+      expect_kw st "DEFAULT";
+      let default = value st in
+      if Value.type_of default <> ty then
+        error "ALTER TABLE %s ADD COLUMN %s: default %s is not of type %s" rel
+          col (Value.to_string default) (Value.ty_to_string ty);
+      Update.Add_column { rel; col; ty; default }
+    end
+    else if accept_kw st "DROP" then begin
+      if accept_kw st "KEY" then Update.Key_change { rel; key = [] }
+      else begin
+        expect_kw st "COLUMN";
+        Update.Drop_column { rel; col = ident st }
+      end
+    end
+    else if accept_kw st "KEY" then begin
+      expect_sym st "(";
+      let key = comma_separated st ident in
+      expect_sym st ")";
+      Update.Key_change { rel; key }
+    end
+    else
+      error "ALTER TABLE %s: expected ADD COLUMN, DROP COLUMN, DROP KEY or \
+             KEY (…)" rel
+  in
+  expect_sym st ";";
+  d
+
 let parse_script src =
   let st = { toks = tokenize src } in
   (* Accumulators grow newest-first and are reversed once at the end:
      the former [xs @ [x]] appends made parsing quadratic in script
-     length. *)
-  let rec loop tables views initial updates in_updates =
+     length. [nup] counts accumulated updates so each ALTER records its
+     stream position without re-measuring the list. *)
+  let rec loop tables views initial updates ddls nup in_updates =
     match peek st with
-    | Eof -> (tables, views, initial, updates)
+    | Eof -> (tables, views, initial, updates, ddls)
     | Ident kw -> (
       match String.uppercase_ascii kw with
       | "TABLE" ->
         advance st;
         if in_updates then error "TABLE definitions must precede UPDATES";
         let s = table_def st in
-        loop (s :: tables) views initial updates in_updates
+        loop (s :: tables) views initial updates ddls nup in_updates
       | "VIEW" ->
         advance st;
         if in_updates then error "VIEW definitions must precede UPDATES";
@@ -358,7 +408,7 @@ let parse_script src =
            order (the first declaration of a name wins), so hand it the
            forward order. *)
         let v = view_def (List.rev tables) st in
-        loop tables (v :: views) initial updates in_updates
+        loop tables (v :: views) initial updates ddls nup in_updates
       | "INSERT" ->
         advance st;
         expect_kw st "INTO";
@@ -367,8 +417,9 @@ let parse_script src =
         let t = tuple st in
         expect_sym st ";";
         let u = Update.insert rel t in
-        if in_updates then loop tables views initial (u :: updates) in_updates
-        else loop tables views (u :: initial) updates in_updates
+        if in_updates then
+          loop tables views initial (u :: updates) ddls (nup + 1) in_updates
+        else loop tables views (u :: initial) updates ddls nup in_updates
       | "DELETE" ->
         advance st;
         expect_kw st "FROM";
@@ -377,23 +428,31 @@ let parse_script src =
         let t = tuple st in
         expect_sym st ";";
         let u = Update.delete rel t in
-        if in_updates then loop tables views initial (u :: updates) in_updates
+        if in_updates then
+          loop tables views initial (u :: updates) ddls (nup + 1) in_updates
         else error "DELETE statements belong in the UPDATES section"
+      | "ALTER" ->
+        advance st;
+        let d = alter_def st in
+        if not in_updates then
+          error "ALTER TABLE statements belong in the UPDATES section";
+        loop tables views initial updates ((nup, d) :: ddls) nup in_updates
       | "UPDATES" ->
         advance st;
         expect_sym st ";";
         if in_updates then error "duplicate UPDATES marker";
-        loop tables views initial updates true
+        loop tables views initial updates ddls nup true
       | other -> error "unexpected statement %s" other)
     | t -> error "unexpected token %s" (token_to_string t)
   in
-  let tables, views, initial, updates = loop [] [] [] [] false in
+  let tables, views, initial, updates, ddls = loop [] [] [] [] [] 0 false in
   let number us = List.mapi (fun i u -> Update.with_seq (i + 1) u) us in
   {
     Script.tables = List.rev tables;
     views = List.rev views;
     initial = List.rev initial;
     updates = number (List.rev updates);
+    ddls = List.rev ddls;
   }
 
 (* A standalone SELECT (no VIEW wrapper), for ad-hoc queries: the result

@@ -14,10 +14,16 @@
     UPDATES;
     INSERT INTO r2 VALUES (2, 3);    -- the decoupled update stream
     DELETE FROM r1 VALUES (1, 2);
+    ALTER TABLE r2 ADD COLUMN n INT DEFAULT 7;   -- online schema changes
+    ALTER TABLE r2 DROP COLUMN n;
+    ALTER TABLE r1 KEY (W);
+    ALTER TABLE r1 DROP KEY;
     v}
 
     Updates after the [UPDATES;] marker are numbered with source sequence
-    numbers starting at 1. *)
+    numbers starting at 1. [ALTER TABLE] statements are only legal there;
+    each records its position in the update stream (the number of updates
+    preceding it), matching the engine's [?evolution] convention. *)
 
 exception Parse_error of string
 

@@ -4,11 +4,12 @@ let cell_of_value = Value.to_string
 
 let table ~columns bag =
   let rows =
+    (* One reversed accumulation per row instead of a copying append of
+       the count cell — rendering stays linear in the column count. *)
     List.map
       (fun (t, n) ->
-        let cells = List.map cell_of_value (Tuple.to_list t) in
-        if n = 1 then cells @ [ "" ]
-        else cells @ [ Printf.sprintf "x%+d" n ])
+        let count = if n = 1 then "" else Printf.sprintf "x%+d" n in
+        List.rev (count :: List.rev_map cell_of_value (Tuple.to_list t)))
       (Bag.to_counted_list bag)
   in
   let columns = columns @ [ "#" ] in

@@ -3,9 +3,10 @@ type t = {
   views : Viewdef.t list;
   initial : Update.t list;
   updates : Update.t list;
+  ddls : (int * Update.ddl) list;
 }
 
-let empty = { tables = []; views = []; initial = []; updates = [] }
+let empty = { tables = []; views = []; initial = []; updates = []; ddls = [] }
 
 let table t name =
   List.find_opt (fun (s : Schema.t) -> String.equal s.Schema.name name) t.tables
@@ -26,4 +27,6 @@ let pp ppf t =
     (String.concat ", " (List.map (fun (s : Schema.t) -> s.Schema.name) t.tables));
   List.iter (fun v -> Format.fprintf ppf "%a@." Viewdef.pp v) t.views;
   Format.fprintf ppf "initial inserts: %d, updates: %d"
-    (List.length t.initial) (List.length t.updates)
+    (List.length t.initial) (List.length t.updates);
+  if t.ddls <> [] then
+    Format.fprintf ppf ", schema changes: %d" (List.length t.ddls)

@@ -12,6 +12,10 @@ type t = {
       (** simple SPJ views, or UNION/EXCEPT combinations of SPJ blocks *)
   initial : Update.t list;  (** initial load (inserts before [UPDATES;]) *)
   updates : Update.t list;  (** the update stream, in source order *)
+  ddls : (int * Update.ddl) list;
+      (** online schema changes ([ALTER TABLE …] in the UPDATES section);
+          position [p] means "fires after the first [p] updates" — exactly
+          the engine's [?evolution] convention *)
 }
 
 val empty : t

@@ -71,6 +71,20 @@ let own_conjuncts rel (v : View.t) =
            attrs)
     (Predicate.conjuncts v.View.cond)
 
+(* Total lookup of an analyzer-derived column position. Positions come
+   from [Schema.column_index] over the same schema, so they are in range
+   by construction; a violation means the analyzer and the schema went
+   out of sync and must be reported as the invariant breach it is, not a
+   bare [Failure "nth"]. *)
+let column_at (s : Schema.t) i =
+  match List.nth_opt s.Schema.columns i with
+  | Some c -> c
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Selfmaint: column position %d out of range for %s (arity %d)" i
+         s.Schema.name (Schema.arity s))
+
 (* The auxiliary view of [rel]: keep every column any part references,
    select by the conjuncts every mentioning part agrees on. One canonical
    reduction per relation keeps the local rewrites of all update classes
@@ -124,7 +138,7 @@ let aux_of_relation (vd : Viewdef.t) rel =
       in
       Predicate.conj common
   in
-  let columns = List.map (List.nth base.Schema.columns) keep in
+  let columns = List.map (column_at base) keep in
   {
     aux_rel = rel;
     aux_base = base;
@@ -193,7 +207,7 @@ let fk_derivation (v : View.t) r s (aux : aux) =
     | Some fk ->
       let pairs = pairs_of fk in
       let fill pos =
-        let d = (List.nth ss.Schema.columns pos).Schema.col_name in
+        let d = (column_at ss pos).Schema.col_name in
         match List.find_opt (fun (_, d') -> String.equal d d') pairs with
         | None -> None
         | Some (c, _) -> Schema.column_index rs c

@@ -33,3 +33,58 @@ let to_string u =
     u.rel (Tuple.to_string u.tuple)
 
 let pp ppf u = Format.pp_print_string ppf (to_string u)
+
+(* --- schema changes (DDL) ---------------------------------------------- *)
+
+type ddl =
+  | Add_column of {
+      rel : string;
+      col : string;
+      ty : Value.ty;
+      default : Value.t;
+    }
+  | Drop_column of {
+      rel : string;
+      col : string;
+    }
+  | Key_change of {
+      rel : string;
+      key : string list;
+    }
+
+let ddl_rel = function
+  | Add_column { rel; _ } | Drop_column { rel; _ } | Key_change { rel; _ } ->
+    rel
+
+let ddl_byte_size d =
+  8
+  + String.length (ddl_rel d)
+  + (match d with
+    | Add_column { col; default; _ } ->
+      String.length col + Value.byte_size default
+    | Drop_column { col; _ } -> String.length col
+    | Key_change { key; _ } ->
+      List.fold_left (fun acc k -> acc + String.length k) 0 key)
+
+let ddl_equal a b =
+  match (a, b) with
+  | ( Add_column { rel; col; ty; default },
+      Add_column { rel = rel'; col = col'; ty = ty'; default = default' } ) ->
+    String.equal rel rel' && String.equal col col' && ty = ty'
+    && Value.equal default default'
+  | Drop_column { rel; col }, Drop_column { rel = rel'; col = col' } ->
+    String.equal rel rel' && String.equal col col'
+  | Key_change { rel; key }, Key_change { rel = rel'; key = key' } ->
+    String.equal rel rel' && List.equal String.equal key key'
+  | (Add_column _ | Drop_column _ | Key_change _), _ -> false
+
+let ddl_to_string = function
+  | Add_column { rel; col; ty; default } ->
+    Printf.sprintf "alter(%s, add %s %s default %s)" rel col
+      (Value.ty_to_string ty) (Value.to_string default)
+  | Drop_column { rel; col } -> Printf.sprintf "alter(%s, drop %s)" rel col
+  | Key_change { rel; key = [] } -> Printf.sprintf "alter(%s, drop key)" rel
+  | Key_change { rel; key } ->
+    Printf.sprintf "alter(%s, key (%s))" rel (String.concat ", " key)
+
+let pp_ddl ppf d = Format.pp_print_string ppf (ddl_to_string d)

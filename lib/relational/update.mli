@@ -34,3 +34,32 @@ val byte_size : t -> int
 val equal : t -> t -> bool
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
+
+(** Source schema changes (DDL), flowing through the engine's event loop
+    as first-class notifications next to tuple updates. [Add_column]
+    appends the column at the end of the relation (existing tuples are
+    backfilled with [default]); [Drop_column] removes an existing column
+    and projects it out of every tuple; [Key_change] replaces the declared
+    key (the empty list drops it). The mechanics of applying a [ddl] to
+    schemas, tuples, databases and views live in {!Evolve}. *)
+type ddl =
+  | Add_column of {
+      rel : string;
+      col : string;
+      ty : Value.ty;
+      default : Value.t;
+    }
+  | Drop_column of {
+      rel : string;
+      col : string;
+    }
+  | Key_change of {
+      rel : string;
+      key : string list;
+    }
+
+val ddl_rel : ddl -> string
+val ddl_byte_size : ddl -> int
+val ddl_equal : ddl -> ddl -> bool
+val ddl_to_string : ddl -> string
+val pp_ddl : Format.formatter -> ddl -> unit

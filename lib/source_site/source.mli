@@ -10,6 +10,7 @@ module R := Relational
 
 type event =
   | S_up of R.Update.t
+  | S_ddl of R.Update.ddl
   | S_qu of {
       id : int;
       query : R.Query.t;
@@ -32,12 +33,25 @@ val execute_update : t -> R.Update.t -> unit
 (** The update half of an [S_up] event. The caller (the simulation
     runner) sends the notification message. *)
 
+val execute_ddl : t -> R.Update.ddl -> unit
+(** An [S_ddl] event: apply a schema change to the base relations (see
+    {!R.Evolve}). Raises [R.Evolve.Evolve_error] on invalid changes. *)
+
+val stale_query : t -> R.Query.t -> bool
+(** Does the query name a schema (in any slot) that no longer matches the
+    current database — i.e. was it staged before a schema change? *)
+
 val answer_query : t -> id:int -> R.Query.t -> R.Bag.t * Storage.Cost.t
 (** An [S_qu] event: evaluate against the current state and return the
-    answer with its physical cost. *)
+    answer with its physical cost. Stale queries (see {!stale_query}) are
+    answered empty at zero cost rather than evaluated against schemas
+    they were not staged for. *)
 
 val io_total : t -> int
 (** Cumulative I/Os across all queries answered — the paper's IO metric. *)
+
+val stale_answers : t -> int
+(** Queries answered empty as schema-stale since creation. *)
 
 val events : t -> event list
 (** The event log, oldest first. *)

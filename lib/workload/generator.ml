@@ -219,15 +219,25 @@ let selfmaint_db (spec : Spec.t) =
   done;
   !db
 
-let int_at t i =
-  match R.Tuple.get t i with R.Value.Int n -> n | _ -> assert false
+(* Read an integer key column, failing loudly (with the relation and
+   column implicated) instead of crashing on string-keyed schemas. *)
+let int_at ~rel ~col t i =
+  match R.Tuple.get t i with
+  | R.Value.Int n -> n
+  | v ->
+    invalid_arg
+      (Printf.sprintf
+         "Generator.int_at: %s.%s holds %s where an integer key is required"
+         rel col (R.Value.to_string v))
 
 let selfmaint_updates (spec : Spec.t) ~db =
   let vr = spec.Spec.value_range in
   let st = Random.State.make [| spec.Spec.seed + 1 |] in
   let next_w = ref spec.Spec.c and next_x = ref spec.Spec.c in
   let live_r2_key db =
-    Option.map (fun t -> int_at t 0) (pick_existing st db "r2")
+    Option.map
+      (fun t -> int_at ~rel:"r2" ~col:"X" t 0)
+      (pick_existing st db "r2")
   in
   let insert_r2 () =
     let x = !next_x in
@@ -245,17 +255,23 @@ let selfmaint_updates (spec : Spec.t) ~db =
   let unreferenced_r2 db =
     let referenced =
       R.Bag.fold
-        (fun t _ acc -> int_at t 1 :: acc)
+        (fun t _ acc -> int_at ~rel:"r1" ~col:"X" t 1 :: acc)
         (R.Db.contents db "r1") []
     in
     let free =
       List.filter
-        (fun (t, _) -> not (List.mem (int_at t 0) referenced))
+        (fun (t, _) -> not (List.mem (int_at ~rel:"r2" ~col:"X" t 0) referenced))
         (R.Bag.to_counted_list (R.Db.contents db "r2"))
     in
     match free with
     | [] -> None
-    | l -> Some (fst (List.nth l (rand_below st (List.length l))))
+    | l ->
+      (* Array indexing instead of List.nth: the draw happens once per
+         generated delete, and [free] can be a large fraction of r2. The
+         RNG consumption is unchanged — same single [rand_below] over the
+         same length — so existing seeds generate identical streams. *)
+      let arr = Array.of_list l in
+      Some (fst arr.(rand_below st (Array.length arr)))
   in
   let rec go db acc i =
     if i >= spec.Spec.k_updates then List.rev acc

@@ -40,6 +40,12 @@ val keyed_updates : Spec.t -> db:R.Db.t -> R.Update.t list
 val pick_existing : Random.State.t -> R.Db.t -> string -> R.Tuple.t option
 (** A uniformly chosen current tuple of a relation (None when empty). *)
 
+val int_at : rel:string -> col:string -> R.Tuple.t -> int -> int
+(** The integer at position [i] of a key column. Raises
+    [Invalid_argument] naming the relation and column when the value is
+    not an [Int] — the generator's key arithmetic (fresh-key allocation,
+    FK tracking) is integer-only by design. *)
+
 val zipf_below : skew:float -> Random.State.t -> int -> int
 (** Zipf-distributed value in [[0, n)]; [skew = 0] is uniform. *)
 

@@ -21,6 +21,14 @@ type scaled = {
   updates : R.Update.t list;
 }
 
+(* Likewise before [setup]: [evolving] shares db/view/updates with it. *)
+type evolving = {
+  db : R.Db.t;
+  view : R.View.t;
+  updates : R.Update.t list;
+  ddls : (int * R.Update.ddl) list;
+}
+
 type setup = {
   db : R.Db.t;
   view : R.View.t;
@@ -88,6 +96,78 @@ let adversarial spec =
     view = adversarial_view ();
     updates = Generator.adversarial_updates spec ~db;
   }
+
+(* --- The online schema-evolution family --------------------------------
+
+   The keyed scenario with a DDL schedule woven through the update
+   stream: a column appears on r2 a quarter of the way in, r1's key is
+   dropped at the half, and the new column is dropped again at the
+   three-quarter mark — so the run crosses an Add_column, a Key_change
+   and a Drop_column boundary, and ends back on the original projection
+   width. Update generation is schema-aware: it evolves a live database
+   alongside the stream, so inserts always carry the current arity and
+   deletes always pick currently existing (backfilled) tuples. Position
+   [p] means "fires after the first [p] updates", matching the engine's
+   weave. *)
+
+let evolution_ddls (spec : Spec.t) =
+  let q = max 1 (spec.Spec.k_updates / 4) in
+  [
+    ( q,
+      R.Update.Add_column
+        { rel = "r2"; col = "N"; ty = R.Value.Tint; default = R.Value.Int 7 }
+    );
+    (2 * q, R.Update.Key_change { rel = "r1"; key = [] });
+    (3 * q, R.Update.Drop_column { rel = "r2"; col = "N" });
+  ]
+
+let evolution (spec : Spec.t) =
+  let db0 = Generator.keyed_db spec in
+  let ddls = evolution_ddls spec in
+  let st = Random.State.make [| spec.Spec.seed + 2 |] in
+  let dom = Spec.join_domain spec in
+  let next_w = ref spec.Spec.c and next_y = ref spec.Spec.c in
+  let fresh_insert db rel =
+    if String.equal rel "r1" then begin
+      let w = !next_w in
+      incr next_w;
+      R.Update.insert "r1" (R.Tuple.ints [ w; Random.State.int st dom ])
+    end
+    else begin
+      let y = !next_y in
+      incr next_y;
+      let base = [ Random.State.int st dom; y ] in
+      (* Inserts carry whatever arity r2 currently has: between the
+         Add_column and the Drop_column they supply the extra column. *)
+      let extra = R.Schema.arity (R.Db.schema db "r2") - 2 in
+      let vals =
+        base @ List.init extra (fun _ -> Random.State.int st dom)
+      in
+      R.Update.insert "r2" (R.Tuple.ints vals)
+    end
+  in
+  let rec go db acc i =
+    let db =
+      List.fold_left
+        (fun db (p, d) -> if p = i then R.Evolve.db db d else db)
+        db ddls
+    in
+    if i >= spec.Spec.k_updates then List.rev acc
+    else begin
+      let rel = if Random.State.int st 2 = 0 then "r1" else "r2" in
+      let is_insert = Random.State.float st 1.0 < spec.Spec.insert_ratio in
+      let u =
+        if is_insert then fresh_insert db rel
+        else
+          match Generator.pick_existing st db rel with
+          | Some t -> R.Update.delete rel t
+          | None -> fresh_insert db rel
+      in
+      go (R.Db.apply db u) (u :: acc) (i + 1)
+    end
+  in
+  let updates = go db0 [] 0 in
+  { db = db0; view = keyed_view (); updates; ddls }
 
 (* The fault-profile matrix: one axis per channel misbehavior, plus the
    combined profile the acceptance experiments run — loss, duplication,

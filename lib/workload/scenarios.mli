@@ -15,6 +15,18 @@ type scaled = {
     Declared before {!setup} so the shared [updates] field name keeps
     resolving to [setup] in unannotated client code. *)
 
+type evolving = {
+  db : R.Db.t;
+  view : R.View.t;
+  updates : R.Update.t list;
+  ddls : (int * R.Update.ddl) list;
+      (** position [p] = fires after the first [p] updates — the engine's
+          [?evolution] convention *)
+}
+(** The online schema-evolution workload: the keyed scenario crossed with
+    a DDL schedule. Declared before {!setup} for the same field-shadowing
+    reason as {!scaled}. *)
+
 type setup = {
   db : R.Db.t;
   view : R.View.t;
@@ -46,6 +58,15 @@ val adversarial_view : unit -> R.View.t
 
 val adversarial : Spec.t -> setup
 (** The analyzer's worst case — exercises the honest-refusal path. *)
+
+val evolution_ddls : Spec.t -> (int * R.Update.ddl) list
+(** Add_column r2.N at k/4, Key_change r1 (key dropped) at k/2,
+    Drop_column r2.N at 3k/4. *)
+
+val evolution : Spec.t -> evolving
+(** Schema-aware stream generation: the generator evolves a live database
+    alongside the stream, so inserts always match the current arity of r2
+    and deletes pick currently existing (backfilled) tuples. *)
 
 val fault_profiles : (string * Messaging.Fault.profile) list
 (** The delivery-fault matrix the reliability experiments sweep: clean,

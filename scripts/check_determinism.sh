@@ -152,5 +152,30 @@ if ! grep -q '"fallback": 0' "$tmp/seq/BENCH_results.json"; then
   exit 1
 fi
 
+# The evolution section (schema v10) must be present: it is the only
+# section exercising online schema changes (DDL x fault x channel) and
+# the windowed-view layer, so losing it would silently shrink coverage.
+# Its FIFO correctness cells are gated by the bench itself; here we
+# assert the object survived into the JSON, that the DDL protocol's
+# tombstone budget is the pinned 0, and that the windowed cell both aged
+# partitions out and pruned compensation terms (a 0 in either counter
+# means the windowed wrapper stopped doing its job on this workload).
+if ! grep -q '"evolution": {' "$tmp/seq/BENCH_results.json"; then
+  echo "check_determinism: FAIL — evolution section missing from bench output" >&2
+  exit 1
+fi
+if ! grep -q '"stale_quiesce_max": 0' "$tmp/seq/BENCH_results.json"; then
+  echo "check_determinism: FAIL — the DDL tombstone budget is no longer pinned to 0" >&2
+  exit 1
+fi
+if grep -q '"win_aged_partitions": 0' "$tmp/seq/BENCH_results.json"; then
+  echo "check_determinism: FAIL — the windowed bench cell aged no partition out" >&2
+  exit 1
+fi
+if grep -q '"win_pruned_terms": 0' "$tmp/seq/BENCH_results.json"; then
+  echo "check_determinism: FAIL — the windowed bench cell pruned no compensation term" >&2
+  exit 1
+fi
+
 runs=$(grep -c '"figure"' "$tmp/seq/BENCH_results.json" || true)
 echo "check_determinism: OK — $runs runs identical between PAR=1 and PAR=$par (modulo wall clocks)"

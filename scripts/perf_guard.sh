@@ -23,7 +23,10 @@
 # self-maintainability gate: the "selfmaint" object must be present and
 # its eligible cell must report messages_eca_sm = 0, bytes_eca_sm = 0
 # and fallback = 0 — ECA-SM answering the whole self-maintainable
-# stream warehouse-locally. The summed per-run
+# stream warehouse-locally. Schema >= 10 adds the evolution gate: the
+# "evolution" object must be present, its DDL tombstone budget pinned
+# at 0, and its windowed cell must age partitions out and prune
+# compensation terms. The summed per-run
 # wall clock is compared — not the process total — because it measures
 # the work done and is invariant under the PAR worker count, whereas
 # total_wall_clock_s shrinks with parallel fan-out. Machine noise on
@@ -61,6 +64,10 @@ if [ "$schema_baseline" != "$schema_current" ]; then
   if [ "$schema_current" -ge 9 ] && [ "$schema_baseline" -lt 9 ]; then
     echo "perf_guard: the committed baseline predates the schema-9" \
       "self-maintainability (ECA-SM) section." >&2
+  fi
+  if [ "$schema_current" -ge 10 ] && [ "$schema_baseline" -lt 10 ]; then
+    echo "perf_guard: the committed baseline predates the schema-10" \
+      "evolution section (online schema changes and windowed views)." >&2
   fi
   echo "perf_guard: regenerate the committed baseline with the current" \
     "bench (dune exec bench/main.exe -- quick) before comparing." >&2
@@ -239,5 +246,44 @@ if [ "$schema_current" -ge 9 ]; then
       exit 1;
     }
     printf "perf_guard: selfmaint OK\n";
+  }'
+fi
+
+# Evolution gate (schema >= 10). The "evolution" object must be present
+# — a schema-10 file without one means the DDL x fault x channel matrix
+# and the windowed cell silently stopped running. Its protocol claims
+# are then gated directly: the tombstone budget stays at the pinned 0
+# (every stale answer crossing a schema change is absorbed by
+# quiescence on FIFO channels), and the windowed cell actually aged
+# partitions out and pruned out-of-window compensation terms.
+if [ "$schema_current" -ge 10 ]; then
+  if ! grep -q '"evolution": {' "$current_file"; then
+    echo "perf_guard: schema $schema_current output carries no" \
+      "\"evolution\" object — the schema-change/windowed section is missing." >&2
+    echo "perf_guard: regenerate with the current bench" \
+      "(dune exec bench/main.exe -- quick) and re-run." >&2
+    exit 2
+  fi
+  # stale_quiesce_max appears in several sections (catalog rungs,
+  # scaling, selfmaint, evolution) — all must be 0, so gate the max.
+  quiesce_max=$(extract "$current_file" stale_quiesce_max | sort -n | tail -1)
+  aged=$(extract "$current_file" win_aged_partitions | sort -n | tail -1)
+  pruned=$(extract "$current_file" win_pruned_terms | sort -n | tail -1)
+  if [ -z "$quiesce_max" ] || [ -z "$aged" ] || [ -z "$pruned" ]; then
+    echo "perf_guard: evolution object carries no gate fields" \
+      "(stale_quiesce_max / win_aged_partitions / win_pruned_terms)" >&2
+    exit 2
+  fi
+  awk -v q="$quiesce_max" -v a="$aged" -v p="$pruned" 'BEGIN {
+    printf "perf_guard: evolution: stale_quiesce_max=%d aged=%d pruned=%d\n", q, a, p;
+    if (q != 0) {
+      printf "perf_guard: FAIL — the DDL tombstone budget is no longer pinned to 0\n";
+      exit 1;
+    }
+    if (a <= 0 || p <= 0) {
+      printf "perf_guard: FAIL — the windowed cell stopped aging or pruning\n";
+      exit 1;
+    }
+    printf "perf_guard: evolution OK\n";
   }'
 fi

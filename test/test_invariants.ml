@@ -198,12 +198,14 @@ let every_query_answered_once =
       List.iter
         (function
           | Core.Trace.Warehouse_note { queries; _ }
-          | Core.Trace.Quiesce_probe { queries; _ } ->
+          | Core.Trace.Quiesce_probe { queries; _ }
+          | Core.Trace.Warehouse_ddl { queries; _ } ->
             List.iter (fun (gid, _) -> Hashtbl.replace sent gid ()) queries
           | Core.Trace.Warehouse_answer { gid; _ } ->
             Hashtbl.replace answered gid
               (1 + Option.value (Hashtbl.find_opt answered gid) ~default:0)
-          | Core.Trace.Source_update _ | Core.Trace.Source_answer _ -> ())
+          | Core.Trace.Source_update _ | Core.Trace.Source_answer _
+          | Core.Trace.Source_ddl _ -> ())
         (Core.Trace.entries result.Core.Runner.trace);
       Hashtbl.length sent = Hashtbl.length answered
       && Hashtbl.fold (fun _ n acc -> acc && n = 1) answered true)

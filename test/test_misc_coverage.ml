@@ -27,7 +27,9 @@ let json_covers_all_entry_kinds () =
            | Core.Trace.Source_answer _ -> "sa"
            | Core.Trace.Warehouse_note _ -> "wn"
            | Core.Trace.Warehouse_answer _ -> "wa"
-           | Core.Trace.Quiesce_probe _ -> "qp")
+           | Core.Trace.Quiesce_probe _ -> "qp"
+           | Core.Trace.Source_ddl _ -> "sd"
+           | Core.Trace.Warehouse_ddl _ -> "wd")
          entries)
   in
   Alcotest.(check (list string))

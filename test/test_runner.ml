@@ -51,7 +51,9 @@ let trace_entry_order () =
         | Core.Trace.Warehouse_note _ -> "WN"
         | Core.Trace.Source_answer _ -> "SA"
         | Core.Trace.Warehouse_answer _ -> "WA"
-        | Core.Trace.Quiesce_probe _ -> "QP")
+        | Core.Trace.Quiesce_probe _ -> "QP"
+        | Core.Trace.Source_ddl _ -> "SD"
+        | Core.Trace.Warehouse_ddl _ -> "WD")
       (Core.Trace.entries result.Core.Runner.trace)
   in
   Alcotest.(check (list string)) "event order" [ "SU"; "WN"; "SA"; "WA" ] kinds
